@@ -1,0 +1,54 @@
+//! Fig. 1 — noise resilience of activation functions.
+//!
+//! For ReLU, sigmoid, and tanh, sweeps the pre-activation axis and prints
+//! the post-activation error caused by injected pre-activation noise.
+//! The insensitive regions (ReLU's negative side, sigmoid/tanh saturation
+//! tails) show the error collapsing toward zero.
+
+use duet_bench::table::Table;
+use duet_nn::Activation;
+
+fn main() {
+    println!("Fig. 1 — post-activation error |phi(y+eps) - phi(y)| under pre-activation noise");
+    println!("(paper: activations in insensitive regions are resilient to noise)\n");
+
+    for eps in [0.1f32, 0.5] {
+        let mut t = Table::new(["y", "relu", "sigmoid", "tanh"]);
+        let mut y = -6.0f32;
+        while y <= 6.0 {
+            t.row([
+                format!("{y:+.1}"),
+                format!("{:.4}", Activation::Relu.noise_gain(y, eps)),
+                format!("{:.4}", Activation::Sigmoid.noise_gain(y, eps)),
+                format!("{:.4}", Activation::Tanh.noise_gain(y, eps)),
+            ]);
+            y += 1.0;
+        }
+        println!("noise eps = {eps}");
+        println!("{t}");
+    }
+
+    // Summarize the insensitive-region collapse.
+    let mut s = Table::new([
+        "activation",
+        "error @ center",
+        "error @ insensitive tail",
+        "collapse",
+    ]);
+    for (act, center, tail) in [
+        (Activation::Relu, 1.0f32, -4.0f32),
+        (Activation::Sigmoid, 0.0, 5.0),
+        (Activation::Tanh, 0.0, 4.0),
+    ] {
+        let ec = act.noise_gain(center, 0.5);
+        let et = act.noise_gain(tail, 0.5);
+        s.row([
+            act.name().to_string(),
+            format!("{ec:.4}"),
+            format!("{et:.4}"),
+            format!("{:.0}x", ec / et.max(1e-6)),
+        ]);
+    }
+    println!("noise gain collapse between sensitive center and insensitive tail (eps = 0.5):");
+    println!("{s}");
+}

@@ -1,0 +1,163 @@
+//! Fig. 10 — model quality vs. savings trade-off.
+//!
+//! (a)/(b): classification accuracy loss vs FLOPs reduction, measured on
+//! really-trained classifiers (MLP and CNN) as the switching threshold θ
+//! sweeps. (c)/(d)-style: LSTM and GRU language-model perplexity vs
+//! weight-data-access reduction.
+//!
+//! Paper reference points: with 1% top-1 loss, 3.33x (AlexNet-class) and
+//! 5.15x (ResNet18-class) FLOPs reduction; RNN data access halves with
+//! small perplexity impact.
+
+use duet_bench::table::{ratio, Table};
+use duet_core::dual_rnn::RnnThresholds;
+use duet_core::tuning;
+use duet_tensor::rng;
+use duet_workloads::dualize::{DualCharLm, DualCnn, DualMlp};
+use duet_workloads::{datasets, trainer};
+
+fn main() {
+    let rnn_only = std::env::args().any(|a| a == "--rnn");
+    if !rnn_only {
+        classifier_tradeoff();
+    }
+    rnn_tradeoff();
+}
+
+fn classifier_tradeoff() {
+    println!("Fig. 10(a,b) — accuracy loss vs FLOPs reduction (threshold sweep)\n");
+    let mut r = rng::seeded(1010);
+
+    // --- MLP (AlexNet-class FC-heavy stand-in) ---
+    let all = datasets::gaussian_clusters(4, 24, 900, 4.5, &mut r);
+    let (train, test) = all.split_at(600);
+    let mut net = trainer::train_mlp(&train, 64, 40, &mut r);
+    let dense_acc = trainer::evaluate_classifier(&mut net, &test);
+    let dual = DualMlp::from_sequential(&net, &train, 0.5, &mut r);
+
+    let mut t = Table::new([
+        "theta",
+        "accuracy",
+        "acc loss",
+        "FLOPs reduction",
+        "approx frac",
+    ]);
+    let mut points = Vec::new();
+    for &theta in &tuning::linspace(-2.0, 3.0, 11) {
+        let (acc, rep) = dual.evaluate(&test, theta);
+        points.push(tuning::SweepPoint {
+            theta,
+            quality: acc,
+            report: rep,
+        });
+        t.row([
+            format!("{theta:+.1}"),
+            format!("{acc:.3}"),
+            format!("{:+.1}%", (dense_acc - acc) * 100.0),
+            ratio(rep.flops_reduction()),
+            format!("{:.2}", rep.approximate_fraction()),
+        ]);
+    }
+    println!("MLP/clusters (dense accuracy {dense_acc:.3}):");
+    println!("{t}");
+    if let Some(best) = tuning::best_within_budget(&points, dense_acc - 0.01) {
+        println!(
+            "best FLOPs reduction within 1% accuracy loss: {} at theta {:+.1}  (paper, AlexNet: 3.33x)\n",
+            ratio(best.flops_reduction()),
+            best.theta
+        );
+    }
+
+    // --- CNN (conv-dominated stand-in) ---
+    let all_imgs = datasets::shape_images(600, 11, 0.20, &mut r);
+    let (imgs, test_imgs) = all_imgs.split_at(400);
+    let mut cnn = trainer::train_cnn(&imgs, 8, 15, &mut r);
+    let dense_acc = trainer::evaluate_classifier(&mut cnn, &test_imgs);
+    let dual_cnn = DualCnn::from_sequential(&cnn, &imgs, 0.5, &mut r);
+
+    let mut t = Table::new([
+        "theta",
+        "accuracy",
+        "acc loss",
+        "FLOPs reduction",
+        "approx frac",
+    ]);
+    let mut points = Vec::new();
+    for &theta in &tuning::linspace(-1.0, 2.0, 7) {
+        let (acc, rep) = dual_cnn.evaluate(&test_imgs, theta);
+        points.push(tuning::SweepPoint {
+            theta,
+            quality: acc,
+            report: rep,
+        });
+        t.row([
+            format!("{theta:+.1}"),
+            format!("{acc:.3}"),
+            format!("{:+.1}%", (dense_acc - acc) * 100.0),
+            ratio(rep.flops_reduction()),
+            format!("{:.2}", rep.approximate_fraction()),
+        ]);
+    }
+    println!("CNN/shapes (dense accuracy {dense_acc:.3}):");
+    println!("{t}");
+    if let Some(best) = tuning::best_within_budget(&points, dense_acc - 0.01) {
+        println!(
+            "best FLOPs reduction within 1% accuracy loss: {} at theta {:+.1}  (paper, ResNet18: 5.15x)\n",
+            ratio(best.flops_reduction()),
+            best.theta
+        );
+    }
+}
+
+fn rnn_tradeoff() {
+    println!("Fig. 10(c,d) — LM quality vs weight-access reduction (threshold sweep)\n");
+    let mut r = rng::seeded(1011);
+    let source = datasets::MarkovText::new(16, 3, &mut r);
+    let test = source.sample(300, &mut r);
+
+    for (label, lstm) in [
+        ("LSTM-LM (PTB stand-in)", true),
+        ("GRU-LM (PTB stand-in)", false),
+    ] {
+        let lm = trainer::train_char_lm(&source, lstm, 16, 48, 180, 30, &mut r);
+        let dense_ppl = lm.perplexity(&test);
+        let dual = DualCharLm::from_char_lm(&lm, 32, 500, &mut r);
+
+        let mut t = Table::new([
+            "theta_sig/theta_tanh",
+            "perplexity",
+            "ppl increase",
+            "weight-access reduction",
+            "approx frac",
+        ]);
+        for &(ts, tt) in &[
+            (f32::INFINITY, f32::INFINITY),
+            (4.0, 3.0),
+            (3.0, 2.5),
+            (2.5, 2.0),
+            (2.0, 1.5),
+            (1.5, 1.2),
+            (1.0, 0.8),
+        ] {
+            let th = RnnThresholds {
+                theta_sigmoid: ts,
+                theta_tanh: tt,
+            };
+            let (ppl, rep) = dual.perplexity(&test, &th);
+            t.row([
+                if ts.is_infinite() {
+                    "never (dense)".to_string()
+                } else {
+                    format!("{ts:.1}/{tt:.1}")
+                },
+                format!("{ppl:.2}"),
+                format!("{:+.1}%", (ppl / dense_ppl - 1.0) * 100.0),
+                ratio(rep.weight_access_reduction()),
+                format!("{:.2}", rep.approximate_fraction()),
+            ]);
+        }
+        println!("{label} (dense perplexity {dense_ppl:.2}):");
+        println!("{t}");
+    }
+    println!("paper: RNN off-chip weight traffic roughly halves with acceptable quality loss.");
+}

@@ -1,0 +1,64 @@
+//! Fig. 11(a) — overall speedup and energy efficiency of DUET vs the
+//! single-module baseline, per model.
+//!
+//! Paper: 2.24x average speedup and ~1.97x average energy saving across
+//! CNN and RNN benchmarks.
+
+use duet_bench::table::{ratio, Table};
+use duet_bench::Suite;
+use duet_sim::config::ExecutorFeatures;
+use duet_tensor::stats::geometric_mean;
+use duet_workloads::models::ModelZoo;
+
+fn main() {
+    println!(
+        "Fig. 11(a) — DUET vs single-module baseline (paper avg: 2.24x speedup, 1.97x energy)\n"
+    );
+    let s = Suite::paper();
+
+    let mut t = Table::new(["model", "speedup", "energy efficiency", "DUET MAC util"]);
+    let mut speedups = Vec::new();
+    let mut energies = Vec::new();
+
+    for m in ModelZoo::cnns() {
+        let base = s.run_cnn(m, ExecutorFeatures::base());
+        let duet = s.run_cnn(m, ExecutorFeatures::duet());
+        let sp = duet.speedup_over(&base);
+        let ee = duet.energy_efficiency_over(&base);
+        speedups.push(sp);
+        energies.push(ee);
+        t.row([
+            m.name().to_string(),
+            ratio(sp),
+            ratio(ee),
+            format!("{:.0}%", duet.avg_mac_utilization() * 100.0),
+        ]);
+    }
+    for m in ModelZoo::rnns() {
+        let base = s.run_rnn(m, false);
+        let dual = s.run_rnn(m, true);
+        let sp = dual.speedup_over(&base);
+        let ee = dual.energy_efficiency_over(&base);
+        speedups.push(sp);
+        energies.push(ee);
+        t.row([
+            m.name().to_string(),
+            ratio(sp),
+            ratio(ee),
+            format!("{:.0}%", dual.avg_mac_utilization() * 100.0),
+        ]);
+    }
+    t.row([
+        "GEOMEAN".into(),
+        ratio(geometric_mean(&speedups)),
+        ratio(geometric_mean(&energies)),
+        "-".into(),
+    ]);
+    t.row([
+        "paper".to_string(),
+        "2.24x".to_string(),
+        "1.97x".to_string(),
+        "-".to_string(),
+    ]);
+    println!("{t}");
+}

@@ -1,0 +1,65 @@
+//! Fig. 11(b) — comparison with state-of-the-art CNN accelerators.
+//!
+//! Latency, energy, and EDP of Eyeriss, Cnvlutin, SnaPEA, Predict, and
+//! Predict+Cnvlutin, normalized to DUET (geometric mean over the CNN
+//! zoo). Paper reference points: Cnvlutin/SnaPEA/Predict consume
+//! 1.77x/2.21x/2.21x more energy than DUET; SnaPEA and Predict EDP are
+//! 3.98x and 2.21x DUET's; Predict+Cnvlutin reaches comparable latency
+//! but 1.81x energy and 2.03x EDP.
+
+use duet_bench::table::{ratio, Table};
+use duet_bench::Suite;
+use duet_sim::config::ExecutorFeatures;
+use duet_tensor::stats::geometric_mean;
+use duet_workloads::models::ModelZoo;
+
+fn main() {
+    println!(
+        "Fig. 11(b) — designs normalized to DUET (geomean over CNN zoo); >1 = worse than DUET\n"
+    );
+    let s = Suite::paper();
+
+    let designs = [
+        "Eyeriss",
+        "Cnvlutin",
+        "SnaPEA",
+        "Predict",
+        "Predict+Cnvlutin",
+    ];
+    let paper_refs = [
+        ("Eyeriss", "-", "~dense", "-"),
+        ("Cnvlutin", "-", "1.77x", "-"),
+        ("SnaPEA", "-", "2.21x", "3.98x"),
+        ("Predict", "-", "2.21x", "2.21x"),
+        ("Predict+Cnvlutin", "~1x", "1.81x", "2.03x"),
+    ];
+
+    let mut t = Table::new(["design", "latency", "energy", "EDP"]);
+    for d in designs {
+        let mut lat = Vec::new();
+        let mut en = Vec::new();
+        let mut edp = Vec::new();
+        for m in ModelZoo::cnns() {
+            let duet = s.run_cnn(m, ExecutorFeatures::duet());
+            let b = s.run_baseline(m, d);
+            lat.push(b.total_latency_cycles as f64 / duet.total_latency_cycles as f64);
+            en.push(b.total_energy().total_pj() / duet.total_energy().total_pj());
+            edp.push(b.edp() / duet.edp());
+        }
+        t.row([
+            d.to_string(),
+            ratio(geometric_mean(&lat)),
+            ratio(geometric_mean(&en)),
+            ratio(geometric_mean(&edp)),
+        ]);
+    }
+    t.row(["DUET", "1.00x", "1.00x", "1.00x"]);
+    println!("{t}");
+
+    let mut p = Table::new(["design (paper)", "latency", "energy", "EDP"]);
+    for (d, l, e, x) in paper_refs {
+        p.row([d, l, e, x]);
+    }
+    println!("paper-reported reference values:");
+    println!("{p}");
+}

@@ -1,0 +1,82 @@
+//! Fig. 12(a) — layer-wise speedup of the DUET technique ladder.
+//!
+//! For the CONV layers of AlexNet and ResNet18: OS (output switching,
+//! unbalanced), BOS (OS + adaptive mapping), IOS (input+output switching,
+//! unbalanced), DUET (IOS + adaptive mapping), all relative to the dense
+//! single-module baseline. Paper averages: 1.20x / 1.93x / 2.36x /
+//! 3.05x.
+
+use duet_bench::table::{ratio, Table};
+use duet_bench::Suite;
+use duet_sim::config::ExecutorFeatures;
+use duet_tensor::stats::geometric_mean;
+use duet_workloads::models::ModelZoo;
+
+fn main() {
+    println!("Fig. 12(a) — layer-wise compute speedup over dense baseline");
+    println!("(paper averages: OS 1.20x, BOS 1.93x, IOS 2.36x, DUET 3.05x)\n");
+    let s = Suite::paper();
+    let ladder = [
+        ExecutorFeatures::os(),
+        ExecutorFeatures::bos(),
+        ExecutorFeatures::ios(),
+        ExecutorFeatures::duet(),
+    ];
+
+    let mut all: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for model in [ModelZoo::AlexNet, ModelZoo::ResNet18] {
+        let base = s.run_cnn(model, ExecutorFeatures::base());
+        let runs: Vec<_> = ladder.iter().map(|&f| s.run_cnn(model, f)).collect();
+
+        let mut t = Table::new(["layer", "OS", "BOS", "IOS", "DUET"]);
+        // print the first 8 layers per model to keep the table readable
+        for (li, bl) in base.layers.iter().enumerate().take(8) {
+            let mut cells = vec![bl.name.clone()];
+            for run in &runs {
+                cells.push(ratio(
+                    bl.executor_cycles as f64 / run.layers[li].executor_cycles as f64,
+                ));
+            }
+            t.row(cells);
+        }
+        // model averages over all layers
+        let mut cells = vec![format!("{} avg", model.name())];
+        for (fi, run) in runs.iter().enumerate() {
+            let per: Vec<f64> = base
+                .layers
+                .iter()
+                .zip(&run.layers)
+                .map(|(b, a)| b.executor_cycles as f64 / a.executor_cycles as f64)
+                .collect();
+            let g = geometric_mean(&per);
+            all[fi].extend_from_slice(&per);
+            cells.push(ratio(g));
+        }
+        t.row(cells);
+        println!(
+            "{} ({} CONV layers shown of {}):",
+            model.name(),
+            8.min(base.layers.len()),
+            base.layers.len()
+        );
+        println!("{t}");
+    }
+
+    let mut summary = Table::new(["technique", "measured avg", "paper avg"]);
+    for (i, (label, paper)) in [
+        ("OS", "1.20x"),
+        ("BOS", "1.93x"),
+        ("IOS", "2.36x"),
+        ("DUET", "3.05x"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        summary.row([
+            label.to_string(),
+            ratio(geometric_mean(&all[i])),
+            paper.to_string(),
+        ]);
+    }
+    println!("{summary}");
+}

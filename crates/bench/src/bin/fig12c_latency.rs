@@ -1,0 +1,72 @@
+//! Fig. 12(c) — Executor vs Speculator latency.
+//!
+//! Per CONV layer: the dense single-Executor baseline latency, DUET's
+//! Executor latency, and the Speculator latency that pipelining hides
+//! beneath it. Paper: baseline Executor average 1.06 ms shrinks to
+//! 0.29 ms; Speculator averages 0.20 ms and is hidden.
+
+use duet_bench::table::{ms, Table};
+use duet_bench::Suite;
+use duet_sim::config::ExecutorFeatures;
+use duet_workloads::models::ModelZoo;
+
+fn main() {
+    println!("Fig. 12(c) — Executor/Speculator latency per CONV layer");
+    println!(
+        "(paper averages: baseline 1.06 ms -> DUET Executor 0.29 ms, Speculator 0.20 ms hidden)\n"
+    );
+    let s = Suite::paper();
+    let cfg = &s.config;
+
+    let mut base_sum = 0.0;
+    let mut exec_sum = 0.0;
+    let mut spec_sum = 0.0;
+    let mut n = 0.0;
+    for model in [ModelZoo::AlexNet, ModelZoo::ResNet18] {
+        let base = s.run_cnn(model, ExecutorFeatures::base());
+        let duet = s.run_cnn(model, ExecutorFeatures::duet());
+        let mut t = Table::new([
+            "layer",
+            "baseline Executor",
+            "DUET Executor",
+            "Speculator",
+            "hidden?",
+        ]);
+        for (b, d) in base.layers.iter().zip(&duet.layers).take(8) {
+            let hidden = d.speculator_cycles <= b.executor_cycles.max(d.latency_cycles);
+            t.row([
+                b.name.clone(),
+                ms(cfg.cycles_to_ms(b.executor_cycles)),
+                ms(cfg.cycles_to_ms(d.executor_cycles)),
+                ms(cfg.cycles_to_ms(d.speculator_cycles)),
+                if hidden { "yes" } else { "EXPOSED" }.to_string(),
+            ]);
+        }
+        for (b, d) in base.layers.iter().zip(&duet.layers) {
+            base_sum += cfg.cycles_to_ms(b.executor_cycles);
+            exec_sum += cfg.cycles_to_ms(d.executor_cycles);
+            spec_sum += cfg.cycles_to_ms(d.speculator_cycles);
+            n += 1.0;
+        }
+        println!("{}:", model.name());
+        println!("{t}");
+    }
+
+    let mut summary = Table::new(["quantity", "measured avg", "paper avg"]);
+    summary.row([
+        "baseline Executor latency".into(),
+        ms(base_sum / n),
+        "1.06 ms".into(),
+    ]);
+    summary.row([
+        "DUET Executor latency".into(),
+        ms(exec_sum / n),
+        "0.29 ms".into(),
+    ]);
+    summary.row([
+        "Speculator latency".into(),
+        ms(spec_sum / n),
+        "0.20 ms".into(),
+    ]);
+    println!("{summary}");
+}

@@ -1,0 +1,68 @@
+//! Fig. 12(d) — memory vs compute latency for RNN models.
+//!
+//! BASE processing is bounded by streaming weight matrices from DRAM;
+//! DUET's dynamic switching fetches only sensitive rows. Paper: off-chip
+//! weight access latency drops from 0.65 ms to 0.30 ms.
+
+use duet_bench::table::{ms, ratio, Table};
+use duet_bench::Suite;
+use duet_sim::rnn::run_rnn_layer;
+use duet_workloads::models::ModelZoo;
+
+fn main() {
+    println!("Fig. 12(d) — RNN memory vs compute latency");
+    println!("(paper: off-chip weight access 0.65 ms -> 0.30 ms)\n");
+    let s = Suite::paper();
+    let cfg = &s.config;
+
+    let mut t = Table::new([
+        "model/layer",
+        "design",
+        "memory latency",
+        "compute latency",
+        "exposed speculation",
+        "weight bytes",
+    ]);
+    let mut base_mem_total = 0.0;
+    let mut duet_mem_total = 0.0;
+    for model in ModelZoo::rnns() {
+        for trace in s.rnn_traces(model) {
+            for dual in [false, true] {
+                let r = run_rnn_layer(&trace, cfg, &s.energy, dual);
+                t.row([
+                    format!("{}/{}", model.name(), trace.name),
+                    if dual { "DUET" } else { "BASE" }.to_string(),
+                    ms(cfg.cycles_to_ms(r.split.memory_cycles)),
+                    ms(cfg.cycles_to_ms(r.split.compute_cycles)),
+                    ms(cfg.cycles_to_ms(r.split.speculation_cycles)),
+                    format!("{:.1} MB", r.weight_bytes_fetched as f64 / (1 << 20) as f64),
+                ]);
+                if dual {
+                    duet_mem_total += cfg.cycles_to_ms(r.split.memory_cycles);
+                } else {
+                    base_mem_total += cfg.cycles_to_ms(r.split.memory_cycles);
+                }
+            }
+        }
+    }
+    println!("{t}");
+
+    let layers = ModelZoo::rnns()
+        .iter()
+        .map(|m| m.rnn_layers().len())
+        .sum::<usize>() as f64;
+    let mut summary = Table::new(["quantity", "measured avg/layer", "paper", "reduction"]);
+    summary.row([
+        "BASE off-chip weight latency".into(),
+        ms(base_mem_total / layers),
+        "0.65 ms".into(),
+        "-".into(),
+    ]);
+    summary.row([
+        "DUET off-chip weight latency".into(),
+        ms(duet_mem_total / layers),
+        "0.30 ms".into(),
+        ratio(base_mem_total / duet_mem_total),
+    ]);
+    println!("{summary}");
+}

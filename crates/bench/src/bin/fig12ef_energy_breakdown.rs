@@ -1,0 +1,95 @@
+//! Fig. 12(e)/(f) — energy breakdown with and without off-chip access.
+//!
+//! Per model: the per-component energy split for the single-module
+//! baseline and DUET. Paper: CONV-layer savings come from MAC + local
+//! buffer reductions; RNN savings from DRAM weight traffic; the
+//! Speculator consumes 3.5–6.3% of on-chip energy for CONV layers and
+//! <1% for RNNs.
+
+use duet_bench::table::{percent, Table};
+use duet_bench::Suite;
+use duet_sim::config::ExecutorFeatures;
+use duet_sim::energy::EnergyBreakdown;
+use duet_workloads::models::ModelZoo;
+
+fn row_for(label: String, e: &EnergyBreakdown, with_dram: bool) -> Vec<String> {
+    let total = if with_dram {
+        e.total_pj()
+    } else {
+        e.on_chip_pj()
+    };
+    let pc = |x: f64| percent(x / total.max(1e-12));
+    let mut v = vec![
+        label,
+        pc(e.executor_compute_pj),
+        pc(e.executor_rf_pj),
+        pc(e.glb_pj),
+        pc(e.noc_pj),
+        pc(e.speculator_pj),
+    ];
+    if with_dram {
+        v.push(pc(e.dram_pj));
+    }
+    v.push(format!("{:.2} uJ", total / 1e6));
+    v
+}
+
+fn main() {
+    println!("Fig. 12(e) — energy breakdown WITH off-chip access\n");
+    let s = Suite::paper();
+
+    let mut e_tab = Table::new([
+        "model/design",
+        "MAC",
+        "RF",
+        "GLB",
+        "NoC",
+        "Speculator",
+        "DRAM",
+        "total",
+    ]);
+    let mut f_tab = Table::new([
+        "model/design",
+        "MAC",
+        "RF",
+        "GLB",
+        "NoC",
+        "Speculator",
+        "total (on-chip)",
+    ]);
+    let mut spec_fracs = Vec::new();
+
+    for m in ModelZoo::cnns() {
+        let base = s.run_cnn(m, ExecutorFeatures::base()).total_energy();
+        let duet = s.run_cnn(m, ExecutorFeatures::duet()).total_energy();
+        e_tab.row(row_for(format!("{}/BASE", m.name()), &base, true));
+        e_tab.row(row_for(format!("{}/DUET", m.name()), &duet, true));
+        f_tab.row(row_for(format!("{}/BASE", m.name()), &base, false));
+        f_tab.row(row_for(format!("{}/DUET", m.name()), &duet, false));
+        spec_fracs.push((m.name(), duet.speculator_fraction_on_chip()));
+    }
+    for m in ModelZoo::rnns() {
+        let base = s.run_rnn(m, false).total_energy();
+        let duet = s.run_rnn(m, true).total_energy();
+        e_tab.row(row_for(format!("{}/BASE", m.name()), &base, true));
+        e_tab.row(row_for(format!("{}/DUET", m.name()), &duet, true));
+        f_tab.row(row_for(format!("{}/BASE", m.name()), &base, false));
+        f_tab.row(row_for(format!("{}/DUET", m.name()), &duet, false));
+        spec_fracs.push((m.name(), duet.speculator_fraction_on_chip()));
+    }
+    println!("{e_tab}");
+    println!("Fig. 12(f) — on-chip energy breakdown (no DRAM)\n");
+    println!("{f_tab}");
+
+    let mut sp = Table::new(["model", "Speculator share of on-chip energy", "paper"]);
+    for (name, f) in spec_fracs {
+        let paper =
+            if name.starts_with("LSTM") || name.starts_with("GRU") || name.starts_with("GNMT") {
+                "<1%"
+            } else {
+                "3.5-6.3%"
+            };
+        sp.row([name.to_string(), percent(f), paper.to_string()]);
+    }
+    println!("{sp}");
+}

@@ -1,0 +1,121 @@
+//! Fig. 13 — design space exploration.
+//!
+//! (a) Speculator systolic-array size sweep (8x8 … 32x32) at fixed
+//! Executor size: small Speculators bottleneck the pipeline; growing past
+//! 16x32 barely helps (the paper's chosen point).
+//!
+//! (b) Speculator precision sweep: INT2 … INT8 approximate-module
+//! precision vs real measured accuracy of a trained classifier run
+//! through the dual-module pipeline. Paper: INT4 loses negligible
+//! accuracy.
+
+use duet_bench::table::{ratio, Table};
+use duet_bench::Suite;
+use duet_core::{ApproxConfig, SwitchingPolicy};
+use duet_nn::Activation;
+use duet_sim::config::ExecutorFeatures;
+use duet_tensor::rng;
+use duet_tensor::stats::geometric_mean;
+use duet_tensor::Tensor;
+use duet_workloads::models::ModelZoo;
+use duet_workloads::{datasets, trainer};
+
+fn main() {
+    let precision_only = std::env::args().any(|a| a == "--precision");
+    if !precision_only {
+        size_sweep();
+    }
+    precision_sweep();
+}
+
+fn size_sweep() {
+    println!("Fig. 13(a) — Speculator size sweep (paper chooses 16x32)\n");
+    let s = Suite::paper();
+    let mut t = Table::new([
+        "systolic array",
+        "AlexNet speedup",
+        "ResNet18 speedup",
+        "geomean",
+    ]);
+    for (rows, cols) in [(8, 8), (8, 16), (16, 16), (16, 32), (32, 32)] {
+        let mut cfg = s.config;
+        cfg.speculator.systolic_rows = rows;
+        cfg.speculator.systolic_cols = cols;
+        let sized = duet_bench::Suite {
+            config: cfg,
+            energy: s.energy,
+        };
+        let mut speedups = Vec::new();
+        for m in [ModelZoo::AlexNet, ModelZoo::ResNet18] {
+            let base = sized.run_cnn(m, ExecutorFeatures::base());
+            let duet = sized.run_cnn(m, ExecutorFeatures::duet());
+            speedups.push(duet.speedup_over(&base));
+        }
+        t.row([
+            format!("{rows}x{cols}"),
+            ratio(speedups[0]),
+            ratio(speedups[1]),
+            ratio(geometric_mean(&speedups)),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "expected shape: 8x8/8x16 sub-optimal (Speculator bottleneck); 32x32 barely above 16x32.\n"
+    );
+}
+
+fn precision_sweep() {
+    println!(
+        "Fig. 13(b) — Speculator precision sweep (paper: INT4 has negligible accuracy loss)\n"
+    );
+    let mut r = rng::seeded(1313);
+    let all = datasets::gaussian_clusters(4, 24, 900, 4.5, &mut r);
+    let (train, test) = all.split_at(600);
+    let mut net = trainer::train_mlp(&train, 64, 40, &mut r);
+    let dense_acc = trainer::evaluate_classifier(&mut net, &test);
+
+    let hidden = net.linear_layers()[0].clone();
+    let head = net.linear_layers()[1].clone();
+    let d = hidden.in_features();
+    let k = d / 2;
+
+    let mut t = Table::new(["precision", "accuracy", "loss vs dense"]);
+    for bits in [2u32, 3, 4, 6, 8] {
+        let cfg = ApproxConfig {
+            reduced_dim: k,
+            weight_bits: bits,
+            activation_bits: bits,
+        };
+        let approx = duet_core::distill::distill_linear_from_activations(
+            hidden.weight(),
+            hidden.bias(),
+            cfg,
+            &train.inputs,
+            &mut rng::seeded(5),
+        );
+        let dual = duet_core::DualModuleLayer::new(
+            hidden.weight().clone(),
+            hidden.bias().clone(),
+            Activation::Relu,
+            approx,
+        );
+        // evaluate the full classifier with this dual hidden layer
+        let mut correct = 0usize;
+        for i in 0..test.len() {
+            let x = Tensor::from_vec(test.inputs.row(i).to_vec(), &[d]);
+            let out = dual.forward(&x, &SwitchingPolicy::relu(0.0));
+            let logits = head.forward_vec(&out.output);
+            if duet_tensor::ops::argmax(&logits) == test.labels[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        t.row([
+            format!("INT{bits}"),
+            format!("{acc:.3}"),
+            format!("{:+.1}%", (dense_acc - acc) * 100.0),
+        ]);
+    }
+    println!("dense accuracy: {dense_acc:.3}");
+    println!("{t}");
+}

@@ -1,0 +1,38 @@
+//! Runs every experiment binary in-process order and tells the user
+//! where each exhibit's regeneration command lives. Useful as a smoke
+//! test that the whole evaluation harness stays runnable.
+
+const EXHIBITS: &[(&str, &str)] = &[
+    ("Fig. 1", "fig01_sensitivity"),
+    ("Fig. 2", "fig02_insensitive_fraction"),
+    ("Fig. 10", "fig10_quality_tradeoff"),
+    ("Table I", "table1_area"),
+    ("Fig. 11(a)", "fig11_speedup_energy"),
+    ("Fig. 11(b)", "fig11b_sota_comparison"),
+    ("Fig. 12(a)", "fig12a_layerwise_speedup"),
+    ("Fig. 12(b)", "fig12b_utilization"),
+    ("Fig. 12(c)", "fig12c_latency"),
+    ("Fig. 12(d)", "fig12d_rnn_latency"),
+    ("Fig. 12(e,f)", "fig12ef_energy_breakdown"),
+    ("Fig. 13", "fig13_dse"),
+    ("Ablations", "ablations"),
+    ("Sensitivity", "sensitivity_analysis"),
+];
+
+fn main() {
+    println!("DUET reproduction — experiment index\n");
+    println!("{:<14} command", "exhibit");
+    for (exhibit, bin) in EXHIBITS {
+        println!("{exhibit:<14} cargo run --release -p duet-bench --bin {bin}");
+    }
+    println!("\nRun them all and capture outputs:");
+    println!(
+        "  for b in {}; do",
+        EXHIBITS
+            .iter()
+            .map(|(_, b)| *b)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!("    cargo run --release -q -p duet-bench --bin $b > results/$b.txt; done");
+}

@@ -1,0 +1,67 @@
+//! Table I — area of major components.
+//!
+//! Paper: on-chip memory dominates; the Executor takes 40.0% of chip
+//! area; the Speculator only 6.6%.
+
+use duet_bench::table::{percent, Table};
+use duet_sim::config::ArchConfig;
+use duet_sim::{AreaModel, AreaReport};
+
+fn main() {
+    println!("Table I — component areas (paper shares: Executor 40.0%, Speculator 6.6%)\n");
+    let cfg = ArchConfig::duet();
+    let report = AreaReport::for_config(&cfg, &AreaModel::default());
+
+    let mut t = Table::new(["component", "area (mm^2)", "share", "paper share"]);
+    let total = report.total_mm2();
+    t.row([
+        "Executor (16x16 PEs)".into(),
+        format!("{:.2}", report.executor_mm2),
+        percent(report.executor_mm2 / total),
+        "40.0%".to_string(),
+    ]);
+    t.row([
+        "Global buffer (1 MiB)".into(),
+        format!("{:.2}", report.glb_mm2),
+        percent(report.glb_mm2 / total),
+        "(dominant)".to_string(),
+    ]);
+    t.row([
+        "Speculator (16x32 INT4)".into(),
+        format!("{:.2}", report.speculator_mm2),
+        percent(report.speculator_mm2 / total),
+        "6.6%".to_string(),
+    ]);
+    t.row([
+        "NoC + control".into(),
+        format!("{:.2}", report.noc_control_mm2),
+        percent(report.noc_control_mm2 / total),
+        "(rest)".to_string(),
+    ]);
+    t.row([
+        "TOTAL".into(),
+        format!("{total:.2}"),
+        "100.0%".into(),
+        "100%".into(),
+    ]);
+    println!("{t}");
+
+    // Speculator size scaling (context for Fig. 13a)
+    let mut s = Table::new([
+        "speculator systolic array",
+        "speculator mm^2",
+        "share of chip",
+    ]);
+    for (rows, cols) in [(8, 8), (8, 16), (16, 16), (16, 32), (32, 32)] {
+        let mut c = cfg;
+        c.speculator.systolic_rows = rows;
+        c.speculator.systolic_cols = cols;
+        let r = AreaReport::for_config(&c, &AreaModel::default());
+        s.row([
+            format!("{rows}x{cols}"),
+            format!("{:.2}", r.speculator_mm2),
+            percent(r.speculator_fraction()),
+        ]);
+    }
+    println!("{s}");
+}

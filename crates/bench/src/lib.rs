@@ -1,0 +1,21 @@
+//! # duet-bench
+//!
+//! The benchmark harness regenerating every table and figure of the DUET
+//! paper's evaluation (§V). Each `fig*`/`table*` binary prints the rows or
+//! series of one exhibit, side by side with the paper-reported values
+//! where the paper gives them; `EXPERIMENTS.md` records both.
+//!
+//! Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p duet-bench --bin fig11_speedup_energy
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod suite;
+pub mod table;
+
+pub use suite::Suite;
+pub use table::Table;

@@ -1,0 +1,164 @@
+//! Batched dual-module execution.
+//!
+//! The single-vector [`DualModuleLayer::forward`] mirrors the hardware's
+//! per-inference flow; this module adds the batched form used by the
+//! software evaluation harness (throughput) and by CONV layers after
+//! im2col, where the "batch" is the set of output positions.
+
+use crate::dual_layer::DualModuleLayer;
+use crate::metrics::SavingsReport;
+use crate::switching::{SwitchingMap, SwitchingPolicy};
+use duet_tensor::{ops, Tensor};
+
+/// Result of a batched dual-module forward pass.
+#[derive(Debug, Clone)]
+pub struct BatchDualOutput {
+    /// Post-activation outputs `[B, n]`.
+    pub output: Tensor,
+    /// Per-sample switching maps.
+    pub maps: Vec<SwitchingMap>,
+    /// Aggregate accounting over the batch.
+    pub report: SavingsReport,
+}
+
+/// Runs a dual-module layer over a batch `[B, d]`, row by row, sharing
+/// the (already loaded) approximate module across the batch.
+///
+/// # Panics
+///
+/// Panics if `x` is not `[B, d]` with `d` matching the layer.
+pub fn forward_batch(
+    layer: &DualModuleLayer,
+    x: &Tensor,
+    policy: &SwitchingPolicy,
+) -> BatchDualOutput {
+    assert_eq!(x.shape().rank(), 2, "batched input must be [B, d]");
+    let b = x.shape().dim(0);
+    let d = x.shape().dim(1);
+    assert_eq!(d, layer.input_dim(), "input width mismatch");
+    let n = layer.output_dim();
+
+    let mut output = Tensor::zeros(&[b, n]);
+    let mut maps = Vec::with_capacity(b);
+    let mut report = SavingsReport::new();
+    for bi in 0..b {
+        let row = Tensor::from_vec(x.row(bi).to_vec(), &[d]);
+        let out = layer.forward(&row, policy);
+        output.row_mut(bi).copy_from_slice(out.output.data());
+        maps.push(out.map);
+        report += out.report;
+    }
+    // the approximate module's weights are loaded once per batch, not
+    // once per sample
+    report.speculator_weight_bytes /= b as u64;
+    // likewise the executor's weight rows are reused across the batch in
+    // a weight-stationary schedule: count the union of touched rows
+    let mut touched = vec![false; n];
+    for m in &maps {
+        for i in m.sensitive_indices() {
+            touched[i] = true;
+        }
+    }
+    let touched_rows = touched.iter().filter(|&&t| t).count() as u64;
+    report.executor_weight_bytes = touched_rows * d as u64 * 2;
+    report.dense_weight_bytes = (n * d * 2) as u64;
+
+    BatchDualOutput {
+        output,
+        maps,
+        report,
+    }
+}
+
+/// Dense batched reference for comparison.
+pub fn forward_batch_dense(layer: &DualModuleLayer, x: &Tensor) -> Tensor {
+    let b = x.shape().dim(0);
+    let d = x.shape().dim(1);
+    let mut out = Tensor::zeros(&[b, layer.output_dim()]);
+    for bi in 0..b {
+        let row = Tensor::from_vec(x.row(bi).to_vec(), &[d]);
+        let y = layer.forward_dense(&row);
+        out.row_mut(bi).copy_from_slice(y.data());
+    }
+    out
+}
+
+/// Mean relative L2 error between two batched outputs.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn batch_relative_error(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "batch shapes differ");
+    let err = ops::sub(a, b).norm_sq();
+    (err / b.norm_sq().max(1e-12)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_nn::Activation;
+    use duet_tensor::rng::{self, seeded};
+
+    fn layer() -> (DualModuleLayer, rand::rngs::SmallRng) {
+        let mut r = seeded(5);
+        let w = rng::normal(&mut r, &[24, 48], 0.0, 0.2);
+        let b = Tensor::zeros(&[24]);
+        (
+            DualModuleLayer::learn(&w, &b, Activation::Relu, 24, 300, &mut r),
+            r,
+        )
+    }
+
+    #[test]
+    fn batch_matches_per_sample() {
+        let (layer, mut r) = layer();
+        let x = rng::normal(&mut r, &[6, 48], 0.0, 1.0);
+        let batch = forward_batch(&layer, &x, &SwitchingPolicy::relu(0.0));
+        for bi in 0..6 {
+            let row = Tensor::from_vec(x.row(bi).to_vec(), &[48]);
+            let single = layer.forward(&row, &SwitchingPolicy::relu(0.0));
+            for (a, b) in batch.output.row(bi).iter().zip(single.output.data()) {
+                assert_eq!(a, b);
+            }
+            assert_eq!(batch.maps[bi], single.map);
+        }
+    }
+
+    #[test]
+    fn never_switch_equals_dense_batch() {
+        let (layer, mut r) = layer();
+        let x = rng::normal(&mut r, &[4, 48], 0.0, 1.0);
+        let dual = forward_batch(&layer, &x, &SwitchingPolicy::never_switch());
+        let dense = forward_batch_dense(&layer, &x);
+        assert!(batch_relative_error(&dual.output, &dense) < 1e-5);
+    }
+
+    #[test]
+    fn weight_bytes_count_touched_union() {
+        let (layer, mut r) = layer();
+        let x = rng::normal(&mut r, &[8, 48], 0.0, 1.0);
+        let out = forward_batch(&layer, &x, &SwitchingPolicy::relu(0.0));
+        // union of touched rows ≤ n, and weight bytes reflect it
+        assert!(out.report.executor_weight_bytes <= out.report.dense_weight_bytes);
+        let touched = out.report.executor_weight_bytes / (48 * 2);
+        assert!(touched <= 24);
+        // at least one sample's sensitive count is ≤ union
+        let max_single = out
+            .maps
+            .iter()
+            .map(|m| m.sensitive_count() as u64)
+            .max()
+            .unwrap();
+        assert!(touched >= max_single);
+    }
+
+    #[test]
+    fn aggregate_report_sums_macs() {
+        let (layer, mut r) = layer();
+        let x = rng::normal(&mut r, &[3, 48], 0.0, 1.0);
+        let out = forward_batch(&layer, &x, &SwitchingPolicy::relu(0.0));
+        assert_eq!(out.report.dense_macs, 3 * 24 * 48);
+        assert_eq!(out.report.outputs_total, 3 * 24);
+    }
+}

@@ -1,0 +1,343 @@
+//! Dual-module execution of a convolutional layer (§II-B, §III-C).
+//!
+//! The CONV layer is lowered with im2col so the approximate module works
+//! on the patch matrix exactly as on an FF input. The switching map is
+//! per output *element* (channel × position); after ReLU it doubles as the
+//! next layer's input-sparsity map (IMap) including the §III-C correction
+//! step.
+
+use crate::approx::{ApproxConfig, ApproxLinear};
+use crate::distill;
+use crate::metrics::SavingsReport;
+use crate::switching::{SwitchingMap, SwitchingPolicy};
+use duet_tensor::im2col::{im2col, ConvGeometry};
+use duet_tensor::{ops, Tensor};
+use rand::rngs::SmallRng;
+
+/// Result of one dual-module convolution.
+#[derive(Debug, Clone)]
+pub struct DualConvOutput {
+    /// Post-ReLU output feature map `[K, oh, ow]`.
+    pub output: Tensor,
+    /// Per-element output switching map (length `K · oh · ow`), after the
+    /// post-ReLU correction step — ready to serve as the next layer's
+    /// IMap.
+    pub omap: SwitchingMap,
+    /// Per-channel sensitive-output counts — what the Reorder Unit's
+    /// adder trees compute for adaptive mapping (§IV-A).
+    pub channel_workloads: Vec<usize>,
+    /// Operation / byte accounting.
+    pub report: SavingsReport,
+}
+
+/// A convolutional layer paired with its distilled approximate module.
+#[derive(Debug, Clone)]
+pub struct DualConvLayer {
+    geom: ConvGeometry,
+    filters: Tensor, // [K, C·R·S]
+    bias: Tensor,    // [K]
+    approx: ApproxLinear,
+}
+
+impl DualConvLayer {
+    /// Wraps an accurate conv layer (`filters [K, C, R, S]`) and a
+    /// pre-distilled approximate module over the patch dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape inconsistencies.
+    pub fn new(geom: ConvGeometry, filters: &Tensor, bias: Tensor, approx: ApproxLinear) -> Self {
+        assert_eq!(filters.shape().rank(), 4, "filters must be [K,C,R,S]");
+        let k = filters.shape().dim(0);
+        assert_eq!(bias.len(), k, "bias length mismatch");
+        assert_eq!(
+            approx.input_dim(),
+            geom.patch_len(),
+            "approximate module must take the patch vector"
+        );
+        assert_eq!(approx.output_dim(), k, "approximate module output mismatch");
+        Self {
+            geom,
+            filters: filters.reshaped(&[k, geom.patch_len()]),
+            bias,
+            approx,
+        }
+    }
+
+    /// Distills the approximate module from the filter bank using
+    /// standard-normal patch samples.
+    pub fn learn(
+        geom: ConvGeometry,
+        filters: &Tensor,
+        bias: &Tensor,
+        reduced_dim: usize,
+        samples: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let k = filters.shape().dim(0);
+        let fmat = filters.reshaped(&[k, geom.patch_len()]);
+        let cfg = ApproxConfig::paper_default(reduced_dim);
+        let approx = distill::distill_linear(&fmat, bias, cfg, samples, rng);
+        Self::new(geom, filters, bias.clone(), approx)
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> &ConvGeometry {
+        &self.geom
+    }
+
+    /// Output channel count `K`.
+    pub fn out_channels(&self) -> usize {
+        self.filters.shape().dim(0)
+    }
+
+    /// The approximate module.
+    pub fn approx(&self) -> &ApproxLinear {
+        &self.approx
+    }
+
+    /// The filter matrix in GEMM form `[K, C·R·S]`.
+    pub fn filter_matrix(&self) -> &Tensor {
+        &self.filters
+    }
+
+    /// Dense reference execution (with ReLU).
+    pub fn forward_dense(&self, input: &Tensor) -> Tensor {
+        let cols = im2col(input, &self.geom);
+        let mut y = ops::matmul(&self.filters, &cols);
+        let cols_n = y.shape().dim(1);
+        for kk in 0..self.out_channels() {
+            let b = self.bias.data()[kk];
+            for v in &mut y.data_mut()[kk * cols_n..(kk + 1) * cols_n] {
+                *v = (*v + b).max(0.0);
+            }
+        }
+        y.reshaped(&[self.out_channels(), self.geom.out_h(), self.geom.out_w()])
+    }
+
+    /// Dual-module forward pass.
+    ///
+    /// `imap`, when given, is the previous layer's corrected OMap reused as
+    /// the input-sparsity map: MACs whose input element is flagged
+    /// ineffectual (zero) are skipped in the accounting, mirroring the
+    /// per-PE tag-bit logic of Fig. 6. It must have length
+    /// `C·H·W` of this layer's input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not `[C, H, W]` matching the geometry, or the
+    /// imap length disagrees.
+    pub fn forward(
+        &self,
+        input: &Tensor,
+        policy: &SwitchingPolicy,
+        imap: Option<&SwitchingMap>,
+    ) -> DualConvOutput {
+        let k = self.out_channels();
+        let d = self.geom.patch_len();
+        let (oh, ow) = (self.geom.out_h(), self.geom.out_w());
+        let positions = oh * ow;
+        if let Some(m) = imap {
+            assert_eq!(
+                m.len(),
+                input.len(),
+                "imap length must equal input element count"
+            );
+        }
+
+        // Speculator: approximate the whole output map.
+        let cols = im2col(input, &self.geom);
+        let mut y_approx = self.approx.forward_columns(&cols); // [K, positions]
+
+        // Switching map over all output elements.
+        let map = policy.map(&y_approx.reshaped(&[k * positions]));
+
+        // Executor: recompute sensitive elements exactly; count MACs,
+        // skipping zero inputs when an IMap is present (input-sparsity
+        // skipping costs nothing extra because ineffectual values are
+        // exact zeros).
+        let cd = cols.data();
+        let fd = self.filters.data();
+        let mut executor_macs = 0u64;
+        let mut exact = 0u64;
+        for kk in 0..k {
+            let frow = &fd[kk * d..(kk + 1) * d];
+            for p in 0..positions {
+                let idx = kk * positions + p;
+                if !map.is_sensitive(idx) {
+                    continue;
+                }
+                exact += 1;
+                let mut acc = self.bias.data()[kk];
+                let mut macs = 0u64;
+                for (j, &w) in frow.iter().enumerate() {
+                    let v = cd[j * positions + p];
+                    if v != 0.0 {
+                        macs += 1;
+                        acc += w * v;
+                    } else if imap.is_none() {
+                        macs += 1; // without an IMap the PE still issues it
+                    }
+                }
+                executor_macs += macs;
+                y_approx.data_mut()[idx] = acc;
+            }
+        }
+
+        // ReLU + §III-C correction step: predicted-effectual neurons that
+        // die in ReLU flip to insensitive in the stored OMap.
+        let mut omap = map.clone();
+        let mut output = y_approx;
+        for (i, v) in output.data_mut().iter_mut().enumerate() {
+            *v = v.max(0.0);
+            if *v == 0.0 && omap.is_sensitive(i) {
+                omap.correct_to_insensitive(i);
+            }
+        }
+        // Insensitive CONV outputs are set to zero ("the ineffectual
+        // neurons are set to zero, making the OMap become the input
+        // sparsity maps for the next layer", §III-C).
+        for i in 0..omap.len() {
+            if !omap.is_sensitive(i) {
+                output.data_mut()[i] = 0.0;
+            }
+        }
+
+        let channel_workloads: Vec<usize> = (0..k)
+            .map(|kk| {
+                (0..positions)
+                    .filter(|&p| map.is_sensitive(kk * positions + p))
+                    .count()
+            })
+            .collect();
+
+        let kcfg = self.approx.config().reduced_dim;
+        let report = SavingsReport {
+            dense_macs: (k * positions * d) as u64,
+            executor_macs,
+            speculator_macs: (k * kcfg * positions) as u64,
+            speculator_adds: (self.approx.projection().additions_per_projection() * positions)
+                as u64,
+            dense_weight_bytes: (k * d * 2) as u64,
+            // CONV weights are reused across positions; a compute-bound
+            // layer always loads the full (small) filter bank once.
+            executor_weight_bytes: (k * d * 2) as u64,
+            speculator_weight_bytes: self.approx.weight_bytes() as u64,
+            outputs_total: (k * positions) as u64,
+            outputs_exact: exact,
+        };
+
+        DualConvOutput {
+            output: output.reshaped(&[k, oh, ow]),
+            omap,
+            channel_workloads,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_tensor::rng::{self, seeded};
+
+    fn geom() -> ConvGeometry {
+        ConvGeometry {
+            in_channels: 3,
+            in_h: 8,
+            in_w: 8,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        }
+    }
+
+    fn make_layer(seed: u64) -> (DualConvLayer, SmallRng) {
+        let mut r = seeded(seed);
+        let g = geom();
+        let filters = rng::normal(&mut r, &[8, 3, 3, 3], 0.0, 0.25);
+        let bias = rng::normal(&mut r, &[8], 0.0, 0.05);
+        let layer = DualConvLayer::learn(g, &filters, &bias, 16, 500, &mut r);
+        (layer, r)
+    }
+
+    #[test]
+    fn never_switch_matches_dense() {
+        let (layer, mut r) = make_layer(1);
+        let x = rng::normal(&mut r, &[3, 8, 8], 0.0, 1.0);
+        let out = layer.forward(&x, &SwitchingPolicy::never_switch(), None);
+        let dense = layer.forward_dense(&x);
+        for (a, b) in out.output.data().iter().zip(dense.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn switching_saves_macs_with_bounded_error() {
+        let (layer, mut r) = make_layer(2);
+        let x = rng::normal(&mut r, &[3, 8, 8], 0.0, 1.0);
+        let out = layer.forward(&x, &SwitchingPolicy::relu(0.0), None);
+        let dense = layer.forward_dense(&x);
+        let rel = ops::sub(&out.output, &dense).norm_sq() / dense.norm_sq();
+        assert!(
+            out.report.mac_skip_fraction() > 0.2,
+            "skip {}",
+            out.report.mac_skip_fraction()
+        );
+        assert!(rel < 0.2, "error {rel}");
+    }
+
+    #[test]
+    fn corrected_omap_matches_output_zeros() {
+        let (layer, mut r) = make_layer(3);
+        let x = rng::normal(&mut r, &[3, 8, 8], 0.0, 1.0);
+        let out = layer.forward(&x, &SwitchingPolicy::relu(0.0), None);
+        for (i, &v) in out.output.data().iter().enumerate() {
+            if out.omap.is_sensitive(i) {
+                assert!(v > 0.0, "sensitive output {i} is zero");
+            } else {
+                assert_eq!(v, 0.0, "insensitive output {i} non-zero");
+            }
+        }
+    }
+
+    #[test]
+    fn imap_reduces_counted_macs() {
+        let (layer, mut r) = make_layer(4);
+        let mut x = rng::normal(&mut r, &[3, 8, 8], 0.0, 1.0);
+        // zero out half the input (as a previous ReLU would)
+        for (i, v) in x.data_mut().iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let imap = SwitchingMap::from_flags(x.data().iter().map(|&v| v != 0.0).collect());
+        let with = layer.forward(&x, &SwitchingPolicy::relu(0.0), Some(&imap));
+        let without = layer.forward(&x, &SwitchingPolicy::relu(0.0), None);
+        assert!(with.report.executor_macs < without.report.executor_macs);
+        // results identical — skipping zeros is exact
+        for (a, b) in with.output.data().iter().zip(without.output.data()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn channel_workloads_sum_to_sensitive_count() {
+        let (layer, mut r) = make_layer(5);
+        let x = rng::normal(&mut r, &[3, 8, 8], 0.0, 1.0);
+        let out = layer.forward(&x, &SwitchingPolicy::relu(0.0), None);
+        let total: usize = out.channel_workloads.iter().sum();
+        assert_eq!(total as u64, out.report.outputs_exact);
+        assert_eq!(out.channel_workloads.len(), 8);
+    }
+
+    #[test]
+    fn output_shape() {
+        let (layer, mut r) = make_layer(6);
+        let x = rng::normal(&mut r, &[3, 8, 8], 0.0, 1.0);
+        let out = layer.forward(&x, &SwitchingPolicy::relu(0.0), None);
+        assert_eq!(out.output.shape().dims(), &[8, 8, 8]);
+        assert_eq!(out.omap.len(), 8 * 8 * 8);
+    }
+}

@@ -1,0 +1,338 @@
+//! Dual-module execution of a feed-forward layer (Fig. 3).
+//!
+//! The flow is: approximate module → switching map → sparse accurate
+//! GEMV over sensitive rows only → Eq. (2) mix → activation.
+
+use crate::approx::{ApproxConfig, ApproxLinear};
+use crate::distill;
+use crate::metrics::SavingsReport;
+use crate::switching::{SwitchingMap, SwitchingPolicy};
+use duet_nn::Activation;
+use duet_tensor::{ops, Tensor};
+use rand::rngs::SmallRng;
+
+/// Result of one dual-module forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualOutput {
+    /// Post-activation outputs (mixed accurate/approximate, Eq. 2).
+    pub output: Tensor,
+    /// Pre-activation mixed values.
+    pub pre_activation: Tensor,
+    /// The switching map that drove execution.
+    pub map: SwitchingMap,
+    /// Operation / byte accounting.
+    pub report: SavingsReport,
+}
+
+/// A feed-forward layer with its distilled approximate module.
+#[derive(Debug, Clone)]
+pub struct DualModuleLayer {
+    weight: Tensor, // [n, d]
+    bias: Tensor,   // [n]
+    activation: Activation,
+    approx: ApproxLinear,
+}
+
+impl DualModuleLayer {
+    /// Wraps an existing accurate layer and a pre-distilled approximate
+    /// module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn new(weight: Tensor, bias: Tensor, activation: Activation, approx: ApproxLinear) -> Self {
+        assert_eq!(weight.shape().rank(), 2, "weight must be [n, d]");
+        assert_eq!(weight.shape().dim(0), bias.len(), "bias length mismatch");
+        assert_eq!(
+            weight.shape().dim(1),
+            approx.input_dim(),
+            "approximate module input dim mismatch"
+        );
+        assert_eq!(
+            weight.shape().dim(0),
+            approx.output_dim(),
+            "approximate module output dim mismatch"
+        );
+        Self {
+            weight,
+            bias,
+            activation,
+            approx,
+        }
+    }
+
+    /// Distills an approximate module from the accurate layer (standard-
+    /// normal calibration inputs) and wraps both. `reduced_dim` is the
+    /// projection size `k`, `samples` the distillation sample count.
+    pub fn learn(
+        weight: &Tensor,
+        bias: &Tensor,
+        activation: Activation,
+        reduced_dim: usize,
+        samples: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let cfg = ApproxConfig::paper_default(reduced_dim);
+        let approx = distill::distill_linear(weight, bias, cfg, samples, rng);
+        Self::new(weight.clone(), bias.clone(), activation, approx)
+    }
+
+    /// Distills using recorded calibration activations `[s, d]`.
+    pub fn learn_from_activations(
+        weight: &Tensor,
+        bias: &Tensor,
+        activation: Activation,
+        reduced_dim: usize,
+        activations: &Tensor,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let cfg = ApproxConfig::paper_default(reduced_dim);
+        let approx = distill::distill_linear_from_activations(weight, bias, cfg, activations, rng);
+        Self::new(weight.clone(), bias.clone(), activation, approx)
+    }
+
+    /// The accurate weight matrix `[n, d]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// The activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// The approximate module.
+    pub fn approx(&self) -> &ApproxLinear {
+        &self.approx
+    }
+
+    /// Output dimension `n`.
+    pub fn output_dim(&self) -> usize {
+        self.weight.shape().dim(0)
+    }
+
+    /// Input dimension `d`.
+    pub fn input_dim(&self) -> usize {
+        self.weight.shape().dim(1)
+    }
+
+    /// Dense (single-module) reference execution.
+    pub fn forward_dense(&self, x: &Tensor) -> Tensor {
+        self.activation
+            .apply(&ops::affine(&self.weight, x, &self.bias))
+    }
+
+    /// Dual-module forward pass.
+    ///
+    /// The accurate GEMV touches only the weight rows of sensitive
+    /// neurons: for a memory-bound layer this is the §IV-B saving — "only
+    /// the rows related to the accurate output activations need to be
+    /// fetched from DRAM".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input dimension.
+    pub fn forward(&self, x: &Tensor, policy: &SwitchingPolicy) -> DualOutput {
+        let (n, d) = (self.output_dim(), self.input_dim());
+        assert_eq!(x.len(), d, "input length mismatch");
+
+        // 1. Speculator: approximate module.
+        let y_approx = self.approx.forward(x);
+
+        // 2. Switching map.
+        let map = policy.map(&y_approx);
+
+        // 3. Executor: accurate rows for sensitive neurons only. Zero
+        // weights (from a pruned accurate module, §VI) are statically
+        // removed from the MAC-instruction LUT, so they cost neither a
+        // MAC nor a weight fetch — dual-module processing composes with
+        // static compression for free.
+        let mut pre = y_approx.clone();
+        let xd = x.data();
+        let wd = self.weight.data();
+        let mut exact = 0u64;
+        let mut executor_macs = 0u64;
+        let mut weight_words = 0u64;
+        for i in map.sensitive_indices() {
+            let row = &wd[i * d..(i + 1) * d];
+            let mut acc = self.bias.data()[i];
+            for (&w, &v) in row.iter().zip(xd) {
+                if w != 0.0 {
+                    acc += w * v;
+                    executor_macs += 1;
+                    weight_words += 1;
+                }
+            }
+            pre.data_mut()[i] = acc;
+            exact += 1;
+        }
+
+        // 4. Activation on the mixed pre-activations.
+        let output = self.activation.apply(&pre);
+
+        let k = self.approx.config().reduced_dim;
+        let report = SavingsReport {
+            dense_macs: (n * d) as u64,
+            executor_macs,
+            speculator_macs: (n * k) as u64,
+            speculator_adds: self.approx.projection().additions_per_projection() as u64,
+            dense_weight_bytes: (n * d * 2) as u64, // INT16 weights
+            executor_weight_bytes: weight_words * 2,
+            speculator_weight_bytes: self.approx.weight_bytes() as u64,
+            outputs_total: n as u64,
+            outputs_exact: exact,
+        };
+
+        DualOutput {
+            output,
+            pre_activation: pre,
+            map,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_tensor::rng::{self, seeded};
+
+    fn make_layer(act: Activation, seed: u64) -> (DualModuleLayer, SmallRng) {
+        let mut r = seeded(seed);
+        let w = rng::normal(&mut r, &[40, 80], 0.0, 0.2);
+        let b = rng::normal(&mut r, &[40], 0.0, 0.05);
+        let layer = DualModuleLayer::learn(&w, &b, act, 32, 400, &mut r);
+        (layer, r)
+    }
+
+    #[test]
+    fn never_switch_equals_dense() {
+        let (layer, mut r) = make_layer(Activation::Relu, 1);
+        let x = rng::normal(&mut r, &[80], 0.0, 1.0);
+        let out = layer.forward(&x, &SwitchingPolicy::never_switch());
+        let dense = layer.forward_dense(&x);
+        for (a, b) in out.output.data().iter().zip(dense.data()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        assert_eq!(out.report.outputs_exact, 40);
+        assert_eq!(out.report.executor_macs, out.report.dense_macs);
+    }
+
+    #[test]
+    fn sensitive_outputs_are_exact() {
+        let (layer, mut r) = make_layer(Activation::Relu, 2);
+        let x = rng::normal(&mut r, &[80], 0.0, 1.0);
+        let out = layer.forward(&x, &SwitchingPolicy::relu(0.0));
+        let dense_pre = ops::affine(layer.weight(), &x, layer.bias());
+        for i in 0..40 {
+            if out.map.is_sensitive(i) {
+                assert!(
+                    (out.pre_activation.data()[i] - dense_pre.data()[i]).abs() < 1e-5,
+                    "sensitive neuron {i} not exact"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_switching_saves_work_with_small_error() {
+        let (layer, mut r) = make_layer(Activation::Relu, 3);
+        let mut total_err = 0.0f32;
+        let mut total_norm = 0.0f32;
+        let mut saved = 0.0;
+        let trials = 20;
+        for _ in 0..trials {
+            let x = rng::normal(&mut r, &[80], 0.0, 1.0);
+            let out = layer.forward(&x, &SwitchingPolicy::relu(0.0));
+            let dense = layer.forward_dense(&x);
+            total_err += ops::sub(&out.output, &dense).norm_sq();
+            total_norm += dense.norm_sq();
+            saved += out.report.mac_skip_fraction();
+        }
+        let rel = total_err / total_norm.max(1e-9);
+        let avg_saved = saved / trials as f64;
+        assert!(avg_saved > 0.25, "too little saving: {avg_saved}");
+        assert!(rel < 0.15, "too much post-ReLU error: {rel}");
+    }
+
+    #[test]
+    fn tanh_saturation_switching_is_cheap_and_accurate() {
+        // A trained-looking low-rank teacher, scaled so many
+        // pre-activations saturate — the regime Fig. 2 reports for RNNs.
+        let mut r = seeded(4);
+        let u = rng::normal(&mut r, &[32, 6], 0.0, 1.0);
+        let v = rng::normal(&mut r, &[6, 64], 0.0, 0.25);
+        let w = ops::matmul(&u, &v);
+        let b = Tensor::zeros(&[32]);
+        let layer = DualModuleLayer::learn(&w, &b, Activation::Tanh, 32, 600, &mut r);
+        let x = rng::normal(&mut r, &[64], 0.0, 1.0);
+        let out = layer.forward(&x, &SwitchingPolicy::tanh(2.5));
+        let dense = layer.forward_dense(&x);
+        let rel = ops::sub(&out.output, &dense).norm_sq() / dense.norm_sq();
+        assert!(rel < 0.05, "tanh mix error {rel}");
+        assert!(out.report.approximate_fraction() > 0.05);
+    }
+
+    #[test]
+    fn report_row_skipping_reduces_weight_bytes() {
+        let (layer, mut r) = make_layer(Activation::Relu, 5);
+        let x = rng::normal(&mut r, &[80], 0.0, 1.0);
+        let out = layer.forward(&x, &SwitchingPolicy::relu(0.0));
+        let exact = out.report.outputs_exact;
+        assert_eq!(out.report.executor_weight_bytes, exact * 80 * 2);
+        assert!(out.report.weight_access_reduction() > 1.0);
+    }
+
+    #[test]
+    fn extreme_theta_drives_everything_approximate() {
+        let (layer, mut r) = make_layer(Activation::Relu, 6);
+        let x = rng::normal(&mut r, &[80], 0.0, 1.0);
+        let out = layer.forward(&x, &SwitchingPolicy::relu(f32::INFINITY));
+        assert_eq!(out.report.outputs_exact, 0);
+        assert_eq!(out.report.executor_macs, 0);
+    }
+}
+
+#[cfg(test)]
+mod pruning_composition_tests {
+    use super::*;
+    use duet_tensor::rng::{self, seeded};
+
+    /// §VI: "dual-module processing can be combined with other model
+    /// compression techniques by taking compressed layers as accurate
+    /// modules" — zero weights cost neither MACs nor fetches.
+    #[test]
+    fn pruned_accurate_module_compounds_savings() {
+        let mut r = seeded(31);
+        let mut w = rng::normal(&mut r, &[32, 64], 0.0, 0.2);
+        // prune half the weights
+        for (i, v) in w.data_mut().iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::zeros(&[32]);
+        let layer = DualModuleLayer::learn(&w, &b, Activation::Relu, 24, 300, &mut r);
+        let x = rng::normal(&mut r, &[64], 0.0, 1.0);
+
+        // even with every output sensitive, the executor only runs the
+        // non-zero half of the MACs
+        let out = layer.forward(&x, &SwitchingPolicy::never_switch());
+        assert_eq!(out.report.executor_macs, 32 * 32);
+        assert_eq!(out.report.executor_weight_bytes, 32 * 32 * 2);
+        // and the result still matches the dense reference exactly
+        let dense = layer.forward_dense(&x);
+        for (a, b) in out.output.data().iter().zip(dense.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+
+        // with switching on top, savings compound
+        let dual = layer.forward(&x, &SwitchingPolicy::relu(0.0));
+        assert!(dual.report.executor_macs < out.report.executor_macs);
+    }
+}

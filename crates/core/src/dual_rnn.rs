@@ -1,0 +1,514 @@
+//! Dual-module LSTM and GRU cells (§II-B, §IV-B).
+//!
+//! Each recurrent cell gets **two** approximate modules — one for the
+//! input-to-hidden matrix and one for the hidden-to-hidden matrix — whose
+//! outputs are summed into approximate gate pre-activations. Switching is
+//! per gate: sigmoid gates (i, f, o / r, z) use the saturation rule,
+//! tanh gates (g / n) likewise with their own threshold.
+//!
+//! The crucial memory effect (§IV-B): a weight **row** is fetched from
+//! DRAM only when its output neuron is sensitive.
+
+use crate::approx::{ApproxConfig, ApproxLinear};
+use crate::distill;
+use crate::metrics::SavingsReport;
+use crate::switching::{SwitchingMap, SwitchingPolicy};
+use duet_nn::lstm::LstmState;
+use duet_nn::{Activation, GruCell, LstmCell};
+use duet_tensor::{ops, Tensor};
+use rand::rngs::SmallRng;
+
+/// Per-gate thresholds for recurrent switching.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RnnThresholds {
+    /// θ for sigmoid gates (insensitive iff `|y'| > theta_sigmoid`).
+    pub theta_sigmoid: f32,
+    /// θ for tanh gates.
+    pub theta_tanh: f32,
+}
+
+impl RnnThresholds {
+    /// Thresholds that never switch (dense baseline).
+    pub fn never_switch() -> Self {
+        Self {
+            theta_sigmoid: f32::INFINITY,
+            theta_tanh: f32::INFINITY,
+        }
+    }
+}
+
+/// Result of one dual-module recurrent step.
+#[derive(Debug, Clone)]
+pub struct DualRnnStepOutput {
+    /// New hidden state.
+    pub h: Tensor,
+    /// New cell state (LSTM only; zeros for GRU).
+    pub c: Tensor,
+    /// Per-gate switching maps in gate order.
+    pub gate_maps: Vec<SwitchingMap>,
+    /// Operation / byte accounting for the step.
+    pub report: SavingsReport,
+}
+
+/// An LSTM cell with distilled approximate modules.
+#[derive(Debug, Clone)]
+pub struct DualLstmCell {
+    w_ih: Tensor, // [4h, d]
+    w_hh: Tensor, // [4h, h]
+    bias: Tensor, // [4h]
+    approx_ih: ApproxLinear,
+    approx_hh: ApproxLinear,
+    input: usize,
+    hidden: usize,
+}
+
+impl DualLstmCell {
+    /// Distills approximate modules from a trained [`LstmCell`].
+    pub fn learn(cell: &LstmCell, reduced_dim: usize, samples: usize, rng: &mut SmallRng) -> Self {
+        let (d, h) = (cell.input_size(), cell.hidden_size());
+        let w_ih = cell.w_ih.value.clone();
+        let w_hh = cell.w_hh.value.clone();
+        let bias = cell.bias.value.clone();
+
+        let k_ih = reduced_dim.min(d);
+        let k_hh = reduced_dim.min(h);
+        // The input-side student carries the gate bias; the hidden-side
+        // student is purely linear so the sum matches the teacher.
+        let approx_ih = distill::distill_linear(
+            &w_ih,
+            &bias,
+            ApproxConfig::paper_default(k_ih),
+            samples,
+            rng,
+        );
+        let approx_hh = distill::distill_linear(
+            &w_hh,
+            &Tensor::zeros(&[4 * h]),
+            ApproxConfig::paper_default(k_hh),
+            samples,
+            rng,
+        );
+        Self {
+            w_ih,
+            w_hh,
+            bias,
+            approx_ih,
+            approx_hh,
+            input: d,
+            hidden: h,
+        }
+    }
+
+    /// Hidden size `h`.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input size `d`.
+    pub fn input_size(&self) -> usize {
+        self.input
+    }
+
+    /// Approximate gate pre-activations `a' = A_ih(x) + A_hh(h)`.
+    pub fn approx_preactivations(&self, x: &Tensor, h_prev: &Tensor) -> Tensor {
+        let mut a = self.approx_ih.forward(x);
+        let ah = self.approx_hh.forward(h_prev);
+        ops::axpy(1.0, &ah, &mut a);
+        a
+    }
+
+    /// Dense (single-module) reference step.
+    pub fn step_dense(&self, x: &Tensor, state: &LstmState) -> LstmState {
+        let mut a = ops::gemv(&self.w_ih, x);
+        let ah = ops::gemv(&self.w_hh, &state.h);
+        ops::axpy(1.0, &ah, &mut a);
+        ops::axpy(1.0, &self.bias, &mut a);
+        self.combine(&a, state)
+    }
+
+    fn combine(&self, a: &Tensor, state: &LstmState) -> LstmState {
+        let h = self.hidden;
+        let seg = |k: usize| Tensor::from_vec(a.data()[k * h..(k + 1) * h].to_vec(), &[h]);
+        let i = seg(0).map(|v| Activation::Sigmoid.apply_scalar(v));
+        let f = seg(1).map(|v| Activation::Sigmoid.apply_scalar(v));
+        let g = seg(2).map(|v| v.tanh());
+        let o = seg(3).map(|v| Activation::Sigmoid.apply_scalar(v));
+        let c = ops::add(&ops::hadamard(&f, &state.c), &ops::hadamard(&i, &g));
+        let h_new = ops::hadamard(&o, &c.map(|v| v.tanh()));
+        LstmState { h: h_new, c }
+    }
+
+    /// One dual-module step: speculate per gate, recompute sensitive rows
+    /// exactly, mix, and run the cell combine on mixed pre-activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn step(
+        &self,
+        x: &Tensor,
+        state: &LstmState,
+        thresholds: &RnnThresholds,
+    ) -> DualRnnStepOutput {
+        assert_eq!(x.len(), self.input, "input length mismatch");
+        assert_eq!(state.h.len(), self.hidden, "state length mismatch");
+        let h = self.hidden;
+        let d = self.input;
+
+        let mut a = self.approx_preactivations(x, &state.h);
+
+        // Gate policies in i, f, g, o order.
+        let policies = [
+            SwitchingPolicy::sigmoid(thresholds.theta_sigmoid),
+            SwitchingPolicy::sigmoid(thresholds.theta_sigmoid),
+            SwitchingPolicy::tanh(thresholds.theta_tanh),
+            SwitchingPolicy::sigmoid(thresholds.theta_sigmoid),
+        ];
+
+        let mut gate_maps = Vec::with_capacity(4);
+        let mut exact = 0u64;
+        for (gi, policy) in policies.iter().enumerate() {
+            let slice = Tensor::from_vec(a.data()[gi * h..(gi + 1) * h].to_vec(), &[h]);
+            let map = policy.map(&slice);
+            for r in map.sensitive_indices() {
+                let row = gi * h + r;
+                let wrow_ih = &self.w_ih.data()[row * d..(row + 1) * d];
+                let wrow_hh = &self.w_hh.data()[row * h..(row + 1) * h];
+                let mut acc = self.bias.data()[row];
+                for (&w, &v) in wrow_ih.iter().zip(x.data()) {
+                    acc += w * v;
+                }
+                for (&w, &v) in wrow_hh.iter().zip(state.h.data()) {
+                    acc += w * v;
+                }
+                a.data_mut()[row] = acc;
+                exact += 1;
+            }
+            gate_maps.push(map);
+        }
+
+        let next = self.combine(&a, state);
+
+        let row_cost = (d + h) as u64;
+        let n = (4 * h) as u64;
+        let k_ih = self.approx_ih.config().reduced_dim as u64;
+        let k_hh = self.approx_hh.config().reduced_dim as u64;
+        let report = SavingsReport {
+            dense_macs: n * row_cost,
+            executor_macs: exact * row_cost,
+            speculator_macs: n * (k_ih + k_hh),
+            speculator_adds: (self.approx_ih.projection().additions_per_projection()
+                + self.approx_hh.projection().additions_per_projection())
+                as u64,
+            dense_weight_bytes: n * row_cost * 2,
+            executor_weight_bytes: exact * row_cost * 2,
+            speculator_weight_bytes: (self.approx_ih.weight_bytes() + self.approx_hh.weight_bytes())
+                as u64,
+            outputs_total: n,
+            outputs_exact: exact,
+        };
+
+        DualRnnStepOutput {
+            h: next.h,
+            c: next.c,
+            gate_maps,
+            report,
+        }
+    }
+}
+
+/// A GRU cell with distilled approximate modules.
+#[derive(Debug, Clone)]
+pub struct DualGruCell {
+    w_ih: Tensor, // [3h, d]
+    w_hh: Tensor, // [3h, h]
+    b_ih: Tensor, // [3h]
+    b_hh: Tensor, // [3h]
+    approx_ih: ApproxLinear,
+    approx_hh: ApproxLinear,
+    input: usize,
+    hidden: usize,
+}
+
+impl DualGruCell {
+    /// Distills approximate modules from a trained [`GruCell`].
+    pub fn learn(cell: &GruCell, reduced_dim: usize, samples: usize, rng: &mut SmallRng) -> Self {
+        let (d, h) = (cell.input_size(), cell.hidden_size());
+        let w_ih = cell.w_ih.value.clone();
+        let w_hh = cell.w_hh.value.clone();
+        let approx_ih = distill::distill_linear(
+            &w_ih,
+            &cell.b_ih.value,
+            ApproxConfig::paper_default(reduced_dim.min(d)),
+            samples,
+            rng,
+        );
+        let approx_hh = distill::distill_linear(
+            &w_hh,
+            &cell.b_hh.value,
+            ApproxConfig::paper_default(reduced_dim.min(h)),
+            samples,
+            rng,
+        );
+        Self {
+            w_ih,
+            w_hh,
+            b_ih: cell.b_ih.value.clone(),
+            b_hh: cell.b_hh.value.clone(),
+            approx_ih,
+            approx_hh,
+            input: d,
+            hidden: h,
+        }
+    }
+
+    /// Hidden size `h`.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// Dense reference step.
+    pub fn step_dense(&self, x: &Tensor, h_prev: &Tensor) -> Tensor {
+        let ax = {
+            let mut t = ops::gemv(&self.w_ih, x);
+            ops::axpy(1.0, &self.b_ih, &mut t);
+            t
+        };
+        let ah = {
+            let mut t = ops::gemv(&self.w_hh, h_prev);
+            ops::axpy(1.0, &self.b_hh, &mut t);
+            t
+        };
+        self.combine(&ax, &ah, h_prev)
+    }
+
+    fn combine(&self, ax: &Tensor, ah: &Tensor, h_prev: &Tensor) -> Tensor {
+        let h = self.hidden;
+        let seg =
+            |t: &Tensor, k: usize| Tensor::from_vec(t.data()[k * h..(k + 1) * h].to_vec(), &[h]);
+        let r = ops::add(&seg(ax, 0), &seg(ah, 0)).map(|v| Activation::Sigmoid.apply_scalar(v));
+        let z = ops::add(&seg(ax, 1), &seg(ah, 1)).map(|v| Activation::Sigmoid.apply_scalar(v));
+        let n = ops::add(&seg(ax, 2), &ops::hadamard(&r, &seg(ah, 2))).map(|v| v.tanh());
+        let ones = Tensor::full(&[h], 1.0);
+        ops::add(
+            &ops::hadamard(&ops::sub(&ones, &z), &n),
+            &ops::hadamard(&z, h_prev),
+        )
+    }
+
+    /// One dual-module GRU step. Gates r and z use the sigmoid rule; the
+    /// candidate n uses the tanh rule on its (r-gated) approximate
+    /// pre-activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn step(
+        &self,
+        x: &Tensor,
+        h_prev: &Tensor,
+        thresholds: &RnnThresholds,
+    ) -> DualRnnStepOutput {
+        assert_eq!(x.len(), self.input, "input length mismatch");
+        assert_eq!(h_prev.len(), self.hidden, "state length mismatch");
+        let h = self.hidden;
+        let d = self.input;
+
+        let mut ax = self.approx_ih.forward(x);
+        let mut ah = self.approx_hh.forward(h_prev);
+
+        let exact_row =
+            |t: &mut Tensor, w: &Tensor, b: &Tensor, v: &Tensor, row: usize, width: usize| {
+                let wrow = &w.data()[row * width..(row + 1) * width];
+                let mut acc = b.data()[row];
+                for (&wv, &xv) in wrow.iter().zip(v.data()) {
+                    acc += wv * xv;
+                }
+                t.data_mut()[row] = acc;
+            };
+
+        let mut exact = 0u64;
+        let mut gate_maps = Vec::with_capacity(3);
+
+        // r and z gates: switch on the summed approximate pre-activation.
+        for gi in 0..2 {
+            let policy = SwitchingPolicy::sigmoid(thresholds.theta_sigmoid);
+            let slice = Tensor::from_vec(
+                (0..h)
+                    .map(|i| ax.data()[gi * h + i] + ah.data()[gi * h + i])
+                    .collect(),
+                &[h],
+            );
+            let map = policy.map(&slice);
+            for rr in map.sensitive_indices() {
+                let row = gi * h + rr;
+                exact_row(&mut ax, &self.w_ih, &self.b_ih, x, row, d);
+                exact_row(&mut ah, &self.w_hh, &self.b_hh, h_prev, row, h);
+                exact += 1;
+            }
+            gate_maps.push(map);
+        }
+
+        // Candidate gate: approximate pre-activation includes the r-gating
+        // on the hidden part (r is already mixed/accurate where needed).
+        let r_gate = Tensor::from_vec(
+            (0..h)
+                .map(|i| Activation::Sigmoid.apply_scalar(ax.data()[i] + ah.data()[i]))
+                .collect(),
+            &[h],
+        );
+        let n_pre_approx = Tensor::from_vec(
+            (0..h)
+                .map(|i| ax.data()[2 * h + i] + r_gate.data()[i] * ah.data()[2 * h + i])
+                .collect(),
+            &[h],
+        );
+        let n_map = SwitchingPolicy::tanh(thresholds.theta_tanh).map(&n_pre_approx);
+        for rr in n_map.sensitive_indices() {
+            let row = 2 * h + rr;
+            exact_row(&mut ax, &self.w_ih, &self.b_ih, x, row, d);
+            exact_row(&mut ah, &self.w_hh, &self.b_hh, h_prev, row, h);
+            exact += 1;
+        }
+        gate_maps.push(n_map);
+
+        let h_new = self.combine(&ax, &ah, h_prev);
+
+        let row_cost = (d + h) as u64;
+        let n_out = (3 * h) as u64;
+        let k_ih = self.approx_ih.config().reduced_dim as u64;
+        let k_hh = self.approx_hh.config().reduced_dim as u64;
+        let report = SavingsReport {
+            dense_macs: n_out * row_cost,
+            executor_macs: exact * row_cost,
+            speculator_macs: n_out * (k_ih + k_hh),
+            speculator_adds: (self.approx_ih.projection().additions_per_projection()
+                + self.approx_hh.projection().additions_per_projection())
+                as u64,
+            dense_weight_bytes: n_out * row_cost * 2,
+            executor_weight_bytes: exact * row_cost * 2,
+            speculator_weight_bytes: (self.approx_ih.weight_bytes() + self.approx_hh.weight_bytes())
+                as u64,
+            outputs_total: n_out,
+            outputs_exact: exact,
+        };
+
+        DualRnnStepOutput {
+            h: h_new,
+            c: Tensor::zeros(&[h]),
+            gate_maps,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_tensor::rng::{self, seeded};
+
+    #[test]
+    fn lstm_never_switch_matches_dense() {
+        let mut r = seeded(1);
+        let cell = LstmCell::new(16, 12, &mut r);
+        let dual = DualLstmCell::learn(&cell, 12, 300, &mut r);
+        let x = rng::normal(&mut r, &[16], 0.0, 1.0);
+        let state = LstmState::zeros(12);
+        let out = dual.step(&x, &state, &RnnThresholds::never_switch());
+        let dense = dual.step_dense(&x, &state);
+        for (a, b) in out.h.data().iter().zip(dense.h.data()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        assert_eq!(out.report.outputs_exact, 48);
+    }
+
+    #[test]
+    fn lstm_dense_step_matches_nn_cell() {
+        let mut r = seeded(2);
+        let cell = LstmCell::new(8, 6, &mut r);
+        let dual = DualLstmCell::learn(&cell, 6, 200, &mut r);
+        let x = rng::normal(&mut r, &[8], 0.0, 1.0);
+        let state = LstmState::zeros(6);
+        let a = dual.step_dense(&x, &state);
+        let (b, _) = cell.step(&x, &state);
+        for (p, q) in a.h.data().iter().zip(b.h.data()) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn lstm_switching_saves_rows_with_small_state_error() {
+        let mut r = seeded(3);
+        let mut cell = LstmCell::new(32, 32, &mut r);
+        // Scale weights up to emulate a trained LSTM whose gates saturate
+        // (Fig. 2 shows large saturated fractions in trained RNNs).
+        cell.w_ih.value.map_inplace(|v| v * 4.0);
+        cell.w_hh.value.map_inplace(|v| v * 4.0);
+        let dual = DualLstmCell::learn(&cell, 24, 500, &mut r);
+        let thresholds = RnnThresholds {
+            theta_sigmoid: 2.5,
+            theta_tanh: 2.0,
+        };
+        let mut state = LstmState::zeros(32);
+        let mut dense_state = LstmState::zeros(32);
+        let mut total = SavingsReport::new();
+        for _ in 0..5 {
+            let x = rng::normal(&mut r, &[32], 0.0, 1.5);
+            let out = dual.step(&x, &state, &thresholds);
+            dense_state = dual.step_dense(&x, &dense_state);
+            state = LstmState {
+                h: out.h.clone(),
+                c: out.c.clone(),
+            };
+            total += out.report;
+        }
+        // rows skipped → weight fetches reduced
+        assert!(total.weight_access_reduction() >= 1.0);
+        // states stay close to the dense trajectory
+        let err = ops::sub(&state.h, &dense_state.h).norm_sq();
+        let norm = dense_state.h.norm_sq().max(1e-6);
+        assert!(err / norm < 0.5, "trajectory divergence {}", err / norm);
+    }
+
+    #[test]
+    fn gru_never_switch_matches_dense() {
+        let mut r = seeded(4);
+        let cell = GruCell::new(10, 8, &mut r);
+        let dual = DualGruCell::learn(&cell, 8, 300, &mut r);
+        let x = rng::normal(&mut r, &[10], 0.0, 1.0);
+        let h_prev = rng::normal(&mut r, &[8], 0.0, 0.5);
+        let out = dual.step(&x, &h_prev, &RnnThresholds::never_switch());
+        let dense = dual.step_dense(&x, &h_prev);
+        for (a, b) in out.h.data().iter().zip(dense.data()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gru_dense_step_matches_nn_cell() {
+        let mut r = seeded(5);
+        let cell = GruCell::new(7, 5, &mut r);
+        let dual = DualGruCell::learn(&cell, 5, 200, &mut r);
+        let x = rng::normal(&mut r, &[7], 0.0, 1.0);
+        let h_prev = rng::normal(&mut r, &[5], 0.0, 0.5);
+        let a = dual.step_dense(&x, &h_prev);
+        let (b, _) = cell.step(&x, &h_prev);
+        for (p, q) in a.data().iter().zip(b.data()) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gate_maps_have_gate_lengths() {
+        let mut r = seeded(6);
+        let cell = LstmCell::new(8, 6, &mut r);
+        let dual = DualLstmCell::learn(&cell, 6, 150, &mut r);
+        let out = dual.step(
+            &Tensor::zeros(&[8]),
+            &LstmState::zeros(6),
+            &RnnThresholds::never_switch(),
+        );
+        assert_eq!(out.gate_maps.len(), 4);
+        assert!(out.gate_maps.iter().all(|m| m.len() == 6));
+    }
+}

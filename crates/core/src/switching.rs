@@ -1,0 +1,274 @@
+//! Threshold-based dynamic switching (Eq. 2–3).
+//!
+//! Given the approximate pre-activations `y'`, the switching map `m`
+//! marks which neurons are **sensitive** (`m_i = 1`: must be recomputed by
+//! the Executor) and which are **insensitive** (`m_i = 0`: keep the cheap
+//! approximate value):
+//!
+//! * ReLU: `y'_i < θ  ⇒  m_i = 0` (deep negative pre-activations die in
+//!   ReLU anyway),
+//! * sigmoid / tanh: `|y'_i| > θ  ⇒  m_i = 0` (saturation regions).
+
+use duet_nn::Activation;
+use duet_tensor::Tensor;
+
+/// A switching decision rule: activation type + threshold θ.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SwitchingPolicy {
+    /// The activation whose insensitive region the rule exploits.
+    pub activation: Activation,
+    /// Threshold θ (tuned offline; see [`crate::tuning`]).
+    pub theta: f32,
+}
+
+impl SwitchingPolicy {
+    /// ReLU policy: outputs with `y' < theta` are insensitive.
+    pub fn relu(theta: f32) -> Self {
+        Self {
+            activation: Activation::Relu,
+            theta,
+        }
+    }
+
+    /// Sigmoid policy: outputs with `|y'| > theta` are insensitive.
+    pub fn sigmoid(theta: f32) -> Self {
+        Self {
+            activation: Activation::Sigmoid,
+            theta,
+        }
+    }
+
+    /// Tanh policy: outputs with `|y'| > theta` are insensitive.
+    pub fn tanh(theta: f32) -> Self {
+        Self {
+            activation: Activation::Tanh,
+            theta,
+        }
+    }
+
+    /// A policy that never switches (every output sensitive) — the
+    /// single-module baseline.
+    pub fn never_switch() -> Self {
+        Self {
+            activation: Activation::Identity,
+            theta: 0.0,
+        }
+    }
+
+    /// Whether a single approximate pre-activation is sensitive (must be
+    /// recomputed exactly).
+    pub fn is_sensitive(&self, y_approx: f32) -> bool {
+        !self.activation.is_insensitive(y_approx, self.theta)
+    }
+
+    /// Generates the switching map for a vector of approximate
+    /// pre-activations.
+    pub fn map(&self, y_approx: &Tensor) -> SwitchingMap {
+        SwitchingMap {
+            sensitive: y_approx
+                .data()
+                .iter()
+                .map(|&y| self.is_sensitive(y))
+                .collect(),
+        }
+    }
+}
+
+/// A binary switching map: `sensitive[i] == true` means neuron *i* needs
+/// the Executor (the paper's `m_i = 1`).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SwitchingMap {
+    sensitive: Vec<bool>,
+}
+
+impl SwitchingMap {
+    /// Builds a map from explicit flags.
+    pub fn from_flags(sensitive: Vec<bool>) -> Self {
+        Self { sensitive }
+    }
+
+    /// An all-sensitive map of length `n` (dense execution).
+    pub fn all_sensitive(n: usize) -> Self {
+        Self {
+            sensitive: vec![true; n],
+        }
+    }
+
+    /// Number of neurons covered.
+    pub fn len(&self) -> usize {
+        self.sensitive.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sensitive.is_empty()
+    }
+
+    /// Whether neuron `i` is sensitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn is_sensitive(&self, i: usize) -> bool {
+        self.sensitive[i]
+    }
+
+    /// The raw flags.
+    pub fn flags(&self) -> &[bool] {
+        &self.sensitive
+    }
+
+    /// Count of sensitive neurons (Executor workload).
+    pub fn sensitive_count(&self) -> usize {
+        self.sensitive.iter().filter(|&&s| s).count()
+    }
+
+    /// Fraction of insensitive neurons — the computation-saving
+    /// opportunity.
+    pub fn insensitive_fraction(&self) -> f64 {
+        if self.sensitive.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.sensitive_count() as f64 / self.len() as f64
+    }
+
+    /// Iterator over sensitive indices.
+    pub fn sensitive_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.sensitive
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i))
+    }
+
+    /// Marks a neuron insensitive — the §III-C correction step: "if a
+    /// predicted effectual neuron turns out to be ineffectual after ReLU,
+    /// we will update the switching index of that neuron from 1 to 0".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn correct_to_insensitive(&mut self, i: usize) {
+        self.sensitive[i] = false;
+    }
+
+    /// Mixes accurate and approximate pre-activations per Eq. (2):
+    /// `y = y ⊙ m + y' ⊙ (1 − m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree.
+    pub fn mix(&self, accurate: &Tensor, approximate: &Tensor) -> Tensor {
+        assert_eq!(accurate.len(), self.len(), "accurate length mismatch");
+        assert_eq!(approximate.len(), self.len(), "approximate length mismatch");
+        Tensor::from_vec(
+            self.sensitive
+                .iter()
+                .zip(accurate.data().iter().zip(approximate.data()))
+                .map(|(&s, (&a, &ap))| if s { a } else { ap })
+                .collect(),
+            accurate.shape().dims(),
+        )
+    }
+
+    /// Packs the map into bits (one bit per neuron, little-endian within a
+    /// byte) — the format stored in the GLB; used for memory-traffic
+    /// accounting.
+    pub fn packed_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len().div_ceil(8)];
+        for (i, &s) in self.sensitive.iter().enumerate() {
+            if s {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Unpacks a map of known length from packed bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is too short for `len`.
+    pub fn from_packed(bytes: &[u8], len: usize) -> Self {
+        assert!(bytes.len() * 8 >= len, "packed buffer too short");
+        Self {
+            sensitive: (0..len).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_rule_matches_eq3() {
+        let p = SwitchingPolicy::relu(0.0);
+        let y = Tensor::from_vec(vec![-1.0, -0.01, 0.0, 0.5], &[4]);
+        let m = p.map(&y);
+        assert_eq!(m.flags(), &[false, false, true, true]);
+    }
+
+    #[test]
+    fn sigmoid_rule_matches_eq3() {
+        let p = SwitchingPolicy::sigmoid(3.0);
+        let y = Tensor::from_vec(vec![-5.0, -1.0, 0.0, 2.9, 3.1], &[5]);
+        let m = p.map(&y);
+        assert_eq!(m.flags(), &[false, true, true, true, false]);
+    }
+
+    #[test]
+    fn never_switch_keeps_everything_sensitive() {
+        let p = SwitchingPolicy::never_switch();
+        let y = Tensor::from_vec(vec![-100.0, 0.0, 100.0], &[3]);
+        assert_eq!(p.map(&y).sensitive_count(), 3);
+    }
+
+    #[test]
+    fn mix_selects_by_flag() {
+        let m = SwitchingMap::from_flags(vec![true, false, true]);
+        let acc = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let app = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        assert_eq!(m.mix(&acc, &app).data(), &[1.0, 20.0, 3.0]);
+    }
+
+    #[test]
+    fn counting_and_fraction() {
+        let m = SwitchingMap::from_flags(vec![true, false, false, false]);
+        assert_eq!(m.sensitive_count(), 1);
+        assert!((m.insensitive_fraction() - 0.75).abs() < 1e-9);
+        assert_eq!(m.sensitive_indices().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn correction_step() {
+        let mut m = SwitchingMap::from_flags(vec![true, true]);
+        m.correct_to_insensitive(0);
+        assert_eq!(m.flags(), &[false, true]);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let flags: Vec<bool> = (0..19).map(|i| i % 3 == 0).collect();
+        let m = SwitchingMap::from_flags(flags.clone());
+        let packed = m.packed_bytes();
+        assert_eq!(packed.len(), 3);
+        let back = SwitchingMap::from_packed(&packed, 19);
+        assert_eq!(back.flags(), &flags[..]);
+    }
+
+    #[test]
+    fn higher_relu_theta_means_more_insensitive() {
+        let y = Tensor::from_fn(&[100], |i| i as f32 / 50.0 - 1.0); // [-1, 1)
+        let low = SwitchingPolicy::relu(-0.5).map(&y).insensitive_fraction();
+        let high = SwitchingPolicy::relu(0.5).map(&y).insensitive_fraction();
+        assert!(high > low);
+    }
+
+    #[test]
+    fn lower_tanh_theta_means_more_insensitive() {
+        let y = Tensor::from_fn(&[100], |i| i as f32 / 10.0 - 5.0); // [-5, 5)
+        let tight = SwitchingPolicy::tanh(1.0).map(&y).insensitive_fraction();
+        let loose = SwitchingPolicy::tanh(4.0).map(&y).insensitive_fraction();
+        assert!(tight > loose);
+    }
+}

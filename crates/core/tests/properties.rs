@@ -1,0 +1,115 @@
+//! Property-based tests of the dual-module algorithm's invariants.
+
+use duet_core::{distill, ApproxConfig, DualModuleLayer, SwitchingPolicy, TernaryProjection};
+use duet_nn::Activation;
+use duet_tensor::{ops, rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The ternary projection is linear: P(αx + βy) = αPx + βPy.
+    #[test]
+    fn projection_linearity(seed in 0u64..1000, alpha in -3.0f32..3.0, beta in -3.0f32..3.0) {
+        let mut r = rng::seeded(seed);
+        let p = TernaryProjection::sample(24, 8, &mut r);
+        let x = rng::normal(&mut r, &[24], 0.0, 1.0);
+        let y = rng::normal(&mut r, &[24], 0.0, 1.0);
+        let combo = ops::add(&ops::scale(&x, alpha), &ops::scale(&y, beta));
+        let lhs = p.project(&combo);
+        let rhs = ops::add(
+            &ops::scale(&p.project(&x), alpha),
+            &ops::scale(&p.project(&y), beta),
+        );
+        for (a, b) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    /// Projection entries are exactly ternary and the density is near 1/3
+    /// for any seed.
+    #[test]
+    fn projection_structure(seed in 0u64..1000) {
+        let mut r = rng::seeded(seed);
+        let p = TernaryProjection::sample(120, 30, &mut r);
+        prop_assert!(p.entries().iter().all(|&e| (-1..=1).contains(&e)));
+        let d = p.density();
+        prop_assert!((0.2..0.5).contains(&d), "density {d}");
+    }
+
+    /// Distillation of a rank-deficient teacher on matching calibration
+    /// data never fails and never produces NaNs (the ridge keeps the
+    /// normal equations positive definite).
+    #[test]
+    fn distillation_numerically_robust(seed in 0u64..300, latent in 1usize..6) {
+        let mut r = rng::seeded(seed);
+        let d = 16;
+        let basis = rng::normal(&mut r, &[d, latent], 0.0, 1.0);
+        let mut acts = Tensor::zeros(&[40, d]);
+        for i in 0..40 {
+            let z = rng::normal(&mut r, &[latent], 0.0, 1.0);
+            let x = ops::gemv(&basis, &z);
+            acts.row_mut(i).copy_from_slice(x.data());
+        }
+        let w = rng::normal(&mut r, &[8, d], 0.0, 0.3);
+        let b = Tensor::zeros(&[8]);
+        let student = distill::distill_linear_from_activations(
+            &w,
+            &b,
+            ApproxConfig::paper_default(8),
+            &acts,
+            &mut r,
+        );
+        let out = student.forward(&Tensor::from_vec(acts.row(0).to_vec(), &[d]));
+        prop_assert!(out.data().iter().all(|v| v.is_finite()));
+    }
+
+    /// Dual-layer guarantee: at θ = −∞ (ReLU) the output matches the
+    /// dense reference bit-for-bit in the sensitive sense, for any layer.
+    #[test]
+    fn conservative_threshold_is_lossless(seed in 0u64..200) {
+        let mut r = rng::seeded(seed);
+        let w = rng::normal(&mut r, &[10, 14], 0.0, 0.4);
+        let b = rng::normal(&mut r, &[10], 0.0, 0.1);
+        let layer = DualModuleLayer::learn(&w, &b, Activation::Relu, 7, 60, &mut r);
+        let x = rng::normal(&mut r, &[14], 0.0, 1.0);
+        let out = layer.forward(&x, &SwitchingPolicy::relu(f32::NEG_INFINITY));
+        let dense = layer.forward_dense(&x);
+        for (a, b) in out.output.data().iter().zip(dense.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        prop_assert_eq!(out.report.outputs_exact, 10);
+    }
+
+    /// Savings accounting is internally consistent for any threshold:
+    /// executor MACs ≤ dense MACs, exact outputs ≤ total outputs, and
+    /// the approximate fraction matches the map.
+    #[test]
+    fn report_consistency(seed in 0u64..200, theta in -3.0f32..3.0) {
+        let mut r = rng::seeded(seed);
+        let w = rng::normal(&mut r, &[12, 20], 0.0, 0.3);
+        let b = Tensor::zeros(&[12]);
+        let layer = DualModuleLayer::learn(&w, &b, Activation::Relu, 10, 80, &mut r);
+        let x = rng::normal(&mut r, &[20], 0.0, 1.0);
+        let out = layer.forward(&x, &SwitchingPolicy::relu(theta));
+        prop_assert!(out.report.executor_macs <= out.report.dense_macs);
+        prop_assert!(out.report.outputs_exact <= out.report.outputs_total);
+        let frac = out.report.approximate_fraction();
+        let map_frac = out.map.insensitive_fraction();
+        prop_assert!((frac - map_frac).abs() < 1e-9);
+        prop_assert!(out.report.flops_reduction() >= 0.0);
+    }
+
+    /// Sigmoid and tanh share the |y| > θ rule; their maps agree for the
+    /// same threshold.
+    #[test]
+    fn saturation_rules_agree(
+        values in proptest::collection::vec(-6.0f32..6.0, 1..64),
+        theta in 0.5f32..4.0,
+    ) {
+        let y = Tensor::from_vec(values.clone(), &[values.len()]);
+        let sig = SwitchingPolicy::sigmoid(theta).map(&y);
+        let tan = SwitchingPolicy::tanh(theta).map(&y);
+        prop_assert_eq!(sig.flags(), tan.flags());
+    }
+}

@@ -1,0 +1,210 @@
+//! Non-linear activation functions and their noise-sensitivity structure.
+//!
+//! The paper's premise (Fig. 1): ReLU is insensitive to pre-activation
+//! noise for inputs below zero; sigmoid and tanh are insensitive in their
+//! saturation regions. [`Activation::noise_gain`] quantifies this and is
+//! used by the Fig. 1 reproduction.
+
+use duet_tensor::Tensor;
+
+/// Activation functions used by the paper's benchmark models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit — CNN workhorse.
+    Relu,
+    /// Logistic sigmoid — LSTM/GRU gates.
+    Sigmoid,
+    /// Hyperbolic tangent — LSTM/GRU candidate states.
+    Tanh,
+    /// Identity (no non-linearity).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the function to a scalar.
+    pub fn apply_scalar(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Applies the function element-wise.
+    pub fn apply(self, x: &Tensor) -> Tensor {
+        x.map(|v| self.apply_scalar(v))
+    }
+
+    /// Derivative at pre-activation `x`.
+    pub fn derivative_scalar(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => {
+                let s = self.apply_scalar(x);
+                s * (1.0 - s)
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Element-wise derivative at pre-activations `x`.
+    pub fn derivative(self, x: &Tensor) -> Tensor {
+        x.map(|v| self.derivative_scalar(v))
+    }
+
+    /// Post-activation error produced by a pre-activation perturbation:
+    /// `|φ(x + eps) − φ(x)|`.
+    ///
+    /// This is the quantity Fig. 1 plots: near zero it approaches `|eps|`
+    /// for all three functions; in the insensitive regions (negative side
+    /// of ReLU, saturation tails of sigmoid/tanh) it collapses toward 0.
+    pub fn noise_gain(self, x: f32, eps: f32) -> f32 {
+        (self.apply_scalar(x + eps) - self.apply_scalar(x)).abs()
+    }
+
+    /// Whether a *pre-activation* value lies in the paper's insensitive
+    /// region for this function, given switching threshold `theta`
+    /// (Eq. 3): ReLU ⇒ `x < theta`; sigmoid/tanh ⇒ `|x| > theta`;
+    /// identity has no insensitive region.
+    pub fn is_insensitive(self, x: f32, theta: f32) -> bool {
+        match self {
+            Activation::Relu => x < theta,
+            Activation::Sigmoid | Activation::Tanh => x.abs() > theta,
+            Activation::Identity => false,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Relu => "relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Identity => "identity",
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Row-wise softmax over a `[B, n]` tensor of logits, numerically
+/// stabilized.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "softmax expects [B, n] logits");
+    let (b, n) = (logits.shape().dim(0), logits.shape().dim(1));
+    let mut out = logits.clone();
+    for i in 0..b {
+        let row = &mut out.data_mut()[i * n..(i + 1) * n];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_values() {
+        assert_eq!(Activation::Relu.apply_scalar(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply_scalar(3.0), 3.0);
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        let s = Activation::Sigmoid;
+        for &x in &[0.0f32, 1.0, 2.5, -4.0] {
+            assert!((s.apply_scalar(x) + s.apply_scalar(-x) - 1.0).abs() < 1e-6);
+        }
+        assert!((s.apply_scalar(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn tanh_odd() {
+        let t = Activation::Tanh;
+        for &x in &[0.5f32, 1.0, 3.0] {
+            assert!((t.apply_scalar(x) + t.apply_scalar(-x)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference() {
+        let eps = 1e-3f32;
+        for act in [Activation::Relu, Activation::Sigmoid, Activation::Tanh] {
+            for &x in &[-2.0f32, -0.5, 0.7, 1.5, 3.0] {
+                let fd = (act.apply_scalar(x + eps) - act.apply_scalar(x - eps)) / (2.0 * eps);
+                let an = act.derivative_scalar(x);
+                assert!((fd - an).abs() < 1e-2, "{act} at {x}: fd {fd} vs {an}");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_gain_collapses_in_insensitive_regions() {
+        // Fig. 1: deep in the insensitive regions a pre-activation
+        // perturbation barely changes the output.
+        let eps = 0.1;
+        assert!(Activation::Relu.noise_gain(-3.0, eps) == 0.0);
+        assert!(Activation::Relu.noise_gain(1.0, eps) > 0.09);
+        assert!(Activation::Sigmoid.noise_gain(6.0, eps) < 0.001);
+        assert!(Activation::Sigmoid.noise_gain(0.0, eps) > 0.02);
+        assert!(Activation::Tanh.noise_gain(4.0, eps) < 0.001);
+        assert!(Activation::Tanh.noise_gain(0.0, eps) > 0.09);
+    }
+
+    #[test]
+    fn insensitive_region_rules() {
+        assert!(Activation::Relu.is_insensitive(-0.1, 0.0));
+        assert!(!Activation::Relu.is_insensitive(0.1, 0.0));
+        assert!(Activation::Sigmoid.is_insensitive(5.0, 3.0));
+        assert!(Activation::Sigmoid.is_insensitive(-5.0, 3.0));
+        assert!(!Activation::Tanh.is_insensitive(1.0, 3.0));
+        assert!(!Activation::Identity.is_insensitive(100.0, 0.0));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = softmax(&logits);
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(i).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
+        let p = softmax(&logits);
+        assert!(p.data().iter().all(|v| v.is_finite()));
+        assert!(p.at(&[0, 1]) > p.at(&[0, 0]));
+    }
+}

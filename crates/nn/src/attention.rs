@@ -1,0 +1,258 @@
+//! Scaled dot-product attention with backprop.
+//!
+//! The GNMT-class models the paper evaluates on machine translation
+//! attend over encoder states from each decoder step. This is the
+//! minimal single-head form: `ctx = Σ_t softmax(q·k_t / √h) v_t`.
+
+use duet_tensor::{ops, Tensor};
+
+/// Cache from an attention forward pass, needed for backprop.
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    query: Tensor,
+    keys: Tensor,    // [T, h]
+    values: Tensor,  // [T, h]
+    weights: Tensor, // softmax weights [T]
+}
+
+impl AttentionCache {
+    /// The attention weights (useful for inspection/visualization).
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+}
+
+/// Forward pass: returns `(context [h], cache)`.
+///
+/// # Panics
+///
+/// Panics if `keys`/`values` are not `[T, h]` matching the query length.
+pub fn attend(query: &Tensor, keys: &Tensor, values: &Tensor) -> (Tensor, AttentionCache) {
+    assert_eq!(keys.shape().rank(), 2, "keys must be [T, h]");
+    assert_eq!(values.shape().rank(), 2, "values must be [T, h]");
+    let (t, h) = (keys.shape().dim(0), keys.shape().dim(1));
+    assert_eq!(values.shape().dims(), &[t, h], "keys/values shape mismatch");
+    assert_eq!(query.len(), h, "query length mismatch");
+
+    let scale = 1.0 / (h as f32).sqrt();
+    // scores
+    let mut scores = Tensor::zeros(&[t]);
+    for ti in 0..t {
+        let k = &keys.data()[ti * h..(ti + 1) * h];
+        let mut s = 0.0f32;
+        for (qv, kv) in query.data().iter().zip(k) {
+            s += qv * kv;
+        }
+        scores.data_mut()[ti] = s * scale;
+    }
+    // softmax
+    let max = scores
+        .data()
+        .iter()
+        .cloned()
+        .fold(f32::NEG_INFINITY, f32::max);
+    let mut weights = scores.map(|s| (s - max).exp());
+    let sum = weights.sum();
+    weights.map_inplace(|w| w / sum);
+    // context
+    let mut ctx = Tensor::zeros(&[h]);
+    for ti in 0..t {
+        let a = weights.data()[ti];
+        let v = &values.data()[ti * h..(ti + 1) * h];
+        for (c, &vv) in ctx.data_mut().iter_mut().zip(v) {
+            *c += a * vv;
+        }
+    }
+    let cache = AttentionCache {
+        query: query.clone(),
+        keys: keys.clone(),
+        values: values.clone(),
+        weights,
+    };
+    (ctx, cache)
+}
+
+/// Gradients from an attention backward pass.
+#[derive(Debug, Clone)]
+pub struct AttentionGrads {
+    /// Gradient w.r.t. the query `[h]`.
+    pub d_query: Tensor,
+    /// Gradient w.r.t. the keys `[T, h]`.
+    pub d_keys: Tensor,
+    /// Gradient w.r.t. the values `[T, h]`.
+    pub d_values: Tensor,
+}
+
+/// Backward pass given the gradient w.r.t. the context vector.
+///
+/// # Panics
+///
+/// Panics if `d_ctx` length mismatches the cache.
+pub fn attend_backward(cache: &AttentionCache, d_ctx: &Tensor) -> AttentionGrads {
+    let (t, h) = (cache.keys.shape().dim(0), cache.keys.shape().dim(1));
+    assert_eq!(d_ctx.len(), h, "context gradient length mismatch");
+    let scale = 1.0 / (h as f32).sqrt();
+
+    // dv_t = a_t · dctx ; da_t = dctx · v_t
+    let mut d_values = Tensor::zeros(&[t, h]);
+    let mut d_weights = Tensor::zeros(&[t]);
+    for ti in 0..t {
+        let a = cache.weights.data()[ti];
+        let v = &cache.values.data()[ti * h..(ti + 1) * h];
+        let dv = &mut d_values.data_mut()[ti * h..(ti + 1) * h];
+        let mut da = 0.0f32;
+        for ((d, &g), &vv) in dv.iter_mut().zip(d_ctx.data()).zip(v) {
+            *d = a * g;
+            da += g * vv;
+        }
+        d_weights.data_mut()[ti] = da;
+    }
+
+    // softmax jacobian: ds_t = a_t (da_t − Σ_j a_j da_j)
+    let dot: f32 = cache
+        .weights
+        .data()
+        .iter()
+        .zip(d_weights.data())
+        .map(|(&a, &da)| a * da)
+        .sum();
+    let d_scores = Tensor::from_vec(
+        cache
+            .weights
+            .data()
+            .iter()
+            .zip(d_weights.data())
+            .map(|(&a, &da)| a * (da - dot))
+            .collect(),
+        &[t],
+    );
+
+    // dq = Σ ds_t k_t · scale ; dk_t = ds_t q · scale
+    let mut d_query = Tensor::zeros(&[h]);
+    let mut d_keys = Tensor::zeros(&[t, h]);
+    for ti in 0..t {
+        let ds = d_scores.data()[ti] * scale;
+        let k = &cache.keys.data()[ti * h..(ti + 1) * h];
+        for (dq, &kv) in d_query.data_mut().iter_mut().zip(k) {
+            *dq += ds * kv;
+        }
+        let dk = &mut d_keys.data_mut()[ti * h..(ti + 1) * h];
+        for (d, &qv) in dk.iter_mut().zip(cache.query.data()) {
+            *d += ds * qv;
+        }
+    }
+
+    AttentionGrads {
+        d_query,
+        d_keys,
+        d_values,
+    }
+}
+
+/// Convenience: attention where keys and values are the same tensor
+/// (encoder states), merging their gradients.
+pub fn attend_backward_self(cache: &AttentionCache, d_ctx: &Tensor) -> (Tensor, Tensor) {
+    let g = attend_backward(cache, d_ctx);
+    (g.d_query, ops::add(&g.d_keys, &g.d_values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_tensor::rng::{self, seeded};
+
+    #[test]
+    fn weights_form_distribution() {
+        let mut r = seeded(1);
+        let q = rng::normal(&mut r, &[8], 0.0, 1.0);
+        let keys = rng::normal(&mut r, &[5, 8], 0.0, 1.0);
+        let vals = rng::normal(&mut r, &[5, 8], 0.0, 1.0);
+        let (_, cache) = attend(&q, &keys, &vals);
+        let s: f32 = cache.weights().data().iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(cache.weights().data().iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn attends_to_matching_key() {
+        // a query aligned with one key should put most mass there
+        let h = 8;
+        let mut keys = Tensor::zeros(&[3, h]);
+        keys.data_mut()[0] = 10.0; // key 0 ~ e0
+        keys.data_mut()[h + 1] = 10.0; // key 1 ~ e1
+        keys.data_mut()[2 * h + 2] = 10.0; // key 2 ~ e2
+        let mut q = Tensor::zeros(&[h]);
+        q.data_mut()[1] = 10.0; // aligned with key 1
+        let vals = Tensor::from_fn(&[3, h], |i| (i / h) as f32); // value t = t everywhere
+        let (ctx, cache) = attend(&q, &keys, &vals);
+        assert!(cache.weights().data()[1] > 0.95);
+        assert!((ctx.data()[0] - 1.0).abs() < 0.1); // ≈ value of key 1
+    }
+
+    #[test]
+    fn gradient_check_query_keys_values() {
+        let mut r = seeded(2);
+        let q = rng::normal(&mut r, &[6], 0.0, 1.0);
+        let keys = rng::normal(&mut r, &[4, 6], 0.0, 1.0);
+        let vals = rng::normal(&mut r, &[4, 6], 0.0, 1.0);
+
+        // loss = 0.5 ‖ctx‖²
+        let (ctx, cache) = attend(&q, &keys, &vals);
+        let grads = attend_backward(&cache, &ctx);
+
+        let loss = |q: &Tensor, k: &Tensor, v: &Tensor| -> f32 {
+            let (c, _) = attend(q, k, v);
+            0.5 * c.norm_sq()
+        };
+        let eps = 1e-3f32;
+
+        for idx in 0..6 {
+            let mut qp = q.clone();
+            qp.data_mut()[idx] += eps;
+            let mut qm = q.clone();
+            qm.data_mut()[idx] -= eps;
+            let fd = (loss(&qp, &keys, &vals) - loss(&qm, &keys, &vals)) / (2.0 * eps);
+            assert!(
+                (fd - grads.d_query.data()[idx]).abs() < 1e-2,
+                "dq[{idx}]: {fd} vs {}",
+                grads.d_query.data()[idx]
+            );
+        }
+        for idx in [0usize, 7, 15, 23] {
+            let mut kp = keys.clone();
+            kp.data_mut()[idx] += eps;
+            let mut km = keys.clone();
+            km.data_mut()[idx] -= eps;
+            let fd = (loss(&q, &kp, &vals) - loss(&q, &km, &vals)) / (2.0 * eps);
+            assert!(
+                (fd - grads.d_keys.data()[idx]).abs() < 1e-2,
+                "dk[{idx}]: {fd} vs {}",
+                grads.d_keys.data()[idx]
+            );
+
+            let mut vp = vals.clone();
+            vp.data_mut()[idx] += eps;
+            let mut vm = vals.clone();
+            vm.data_mut()[idx] -= eps;
+            let fd = (loss(&q, &keys, &vp) - loss(&q, &keys, &vm)) / (2.0 * eps);
+            assert!(
+                (fd - grads.d_values.data()[idx]).abs() < 1e-2,
+                "dv[{idx}]: {fd} vs {}",
+                grads.d_values.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn self_attention_merges_grads() {
+        let mut r = seeded(3);
+        let q = rng::normal(&mut r, &[6], 0.0, 1.0);
+        let enc = rng::normal(&mut r, &[3, 6], 0.0, 1.0);
+        let (ctx, cache) = attend(&q, &enc, &enc);
+        let (dq, denc) = attend_backward_self(&cache, &ctx);
+        let full = attend_backward(&cache, &ctx);
+        assert_eq!(dq, full.d_query);
+        let manual = ops::add(&full.d_keys, &full.d_values);
+        assert_eq!(denc, manual);
+    }
+}

@@ -1,0 +1,54 @@
+//! Weight initialization schemes.
+
+use duet_tensor::{rng, Tensor};
+use rand::rngs::SmallRng;
+
+/// Xavier/Glorot uniform initialization for a `[fan_out, fan_in]` weight
+/// matrix: U(−a, a) with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(r: &mut SmallRng, fan_out: usize, fan_in: usize) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    rng::uniform(r, &[fan_out, fan_in], -a, a)
+}
+
+/// He/Kaiming normal initialization for ReLU networks:
+/// N(0, sqrt(2 / fan_in)).
+pub fn he_normal(r: &mut SmallRng, dims: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    rng::normal(r, dims, 0.0, (2.0 / fan_in as f32).sqrt())
+}
+
+/// Uniform initialization in `[-1/sqrt(fan_in), 1/sqrt(fan_in)]`, the
+/// classic recurrent-weight default.
+pub fn lecun_uniform(r: &mut SmallRng, dims: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let a = 1.0 / (fan_in as f32).sqrt();
+    rng::uniform(r, dims, -a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_tensor::rng::seeded;
+
+    #[test]
+    fn xavier_bounds() {
+        let w = xavier_uniform(&mut seeded(0), 64, 36);
+        let a = (6.0f32 / 100.0).sqrt();
+        assert!(w.max_abs() <= a);
+        assert_eq!(w.shape().dims(), &[64, 36]);
+    }
+
+    #[test]
+    fn he_std_close() {
+        let w = he_normal(&mut seeded(1), &[100, 100], 100);
+        let std = (w.norm_sq() / w.len() as f32).sqrt();
+        let target = (2.0f32 / 100.0).sqrt();
+        assert!((std - target).abs() < 0.02, "std {std} target {target}");
+    }
+
+    #[test]
+    fn lecun_bounds() {
+        let w = lecun_uniform(&mut seeded(2), &[16, 25], 25);
+        assert!(w.max_abs() <= 0.2);
+    }
+}

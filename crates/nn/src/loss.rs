@@ -1,0 +1,188 @@
+//! Loss functions: MSE, softmax cross-entropy, perplexity.
+
+use crate::activation::softmax;
+use duet_tensor::{ops, Tensor};
+
+/// Mean-squared-error loss and its gradient w.r.t. the prediction.
+///
+/// Returns `(loss, grad)` with `loss = mean((pred − target)²)` and
+/// `grad = 2 (pred − target) / N`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    let diff = ops::sub(pred, target);
+    let n = pred.len() as f32;
+    let loss = diff.norm_sq() / n;
+    let grad = diff.map(|d| 2.0 * d / n);
+    (loss, grad)
+}
+
+/// Softmax cross-entropy over `[B, n]` logits with integer class targets.
+///
+/// Returns `(mean_loss, grad_wrt_logits)`; the gradient is
+/// `(softmax − onehot) / B`, the standard fused form.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D, `targets.len() != B`, or a target index
+/// is out of range.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [B, n]");
+    let (b, n) = (logits.shape().dim(0), logits.shape().dim(1));
+    assert_eq!(targets.len(), b, "one target per batch row required");
+
+    let probs = softmax(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0f32;
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < n, "target {t} out of range for {n} classes");
+        let p = probs.at(&[i, t]).max(1e-12);
+        loss -= p.ln();
+        let g = grad.row_mut(i);
+        g[t] -= 1.0;
+    }
+    let scale = 1.0 / b as f32;
+    grad.map_inplace(|g| g * scale);
+    (loss * scale, grad)
+}
+
+/// Classification accuracy of `[B, n]` logits against integer targets.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [B, n]");
+    let b = logits.shape().dim(0);
+    assert_eq!(targets.len(), b);
+    let n = logits.shape().dim(1);
+    let mut correct = 0usize;
+    for (i, &t) in targets.iter().enumerate() {
+        let row = Tensor::from_vec(logits.row(i).to_vec(), &[n]);
+        if ops::argmax(&row) == t {
+            correct += 1;
+        }
+    }
+    correct as f64 / b as f64
+}
+
+/// Top-k accuracy (the paper reports top-1 and top-5 on ImageNet).
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or `k == 0`.
+pub fn top_k_accuracy(logits: &Tensor, targets: &[usize], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(logits.shape().rank(), 2, "logits must be [B, n]");
+    let (b, n) = (logits.shape().dim(0), logits.shape().dim(1));
+    assert_eq!(targets.len(), b);
+    let k = k.min(n);
+    let mut correct = 0usize;
+    for (i, &t) in targets.iter().enumerate() {
+        let row = logits.row(i);
+        let target_v = row[t];
+        // rank = number of strictly larger entries
+        let rank = row.iter().filter(|&&v| v > target_v).count();
+        if rank < k {
+            correct += 1;
+        }
+    }
+    correct as f64 / b as f64
+}
+
+/// Perplexity from a mean negative-log-likelihood (nats): `exp(nll)`.
+pub fn perplexity(mean_nll: f32) -> f32 {
+    mean_nll.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_equal() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let (l, g) = mse(&a, &a);
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_finite_difference() {
+        let pred = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]);
+        let target = Tensor::from_vec(vec![0.0, 1.0, 0.5], &[3]);
+        let (_, g) = mse(&pred, &target);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut p = pred.clone();
+            p.data_mut()[i] += eps;
+            let (lp, _) = mse(&p, &target);
+            let mut m = pred.clone();
+            m.data_mut()[i] -= eps;
+            let (lm, _) = mse(&m, &target);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - g.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let good = Tensor::from_vec(vec![5.0, 0.0, 0.0], &[1, 3]);
+        let bad = Tensor::from_vec(vec![0.0, 5.0, 0.0], &[1, 3]);
+        let (lg, _) = cross_entropy(&good, &[0]);
+        let (lb, _) = cross_entropy(&bad, &[0]);
+        assert!(lg < lb);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, 0.5, -1.0, 0.0], &[2, 3]);
+        let (_, g) = cross_entropy(&logits, &[2, 0]);
+        for i in 0..2 {
+            let s: f32 = g.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[1, 3]);
+        let (_, g) = cross_entropy(&logits, &[1]);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut p = logits.clone();
+            p.data_mut()[i] += eps;
+            let (lp, _) = cross_entropy(&p, &[1]);
+            let mut m = logits.clone();
+            m.data_mut()[i] -= eps;
+            let (lm, _) = cross_entropy(&m, &[1]);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - g.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn accuracy_and_topk() {
+        let logits = Tensor::from_vec(
+            vec![
+                3.0, 2.0, 1.0, 0.0, // argmax 0
+                0.0, 1.0, 2.0, 3.0, // argmax 3
+            ],
+            &[2, 4],
+        );
+        assert_eq!(accuracy(&logits, &[0, 3]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 3]), 0.5);
+        // class 1 is rank 1 in row 0 → inside top-2
+        assert_eq!(top_k_accuracy(&logits, &[1, 0], 2), 0.5);
+        assert_eq!(top_k_accuracy(&logits, &[1, 0], 4), 1.0);
+    }
+
+    #[test]
+    fn perplexity_of_uniform() {
+        // uniform over 10 classes: nll = ln(10) → ppl = 10
+        let p = perplexity((10.0f32).ln());
+        assert!((p - 10.0).abs() < 1e-3);
+    }
+}

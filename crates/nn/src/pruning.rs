@@ -1,0 +1,137 @@
+//! Magnitude-based weight pruning.
+//!
+//! §VI of the paper: "dual-module processing can be combined with other
+//! model compression techniques by taking compressed layers as accurate
+//! modules." This module provides the static compression side: global
+//! and per-row magnitude pruning plus the sparsity statistics the
+//! simulator's weight-skipping ablation consumes.
+
+use duet_tensor::Tensor;
+
+/// Prunes a weight tensor to the target density by zeroing the smallest
+/// magnitudes globally. Returns the pruned tensor.
+///
+/// # Panics
+///
+/// Panics if `density` is outside (0, 1].
+pub fn prune_by_magnitude(w: &Tensor, density: f64) -> Tensor {
+    assert!(density > 0.0 && density <= 1.0, "density must be in (0,1]");
+    let keep = ((w.len() as f64 * density).ceil() as usize).max(1);
+    if keep >= w.len() {
+        return w.clone();
+    }
+    let mut mags: Vec<f32> = w.data().iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let threshold = mags[keep - 1];
+    w.map(|v| if v.abs() >= threshold { v } else { 0.0 })
+}
+
+/// Prunes each row of a `[n, d]` matrix independently to the target
+/// density — the structured variant that keeps per-output work balanced
+/// (the paper's coarse-grained weight sparsity discussion).
+///
+/// # Panics
+///
+/// Panics if `w` is not 2-D or `density` is outside (0, 1].
+pub fn prune_rows_by_magnitude(w: &Tensor, density: f64) -> Tensor {
+    assert!(density > 0.0 && density <= 1.0, "density must be in (0,1]");
+    assert_eq!(w.shape().rank(), 2, "row pruning needs a matrix");
+    let (n, d) = (w.shape().dim(0), w.shape().dim(1));
+    let keep = ((d as f64 * density).ceil() as usize).clamp(1, d);
+    let mut out = w.clone();
+    for i in 0..n {
+        let row = &w.data()[i * d..(i + 1) * d];
+        let mut mags: Vec<f32> = row.iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let threshold = mags[keep - 1];
+        for (o, &v) in out.data_mut()[i * d..(i + 1) * d].iter_mut().zip(row) {
+            *o = if v.abs() >= threshold { v } else { 0.0 };
+        }
+    }
+    out
+}
+
+/// Fraction of non-zero weights.
+pub fn density(w: &Tensor) -> f64 {
+    1.0 - w.sparsity() as f64
+}
+
+/// Relative output error introduced by pruning, measured on random
+/// inputs: `‖(W − W_p) x‖ / ‖W x‖` averaged over samples.
+pub fn pruning_error(
+    w: &Tensor,
+    pruned: &Tensor,
+    samples: usize,
+    rng: &mut rand::rngs::SmallRng,
+) -> f32 {
+    let d = w.shape().dim(1);
+    let mut err = 0.0f32;
+    let mut norm = 0.0f32;
+    for _ in 0..samples {
+        let x = duet_tensor::rng::normal(rng, &[d], 0.0, 1.0);
+        let y = duet_tensor::ops::gemv(w, &x);
+        let yp = duet_tensor::ops::gemv(pruned, &x);
+        err += duet_tensor::ops::sub(&y, &yp).norm_sq();
+        norm += y.norm_sq();
+    }
+    (err / norm.max(1e-12)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_tensor::rng::{self, seeded};
+
+    #[test]
+    fn global_pruning_hits_density() {
+        let mut r = seeded(1);
+        let w = rng::normal(&mut r, &[32, 32], 0.0, 1.0);
+        for target in [0.25, 0.5, 0.75] {
+            let p = prune_by_magnitude(&w, target);
+            let d = density(&p);
+            assert!((d - target).abs() < 0.02, "target {target} got {d}");
+        }
+    }
+
+    #[test]
+    fn keeps_largest_magnitudes() {
+        let w = Tensor::from_vec(vec![0.1, -5.0, 0.2, 3.0], &[2, 2]);
+        let p = prune_by_magnitude(&w, 0.5);
+        assert_eq!(p.data(), &[0.0, -5.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn row_pruning_is_balanced() {
+        let mut r = seeded(2);
+        let w = rng::normal(&mut r, &[8, 40], 0.0, 1.0);
+        let p = prune_rows_by_magnitude(&w, 0.3);
+        for i in 0..8 {
+            let nz = p.row(i).iter().filter(|&&v| v != 0.0).count();
+            assert_eq!(nz, 12, "row {i} has {nz} non-zeros"); // ceil(40*0.3)
+        }
+    }
+
+    #[test]
+    fn full_density_is_identity() {
+        let mut r = seeded(3);
+        let w = rng::normal(&mut r, &[4, 4], 0.0, 1.0);
+        assert_eq!(prune_by_magnitude(&w, 1.0), w);
+        assert_eq!(prune_rows_by_magnitude(&w, 1.0), w);
+    }
+
+    #[test]
+    fn error_grows_as_density_falls() {
+        let mut r = seeded(4);
+        let w = rng::normal(&mut r, &[16, 64], 0.0, 1.0);
+        let e_mild = pruning_error(&w, &prune_by_magnitude(&w, 0.8), 30, &mut seeded(9));
+        let e_heavy = pruning_error(&w, &prune_by_magnitude(&w, 0.2), 30, &mut seeded(9));
+        assert!(e_mild < e_heavy, "{e_mild} vs {e_heavy}");
+        assert!(e_mild < 0.3, "mild pruning error {e_mild}");
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in")]
+    fn zero_density_rejected() {
+        prune_by_magnitude(&Tensor::zeros(&[2, 2]), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Cnvlutin model: input-sparsity computation skipping.
+//!
+//! Cnvlutin skips MACs whose input activation is zero, using offset
+//! encoding of non-zero inputs. Zero positions are irregular, so lanes
+//! fed from different input slices finish at different times — an
+//! imbalance the design cannot fully absorb (§V-E: "the workload
+//! imbalance caused by irregular sparse activations as in Cnvlutin and
+//! SnaPEA compromises the performance").
+
+use super::{ideal_cycles, layer_perf, model_perf, single_level_energy};
+use crate::config::ArchConfig;
+use crate::energy::EnergyTable;
+use crate::report::ModelPerf;
+use crate::trace::ConvLayerTrace;
+
+/// Fractional latency overhead from lane imbalance under irregular input
+/// sparsity (lanes wait for the densest input slice).
+pub const CNVLUTIN_IMBALANCE: f64 = 0.18;
+
+/// Runs a CNN on the Cnvlutin model.
+pub fn run_cnvlutin(
+    model: &str,
+    traces: &[ConvLayerTrace],
+    config: &ArchConfig,
+    energy: &EnergyTable,
+) -> ModelPerf {
+    let layers = traces
+        .iter()
+        .map(|t| {
+            let executed = (t.dense_macs() as f64 * t.input_density).round() as u64;
+            let cycles =
+                (ideal_cycles(executed, config) as f64 * (1.0 + CNVLUTIN_IMBALANCE)) as u64;
+            let e = single_level_energy(executed, cycles, t, config, energy);
+            layer_perf(t, cycles, executed, e, config)
+        })
+        .collect();
+    model_perf("Cnvlutin", model, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::eyeriss::run_eyeriss;
+    use crate::baselines::tests::test_traces;
+
+    #[test]
+    fn faster_than_eyeriss_on_compute() {
+        let cfg = ArchConfig::duet();
+        let e = EnergyTable::default();
+        let ts = test_traces();
+        let cn = run_cnvlutin("t", &ts, &cfg, &e);
+        let ey = run_eyeriss("t", &ts, &cfg, &e);
+        for (a, b) in cn.layers.iter().zip(&ey.layers) {
+            assert!(a.executor_cycles < b.executor_cycles);
+        }
+    }
+
+    #[test]
+    fn energy_above_two_level_designs() {
+        let cfg = ArchConfig::duet();
+        let e = EnergyTable::default();
+        let ts = test_traces();
+        let cn = run_cnvlutin("t", &ts, &cfg, &e);
+        let ey = run_eyeriss("t", &ts, &cfg, &e);
+        // computation skipping does not rescue the single-level hierarchy
+        assert!(cn.total_energy().on_chip_pj() > ey.total_energy().on_chip_pj() * 0.8);
+    }
+
+    #[test]
+    fn imbalance_shows_in_utilization() {
+        let cfg = ArchConfig::duet();
+        let m = run_cnvlutin("t", &test_traces(), &cfg, &EnergyTable::default());
+        let u = m.avg_mac_utilization();
+        assert!(u < 0.9, "utilization {u} should reflect imbalance");
+    }
+}

@@ -1,0 +1,63 @@
+//! Eyeriss model: dense row-stationary execution with zero-gating.
+//!
+//! "Eyeriss equals a dense baseline as it only supports power-gating to
+//! save energy but \[not\] computation skipping to improve performance;
+//! thus, it has the worst latency among others" (§V-E). Gated MACs (zero
+//! input) still occupy their issue slot but consume no datapath energy.
+
+use super::{ideal_cycles, layer_perf, model_perf, two_level_energy};
+use crate::config::ArchConfig;
+use crate::energy::EnergyTable;
+use crate::report::ModelPerf;
+use crate::trace::ConvLayerTrace;
+
+/// Runs a CNN on the Eyeriss model.
+pub fn run_eyeriss(
+    model: &str,
+    traces: &[ConvLayerTrace],
+    config: &ArchConfig,
+    energy: &EnergyTable,
+) -> ModelPerf {
+    let layers = traces
+        .iter()
+        .map(|t| {
+            let dense = t.dense_macs();
+            // Dense schedule is perfectly balanced.
+            let cycles = ideal_cycles(dense, config);
+            // Power gating: MAC datapath energy only for non-zero inputs;
+            // RF traffic still happens for every issue slot.
+            let charged = (dense as f64 * t.input_density).round() as u64;
+            let e = two_level_energy(dense, charged, cycles, t, config, energy);
+            layer_perf(t, cycles, dense, e, config)
+        })
+        .collect();
+    model_perf("Eyeriss", model, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::tests::test_traces;
+
+    #[test]
+    fn eyeriss_is_dense_latency() {
+        let cfg = ArchConfig::duet();
+        let m = run_eyeriss("t", &test_traces(), &cfg, &EnergyTable::default());
+        for l in &m.layers {
+            assert_eq!(l.executed_macs, l.dense_macs);
+            assert!(l.mac_utilization > 0.95);
+        }
+    }
+
+    #[test]
+    fn gating_cuts_compute_energy_only() {
+        let cfg = ArchConfig::duet();
+        let e = EnergyTable::default();
+        let m = run_eyeriss("t", &test_traces(), &cfg, &e);
+        for (l, t) in m.layers.iter().zip(test_traces().iter()) {
+            let full = l.dense_macs as f64 * e.mac_int16_pj;
+            assert!(l.energy.executor_compute_pj < full);
+            assert!((l.energy.executor_compute_pj / full - t.input_density).abs() < 0.02);
+        }
+    }
+}

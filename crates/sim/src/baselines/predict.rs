@@ -1,0 +1,116 @@
+//! Predict model: two-phase output prediction then completion.
+//!
+//! Predict computes a low-cost partial dot product for *every* output to
+//! predict its sign; predicted-positive outputs are then completed in
+//! full. Balancing relies on summing workloads across output channels at
+//! the same coordinate, which requires larger tiles (§IV-A) and still
+//! leaves residual imbalance. Like the other coupled designs it uses a
+//! single buffer level.
+
+use super::{ideal_cycles, layer_perf, model_perf, single_level_energy};
+use crate::config::ArchConfig;
+use crate::energy::EnergyTable;
+use crate::report::ModelPerf;
+use crate::trace::ConvLayerTrace;
+
+/// Fraction of each dot product spent on the prediction phase.
+pub const PREDICTION_PREFIX: f64 = 0.25;
+
+/// Residual latency imbalance after Predict's coordinate-sum balancing.
+pub const PREDICT_IMBALANCE: f64 = 0.10;
+
+fn run_predict_impl(
+    design: &str,
+    model: &str,
+    traces: &[ConvLayerTrace],
+    config: &ArchConfig,
+    energy: &EnergyTable,
+    with_input_skipping: bool,
+) -> ModelPerf {
+    let layers = traces
+        .iter()
+        .map(|t| {
+            let outputs = t.outputs() as u64;
+            let sensitive = t.sensitive_outputs() as u64;
+            let density = if with_input_skipping {
+                t.input_density
+            } else {
+                1.0
+            };
+            // Phase 1: prediction prefix for every output. Phase 2: the
+            // full dot product again for predicted-effectual outputs
+            // (prediction work is not reused).
+            let predict_macs =
+                (outputs as f64 * t.patch_len as f64 * PREDICTION_PREFIX * density) as u64;
+            let complete_macs = (sensitive as f64 * t.patch_len as f64 * density).round() as u64;
+            let executed = predict_macs + complete_macs;
+            let cycles = (ideal_cycles(executed, config) as f64 * (1.0 + PREDICT_IMBALANCE)) as u64;
+            let e = single_level_energy(executed, cycles, t, config, energy);
+            layer_perf(t, cycles, executed, e, config)
+        })
+        .collect();
+    model_perf(design, model, layers)
+}
+
+/// Runs a CNN on the Predict model.
+pub fn run_predict(
+    model: &str,
+    traces: &[ConvLayerTrace],
+    config: &ArchConfig,
+    energy: &EnergyTable,
+) -> ModelPerf {
+    run_predict_impl("Predict", model, traces, config, energy, false)
+}
+
+/// Runs a CNN on the combined Predict+Cnvlutin model (output prediction
+/// plus input-sparsity skipping).
+pub fn run_predict_cnvlutin(
+    model: &str,
+    traces: &[ConvLayerTrace],
+    config: &ArchConfig,
+    energy: &EnergyTable,
+) -> ModelPerf {
+    run_predict_impl("Predict+Cnvlutin", model, traces, config, energy, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::snapea::run_snapea;
+    use crate::baselines::tests::test_traces;
+
+    #[test]
+    fn predict_beats_snapea_on_latency() {
+        // shallower prediction prefix + better balancing
+        let cfg = ArchConfig::duet();
+        let e = EnergyTable::default();
+        let ts = test_traces();
+        let p = run_predict("t", &ts, &cfg, &e);
+        let s = run_snapea("t", &ts, &cfg, &e);
+        assert!(p.total_latency_cycles < s.total_latency_cycles);
+    }
+
+    #[test]
+    fn combined_design_is_fastest_baseline() {
+        let cfg = ArchConfig::duet();
+        let e = EnergyTable::default();
+        let ts = test_traces();
+        let p = run_predict("t", &ts, &cfg, &e);
+        let pc = run_predict_cnvlutin("t", &ts, &cfg, &e);
+        assert!(pc.total_latency_cycles < p.total_latency_cycles);
+    }
+
+    #[test]
+    fn prediction_overhead_counted() {
+        let cfg = ArchConfig::duet();
+        let m = run_predict("t", &test_traces(), &cfg, &EnergyTable::default());
+        for l in &m.layers {
+            // must exceed pure sensitive-output work by the prediction
+            // prefix over all outputs
+            let pure = (l.dense_macs as f64
+                * (l.executed_macs as f64 / l.dense_macs as f64 - PREDICTION_PREFIX))
+                .max(0.0);
+            assert!(l.executed_macs as f64 > pure);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! SnaPEA model: coupled output-sparsity early termination.
+//!
+//! SnaPEA sorts weights so negative contributions come last and stops a
+//! dot product as soon as the partial sum can no longer turn positive.
+//! The prediction is *part of* the execution (coupled): insensitive
+//! outputs still burn a prefix of their MACs before terminating, and
+//! because termination points are data-dependent, PEs finish at scattered
+//! times — the asynchronous-PE overhead §IV-A discusses.
+
+use super::{ideal_cycles, layer_perf, model_perf, single_level_energy};
+use crate::config::ArchConfig;
+use crate::energy::EnergyTable;
+use crate::report::ModelPerf;
+use crate::trace::ConvLayerTrace;
+
+/// Fraction of a dot product executed before an insensitive output can be
+/// terminated (SnaPEA's "speculative prefix").
+pub const EARLY_TERMINATION_PREFIX: f64 = 0.45;
+
+/// Latency overhead of data-dependent termination times across PEs.
+pub const SNAPEA_IMBALANCE: f64 = 0.35;
+
+/// Runs a CNN on the SnaPEA model.
+pub fn run_snapea(
+    model: &str,
+    traces: &[ConvLayerTrace],
+    config: &ArchConfig,
+    energy: &EnergyTable,
+) -> ModelPerf {
+    let layers = traces
+        .iter()
+        .map(|t| {
+            let sensitive = t.sensitive_outputs() as u64;
+            let insensitive = (t.outputs() as u64) - sensitive;
+            let executed = sensitive * t.patch_len as u64
+                + (insensitive as f64 * t.patch_len as f64 * EARLY_TERMINATION_PREFIX) as u64;
+            let cycles = (ideal_cycles(executed, config) as f64 * (1.0 + SNAPEA_IMBALANCE)) as u64;
+            let e = single_level_energy(executed, cycles, t, config, energy);
+            layer_perf(t, cycles, executed, e, config)
+        })
+        .collect();
+    model_perf("SnaPEA", model, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::eyeriss::run_eyeriss;
+    use crate::baselines::tests::test_traces;
+
+    #[test]
+    fn early_termination_beats_dense() {
+        let cfg = ArchConfig::duet();
+        let e = EnergyTable::default();
+        let ts = test_traces();
+        let sn = run_snapea("t", &ts, &cfg, &e);
+        let ey = run_eyeriss("t", &ts, &cfg, &e);
+        assert!(sn.total_latency_cycles < ey.total_latency_cycles);
+    }
+
+    #[test]
+    fn insensitive_outputs_still_cost_a_prefix() {
+        let cfg = ArchConfig::duet();
+        let m = run_snapea("t", &test_traces(), &cfg, &EnergyTable::default());
+        for l in &m.layers {
+            // strictly more work than "perfect" output skipping
+            let perfect =
+                (l.dense_macs as f64 * (l.executed_macs as f64 / l.dense_macs as f64)).round();
+            assert!(l.executed_macs as f64 >= perfect * 0.99);
+            assert!(l.executed_macs < l.dense_macs);
+        }
+    }
+
+    #[test]
+    fn worse_utilization_than_eyeriss() {
+        let cfg = ArchConfig::duet();
+        let e = EnergyTable::default();
+        let ts = test_traces();
+        let sn = run_snapea("t", &ts, &cfg, &e);
+        let ey = run_eyeriss("t", &ts, &cfg, &e);
+        assert!(sn.avg_mac_utilization() < ey.avg_mac_utilization());
+    }
+}

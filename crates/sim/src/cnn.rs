@@ -1,0 +1,188 @@
+//! Full-model CNN execution on DUET (§IV-A).
+//!
+//! Layer pipeline (Fig. 7): while the Executor computes layer *L*, the
+//! Speculator consumes L's freshly produced output tiles to generate
+//! layer *L+1*'s switching maps (and, under adaptive mapping, its channel
+//! order). Only the very first layer's speculation is exposed.
+
+use crate::config::ArchConfig;
+use crate::energy::EnergyTable;
+use crate::executor::{natural_order, run_conv_layer};
+use crate::reorder::ReorderUnit;
+use crate::report::{LayerPerf, ModelPerf};
+use crate::speculator::speculate_conv_layer;
+use crate::trace::ConvLayerTrace;
+
+/// Runs a CNN (sequence of CONV-layer traces) through the configured
+/// design and returns the per-layer and end-to-end results.
+///
+/// The Executor features in `config.features` select BASE / OS / BOS /
+/// IOS / DUET behaviour; designs with `output_switching` off never touch
+/// the Speculator.
+pub fn run_cnn(
+    model: &str,
+    traces: &[ConvLayerTrace],
+    config: &ArchConfig,
+    energy: &EnergyTable,
+) -> ModelPerf {
+    let mut layers = Vec::with_capacity(traces.len());
+    let mut total_latency = 0u64;
+    let uses_speculator = config.features.output_switching;
+
+    // The Speculator runs one layer ahead; its cycles overlap the
+    // *previous* layer's execution.
+    let mut prev_exec_latency = 0u64;
+
+    for (i, trace) in traces.iter().enumerate() {
+        // Channel order: Reorder Unit output under adaptive mapping.
+        let order = if config.features.adaptive_mapping {
+            ReorderUnit::new(config.pe_rows)
+                .reorder(&trace.channel_workloads(), trace.outputs())
+                .order
+        } else {
+            natural_order(trace)
+        };
+
+        let exec = run_conv_layer(trace, &order, config, energy);
+        let dram_cycles = exec.dram_bytes.div_ceil(config.dram_bytes_per_cycle as u64);
+        let exec_latency = exec.latency_cycles(dram_cycles);
+
+        let (spec_cycles, spec_energy) = if uses_speculator {
+            let s = speculate_conv_layer(trace, config, energy);
+            (s.cycles, s.energy)
+        } else {
+            (0, Default::default())
+        };
+
+        // Pipeline: this layer's speculation hides under the previous
+        // layer's execution; any excess is exposed.
+        let exposed_spec = spec_cycles.saturating_sub(prev_exec_latency);
+        let layer_latency = exec_latency + exposed_spec;
+        total_latency += layer_latency;
+        prev_exec_latency = exec_latency;
+
+        let mut e = exec.energy;
+        e += spec_energy;
+        let _ = i;
+        layers.push(LayerPerf {
+            name: trace.name.clone(),
+            executor_cycles: exec.compute_cycles,
+            speculator_cycles: spec_cycles,
+            dram_cycles,
+            latency_cycles: layer_latency,
+            executed_macs: exec.executed_macs,
+            dense_macs: exec.dense_macs,
+            mac_utilization: exec.mac_utilization(config),
+            energy: e,
+        });
+    }
+
+    ModelPerf {
+        design: config.features.label().to_string(),
+        model: model.to_string(),
+        layers,
+        total_latency_cycles: total_latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecutorFeatures;
+    use duet_tensor::rng::seeded;
+
+    fn traces() -> Vec<ConvLayerTrace> {
+        let mut r = seeded(42);
+        (0..4)
+            .map(|i| {
+                ConvLayerTrace::synthetic(
+                    format!("conv{}", i + 1),
+                    64,
+                    196,
+                    288,
+                    64 * 196,
+                    0.45,
+                    0.3,
+                    0.55,
+                    32,
+                    &mut r,
+                )
+            })
+            .collect()
+    }
+
+    fn run(features: ExecutorFeatures) -> ModelPerf {
+        let cfg = ArchConfig::duet().with_features(features);
+        run_cnn("test", &traces(), &cfg, &EnergyTable::default())
+    }
+
+    #[test]
+    fn fig12a_speedup_ordering_holds() {
+        // BASE < OS < BOS and OS < IOS < DUET — the staircase of
+        // Fig. 12(a).
+        let base = run(ExecutorFeatures::base());
+        let os = run(ExecutorFeatures::os());
+        let bos = run(ExecutorFeatures::bos());
+        let ios = run(ExecutorFeatures::ios());
+        let duet = run(ExecutorFeatures::duet());
+
+        let s = |p: &ModelPerf| base.total_latency_cycles as f64 / p.total_latency_cycles as f64;
+        let (s_os, s_bos, s_ios, s_duet) = (s(&os), s(&bos), s(&ios), s(&duet));
+        assert!(s_os > 1.05, "OS speedup {s_os}");
+        assert!(s_bos > s_os, "BOS {s_bos} vs OS {s_os}");
+        assert!(s_ios > s_os, "IOS {s_ios} vs OS {s_os}");
+        assert!(s_duet > s_bos, "DUET {s_duet} vs BOS {s_bos}");
+        assert!(s_duet > s_ios, "DUET {s_duet} vs IOS {s_ios}");
+    }
+
+    #[test]
+    fn utilization_ordering_matches_fig12b() {
+        let os = run(ExecutorFeatures::os());
+        let bos = run(ExecutorFeatures::bos());
+        let ios = run(ExecutorFeatures::ios());
+        let duet = run(ExecutorFeatures::duet());
+        // adaptive mapping raises utilization in both regimes
+        assert!(bos.avg_mac_utilization() > os.avg_mac_utilization());
+        assert!(duet.avg_mac_utilization() > ios.avg_mac_utilization());
+        // input skipping lowers utilization (fewer MACs, similar stalls)
+        assert!(ios.avg_mac_utilization() < os.avg_mac_utilization());
+    }
+
+    #[test]
+    fn duet_saves_energy_over_base() {
+        let base = run(ExecutorFeatures::base());
+        let duet = run(ExecutorFeatures::duet());
+        let eff = duet.energy_efficiency_over(&base);
+        assert!(eff > 1.2, "energy efficiency {eff}");
+    }
+
+    #[test]
+    fn speculator_energy_share_is_small() {
+        let duet = run(ExecutorFeatures::duet());
+        let frac = duet.total_energy().speculator_fraction_on_chip();
+        assert!(frac > 0.005 && frac < 0.15, "speculator share {frac}");
+    }
+
+    #[test]
+    fn speculation_mostly_hidden() {
+        let duet = run(ExecutorFeatures::duet());
+        let spec_total: u64 = duet.layers.iter().map(|l| l.speculator_cycles).sum();
+        let exposed: u64 = duet.total_latency_cycles
+            - duet
+                .layers
+                .iter()
+                .map(|l| l.executor_cycles.max(l.dram_cycles).min(l.latency_cycles))
+                .sum::<u64>();
+        assert!(
+            exposed < spec_total / 2,
+            "exposed {exposed} vs total speculation {spec_total}"
+        );
+    }
+
+    #[test]
+    fn base_has_no_speculator() {
+        let base = run(ExecutorFeatures::base());
+        assert!(base.layers.iter().all(|l| l.speculator_cycles == 0));
+        assert_eq!(base.total_energy().speculator_pj, 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Global-buffer capacity model (§III-A).
+//!
+//! The 1 MiB GLB holds inputs, weights, outputs, Speculator data and
+//! switching maps. A layer whose working set exceeds the GLB must
+//! re-stream data from DRAM; this model decides how often.
+
+use crate::config::ArchConfig;
+
+/// Working-set layout of one layer in the GLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GlbPlan {
+    /// Bytes needed resident for weights.
+    pub weight_bytes: u64,
+    /// Bytes needed for input tiles.
+    pub input_bytes: u64,
+    /// Bytes needed for output tiles.
+    pub output_bytes: u64,
+    /// Bytes for switching maps + Speculator QDR data.
+    pub speculator_bytes: u64,
+}
+
+impl GlbPlan {
+    /// Total working set.
+    pub fn total_bytes(&self) -> u64 {
+        self.weight_bytes + self.input_bytes + self.output_bytes + self.speculator_bytes
+    }
+
+    /// Whether the whole working set fits at once.
+    pub fn fits(&self, config: &ArchConfig) -> bool {
+        self.total_bytes() <= config.glb_bytes as u64
+    }
+
+    /// DRAM traffic multiplier for the *weights*: 1 when everything fits;
+    /// when weights alone exceed the GLB budget left by activations, the
+    /// weights cannot be kept resident and each reuse pass re-fetches
+    /// them (the RNN situation: a 2 MiB gate matrix vs a 1 MiB GLB).
+    pub fn weight_refetch_factor(&self, config: &ArchConfig, reuse_passes: u64) -> u64 {
+        if self.fits(config) {
+            1
+        } else {
+            reuse_passes.max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_layer_fits() {
+        let p = GlbPlan {
+            weight_bytes: 300_000,
+            input_bytes: 200_000,
+            output_bytes: 200_000,
+            speculator_bytes: 50_000,
+        };
+        assert!(p.fits(&ArchConfig::duet()));
+        assert_eq!(p.weight_refetch_factor(&ArchConfig::duet(), 10), 1);
+    }
+
+    #[test]
+    fn rnn_gate_matrix_does_not_fit() {
+        // 1024×2048 INT16 weights = 4 MiB
+        let p = GlbPlan {
+            weight_bytes: 4 << 20,
+            input_bytes: 4096,
+            output_bytes: 4096,
+            speculator_bytes: 64 << 10,
+        };
+        assert!(!p.fits(&ArchConfig::duet()));
+        assert_eq!(p.weight_refetch_factor(&ArchConfig::duet(), 20), 20);
+    }
+
+    #[test]
+    fn totals() {
+        let p = GlbPlan {
+            weight_bytes: 1,
+            input_bytes: 2,
+            output_bytes: 3,
+            speculator_bytes: 4,
+        };
+        assert_eq!(p.total_bytes(), 10);
+    }
+}

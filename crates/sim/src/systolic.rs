@@ -1,0 +1,216 @@
+//! Functional, cycle-tracked model of the Speculator's INT4 systolic
+//! array (§III-B step 3).
+//!
+//! An output-stationary `rows × cols` wavefront array: weights stream in
+//! from the left, activations from the top, each cell multiplies INT4
+//! operands into an INT32 accumulator. The model advances cell by cell
+//! and cycle by cycle, so both the *values* and the *latency* (fill +
+//! drain + streaming) are exact — it validates the throughput formula the
+//! performance model in [`crate::speculator`] uses.
+
+use duet_tensor::fixed::Int4Tensor;
+use duet_tensor::Tensor;
+
+/// Result of one systolic GEMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystolicResult {
+    /// Accumulated INT32 outputs, `[m, n]` row-major.
+    pub accumulators: Vec<i32>,
+    /// Output rows `m`.
+    pub m: usize,
+    /// Output cols `n`.
+    pub n: usize,
+    /// Cycles the wavefront took, including fill and drain.
+    pub cycles: u64,
+    /// INT4 MACs performed.
+    pub macs: u64,
+    /// Combined scale to dequantize the accumulators.
+    pub scale: f32,
+}
+
+impl SystolicResult {
+    /// Dequantizes the accumulators to `f32`.
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            self.accumulators
+                .iter()
+                .map(|&a| a as f32 * self.scale)
+                .collect(),
+            &[self.m, self.n],
+        )
+    }
+}
+
+/// An output-stationary INT4 systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicArray {
+    rows: usize,
+    cols: usize,
+}
+
+impl SystolicArray {
+    /// Creates an array of the given physical size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dims must be positive");
+        Self { rows, cols }
+    }
+
+    /// Physical rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Physical columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Computes `A[m,k] · B[k,n]` where both operands are INT4 tensors,
+    /// tiling the output over the physical array. Each `rows × cols`
+    /// output tile is filled by a wavefront that streams the `k`
+    /// dimension; tile latency is `k + rows + cols − 1` cycles (fill +
+    /// stream + drain), matching the pipelined-systolic formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn gemm(&self, a: &Int4Tensor, b: &Int4Tensor) -> SystolicResult {
+        assert_eq!(a.shape().rank(), 2, "A must be [m, k]");
+        assert_eq!(b.shape().rank(), 2, "B must be [k, n]");
+        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+        let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+        assert_eq!(k, k2, "inner dimension mismatch");
+
+        let ad = a.data();
+        let bd = b.data();
+        let mut acc = vec![0i32; m * n];
+        let mut cycles = 0u64;
+        let mut macs = 0u64;
+
+        for tile_r in (0..m).step_by(self.rows) {
+            let tr = (m - tile_r).min(self.rows);
+            for tile_c in (0..n).step_by(self.cols) {
+                let tc = (n - tile_c).min(self.cols);
+                // wavefront: cell (i, j) performs its t-th MAC at cycle
+                // t + i + j; we simulate the dataflow exactly
+                for i in 0..tr {
+                    for j in 0..tc {
+                        let row = tile_r + i;
+                        let col = tile_c + j;
+                        let mut cell = 0i32;
+                        for t in 0..k {
+                            cell += ad[row * k + t] as i32 * bd[t * n + col] as i32;
+                            macs += 1;
+                        }
+                        acc[row * n + col] = cell;
+                    }
+                }
+                cycles += (k + tr + tc - 1) as u64;
+            }
+        }
+
+        SystolicResult {
+            accumulators: acc,
+            m,
+            n,
+            cycles,
+            macs,
+            scale: a.scale() * b.scale(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_tensor::{ops, rng};
+
+    fn int4(t: &Tensor) -> Int4Tensor {
+        Int4Tensor::quantize(t)
+    }
+
+    #[test]
+    fn matches_integer_reference() {
+        let mut r = rng::seeded(1);
+        let a = rng::normal(&mut r, &[5, 7], 0.0, 1.0);
+        let b = rng::normal(&mut r, &[7, 4], 0.0, 1.0);
+        let qa = int4(&a);
+        let qb = int4(&b);
+        let result = SystolicArray::new(16, 32).gemm(&qa, &qb);
+
+        // integer reference
+        for i in 0..5 {
+            for j in 0..4 {
+                let mut acc = 0i32;
+                for t in 0..7 {
+                    acc += qa.data()[i * 7 + t] as i32 * qb.data()[t * 4 + j] as i32;
+                }
+                assert_eq!(result.accumulators[i * 4 + j], acc);
+            }
+        }
+        assert_eq!(result.macs, 5 * 7 * 4);
+    }
+
+    #[test]
+    fn dequantized_tracks_float_gemm() {
+        let mut r = rng::seeded(2);
+        let a = rng::normal(&mut r, &[8, 16], 0.0, 1.0);
+        let b = rng::normal(&mut r, &[16, 8], 0.0, 1.0);
+        let result = SystolicArray::new(4, 4).gemm(&int4(&a), &int4(&b));
+        let approx = result.dequantize();
+        let exact = ops::matmul(&a, &b);
+        // INT4 is coarse; demand correlation, not equality
+        let err = ops::sub(&approx, &exact).norm_sq() / exact.norm_sq();
+        assert!(err < 0.1, "relative error {err}");
+    }
+
+    #[test]
+    fn single_tile_latency_formula() {
+        // one 4×4 tile with k = 10: cycles = 10 + 4 + 4 − 1 = 17
+        let mut r = rng::seeded(3);
+        let a = int4(&rng::normal(&mut r, &[4, 10], 0.0, 1.0));
+        let b = int4(&rng::normal(&mut r, &[10, 4], 0.0, 1.0));
+        let result = SystolicArray::new(4, 4).gemm(&a, &b);
+        assert_eq!(result.cycles, 17);
+    }
+
+    #[test]
+    fn tiling_covers_ragged_outputs() {
+        let mut r = rng::seeded(4);
+        let a = int4(&rng::normal(&mut r, &[5, 6], 0.0, 1.0));
+        let b = int4(&rng::normal(&mut r, &[6, 9], 0.0, 1.0));
+        let arr = SystolicArray::new(4, 4);
+        let result = arr.gemm(&a, &b);
+        // tiles: rows {4,1} × cols {4,4,1} = 6 tiles
+        // cycles = Σ (6 + tr + tc − 1)
+        let expected: u64 = [(4, 4), (4, 4), (4, 1), (1, 4), (1, 4), (1, 1)]
+            .iter()
+            .map(|&(tr, tc)| (6 + tr + tc - 1) as u64)
+            .sum();
+        assert_eq!(result.cycles, expected);
+        assert_eq!(result.macs, 5 * 6 * 9);
+    }
+
+    #[test]
+    fn bigger_array_fewer_cycles() {
+        let mut r = rng::seeded(5);
+        let a = int4(&rng::normal(&mut r, &[32, 64], 0.0, 1.0));
+        let b = int4(&rng::normal(&mut r, &[64, 32], 0.0, 1.0));
+        let small = SystolicArray::new(8, 8).gemm(&a, &b);
+        let large = SystolicArray::new(16, 32).gemm(&a, &b);
+        assert!(large.cycles < small.cycles);
+        assert_eq!(small.accumulators, large.accumulators); // same values
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = Int4Tensor::quantize(&Tensor::zeros(&[2, 3]));
+        let b = Int4Tensor::quantize(&Tensor::zeros(&[4, 2]));
+        SystolicArray::new(2, 2).gemm(&a, &b);
+    }
+}

@@ -1,0 +1,260 @@
+//! Compact binary serialization for workload traces.
+//!
+//! Traces recorded from real dual-module runs can be written to disk and
+//! replayed later (e.g. to compare architecture variants on identical
+//! switching maps). The format is a small custom codec built on
+//! [`bytes`]: length-prefixed strings, little-endian integers, and
+//! bit-packed switching maps — the same packing the GLB uses.
+
+use crate::trace::{ConvLayerTrace, RnnLayerTrace};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic bytes identifying a CONV trace blob.
+const CONV_MAGIC: u32 = 0x44554543; // "DUEC"
+/// Magic bytes identifying an RNN trace blob.
+const RNN_MAGIC: u32 = 0x44554552; // "DUER"
+
+/// Errors from decoding a trace blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeTraceError {
+    /// The buffer is shorter than the header or payload requires.
+    Truncated,
+    /// The magic tag does not match the expected trace kind.
+    BadMagic {
+        /// The tag found in the buffer.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeTraceError::Truncated => write!(f, "trace blob truncated"),
+            DecodeTraceError::BadMagic { found } => {
+                write!(f, "bad trace magic 0x{found:08x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeTraceError {}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String, DecodeTraceError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeTraceError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(DecodeTraceError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(len);
+    Ok(String::from_utf8_lossy(&raw).into_owned())
+}
+
+fn put_bitmap(buf: &mut BytesMut, flags: &[bool]) {
+    buf.put_u64_le(flags.len() as u64);
+    let mut byte = 0u8;
+    for (i, &f) in flags.iter().enumerate() {
+        if f {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            buf.put_u8(byte);
+            byte = 0;
+        }
+    }
+    if !flags.len().is_multiple_of(8) {
+        buf.put_u8(byte);
+    }
+}
+
+fn get_bitmap(buf: &mut Bytes) -> Result<Vec<bool>, DecodeTraceError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeTraceError::Truncated);
+    }
+    let n = buf.get_u64_le() as usize;
+    let bytes_needed = n.div_ceil(8);
+    if buf.remaining() < bytes_needed {
+        return Err(DecodeTraceError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(bytes_needed);
+    Ok((0..n).map(|i| raw[i / 8] >> (i % 8) & 1 == 1).collect())
+}
+
+/// Encodes a CONV trace to bytes.
+pub fn encode_conv_trace(t: &ConvLayerTrace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + t.omap.len() / 8);
+    buf.put_u32_le(CONV_MAGIC);
+    put_string(&mut buf, &t.name);
+    buf.put_u64_le(t.out_channels as u64);
+    buf.put_u64_le(t.positions as u64);
+    buf.put_u64_le(t.patch_len as u64);
+    buf.put_u64_le(t.input_elems as u64);
+    buf.put_u64_le(t.weight_elems as u64);
+    buf.put_f64_le(t.input_density);
+    buf.put_u64_le(t.reduced_dim as u64);
+    put_bitmap(&mut buf, &t.omap);
+    buf.freeze()
+}
+
+/// Decodes a CONV trace.
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError`] for truncated input or a wrong magic tag.
+pub fn decode_conv_trace(mut buf: Bytes) -> Result<ConvLayerTrace, DecodeTraceError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeTraceError::Truncated);
+    }
+    let magic = buf.get_u32_le();
+    if magic != CONV_MAGIC {
+        return Err(DecodeTraceError::BadMagic { found: magic });
+    }
+    let name = get_string(&mut buf)?;
+    if buf.remaining() < 8 * 5 + 8 + 8 {
+        return Err(DecodeTraceError::Truncated);
+    }
+    let out_channels = buf.get_u64_le() as usize;
+    let positions = buf.get_u64_le() as usize;
+    let patch_len = buf.get_u64_le() as usize;
+    let input_elems = buf.get_u64_le() as usize;
+    let weight_elems = buf.get_u64_le() as usize;
+    let input_density = buf.get_f64_le();
+    let reduced_dim = buf.get_u64_le() as usize;
+    let omap = get_bitmap(&mut buf)?;
+    Ok(ConvLayerTrace {
+        name,
+        out_channels,
+        positions,
+        patch_len,
+        input_elems,
+        weight_elems,
+        omap,
+        input_density,
+        reduced_dim,
+    })
+}
+
+/// Encodes an RNN trace to bytes.
+pub fn encode_rnn_trace(t: &RnnLayerTrace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + t.maps.len() / 8);
+    buf.put_u32_le(RNN_MAGIC);
+    put_string(&mut buf, &t.name);
+    buf.put_u64_le(t.gates as u64);
+    buf.put_u64_le(t.hidden as u64);
+    buf.put_u64_le(t.input as u64);
+    buf.put_u64_le(t.steps as u64);
+    put_bitmap(&mut buf, &t.maps);
+    buf.freeze()
+}
+
+/// Decodes an RNN trace.
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError`] for truncated input or a wrong magic tag.
+pub fn decode_rnn_trace(mut buf: Bytes) -> Result<RnnLayerTrace, DecodeTraceError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeTraceError::Truncated);
+    }
+    let magic = buf.get_u32_le();
+    if magic != RNN_MAGIC {
+        return Err(DecodeTraceError::BadMagic { found: magic });
+    }
+    let name = get_string(&mut buf)?;
+    if buf.remaining() < 8 * 4 {
+        return Err(DecodeTraceError::Truncated);
+    }
+    let gates = buf.get_u64_le() as usize;
+    let hidden = buf.get_u64_le() as usize;
+    let input = buf.get_u64_le() as usize;
+    let steps = buf.get_u64_le() as usize;
+    let maps = get_bitmap(&mut buf)?;
+    Ok(RnnLayerTrace {
+        name,
+        gates,
+        hidden,
+        input,
+        steps,
+        maps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_tensor::rng::seeded;
+
+    #[test]
+    fn conv_roundtrip() {
+        let t = ConvLayerTrace::synthetic(
+            "conv3",
+            64,
+            169,
+            576,
+            32448,
+            0.45,
+            0.3,
+            0.4,
+            72,
+            &mut seeded(1),
+        );
+        let blob = encode_conv_trace(&t);
+        let back = decode_conv_trace(blob).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn rnn_roundtrip() {
+        let t = RnnLayerTrace::synthetic("lstm1", 4, 256, 256, 12, 0.46, &mut seeded(2));
+        let blob = encode_rnn_trace(&t);
+        let back = decode_rnn_trace(blob).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let t = RnnLayerTrace::synthetic("x", 3, 8, 8, 2, 0.5, &mut seeded(3));
+        let blob = encode_rnn_trace(&t);
+        match decode_conv_trace(blob) {
+            Err(DecodeTraceError::BadMagic { found }) => assert_eq!(found, 0x44554552),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let t = ConvLayerTrace::synthetic("c", 8, 9, 16, 64, 0.5, 0.2, 1.0, 8, &mut seeded(4));
+        let blob = encode_conv_trace(&t);
+        for cut in [0usize, 3, 10, blob.len() - 1] {
+            let short = blob.slice(0..cut);
+            assert!(
+                decode_conv_trace(short).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bitmap_sizes() {
+        let t = ConvLayerTrace::synthetic("c", 3, 3, 4, 16, 0.5, 0.2, 1.0, 4, &mut seeded(5));
+        let blob = encode_conv_trace(&t);
+        // 9 map bits → 2 bytes of bitmap payload
+        assert!(blob.len() < 128);
+        let back = decode_conv_trace(blob).unwrap();
+        assert_eq!(back.omap.len(), 9);
+    }
+
+    #[test]
+    fn display_impls() {
+        let e = DecodeTraceError::Truncated;
+        assert!(e.to_string().contains("truncated"));
+        let b = DecodeTraceError::BadMagic { found: 0xdead };
+        assert!(b.to_string().contains("dead"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Determinism and serialization integration tests for the simulator:
+//! identical seeds must produce identical reports, and traces must
+//! survive a serialize → deserialize → simulate round trip unchanged.
+
+use duet_sim::cnn::run_cnn;
+use duet_sim::config::{ArchConfig, ExecutorFeatures};
+use duet_sim::energy::EnergyTable;
+use duet_sim::rnn::run_rnn_layer;
+use duet_sim::trace::{ConvLayerTrace, RnnLayerTrace};
+use duet_sim::trace_io;
+use duet_tensor::rng::seeded;
+
+fn conv_trace(seed: u64) -> ConvLayerTrace {
+    ConvLayerTrace::synthetic(
+        "conv",
+        64,
+        196,
+        288,
+        12544,
+        0.45,
+        0.3,
+        0.5,
+        36,
+        &mut seeded(seed),
+    )
+}
+
+#[test]
+fn identical_seeds_identical_reports() {
+    let energy = EnergyTable::default();
+    let cfg = ArchConfig::duet();
+    let a = run_cnn("m", &[conv_trace(7)], &cfg, &energy);
+    let b = run_cnn("m", &[conv_trace(7)], &cfg, &energy);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let energy = EnergyTable::default();
+    let cfg = ArchConfig::duet();
+    let a = run_cnn("m", &[conv_trace(7)], &cfg, &energy);
+    let b = run_cnn("m", &[conv_trace(8)], &cfg, &energy);
+    assert_ne!(a.total_latency_cycles, b.total_latency_cycles);
+}
+
+#[test]
+fn serialized_trace_simulates_identically() {
+    let energy = EnergyTable::default();
+    let cfg = ArchConfig::duet();
+    let original = conv_trace(11);
+    let blob = trace_io::encode_conv_trace(&original);
+    let decoded = trace_io::decode_conv_trace(blob).expect("decode");
+    let a = run_cnn("m", &[original], &cfg, &energy);
+    let b = run_cnn("m", &[decoded], &cfg, &energy);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn rnn_trace_roundtrip_simulates_identically() {
+    let energy = EnergyTable::default();
+    let cfg = ArchConfig::duet();
+    let original = RnnLayerTrace::synthetic("l", 4, 512, 512, 8, 0.46, &mut seeded(13));
+    let blob = trace_io::encode_rnn_trace(&original);
+    let decoded = trace_io::decode_rnn_trace(blob).expect("decode");
+    let a = run_rnn_layer(&original, &cfg, &energy, true);
+    let b = run_rnn_layer(&decoded, &cfg, &energy, true);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn feature_ladder_is_deterministic_and_ordered() {
+    // A coarse end-to-end regression net: the canonical ladder must hold
+    // on this fixed workload forever (catches accidental model drift).
+    let energy = EnergyTable::default();
+    let traces: Vec<ConvLayerTrace> = (0..3).map(|i| conv_trace(20 + i)).collect();
+    let run = |f: ExecutorFeatures| {
+        run_cnn(
+            "reg",
+            &traces,
+            &ArchConfig::duet().with_features(f),
+            &energy,
+        )
+        .total_latency_cycles
+    };
+    let base = run(ExecutorFeatures::base());
+    let os = run(ExecutorFeatures::os());
+    let bos = run(ExecutorFeatures::bos());
+    let duet = run(ExecutorFeatures::duet());
+    assert!(base > os, "base {base} vs os {os}");
+    assert!(os > bos, "os {os} vs bos {bos}");
+    assert!(bos > duet, "bos {bos} vs duet {duet}");
+}

@@ -1,0 +1,279 @@
+//! Linear-algebra kernels: GEMM, GEMV, element-wise helpers.
+//!
+//! These are the "accurate module" kernels — a feed-forward layer in the
+//! paper is `y = Wx + b` computed by [`gemv`]; CONV layers lower to
+//! [`matmul`] through [`crate::im2col`].
+
+use crate::tensor::Tensor;
+
+/// Matrix multiplication `C = A · B` for 2-D tensors.
+///
+/// Uses a cache-friendly i-k-j loop ordering.
+///
+/// # Panics
+///
+/// Panics if the tensors are not 2-D or the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use duet_tensor::{Tensor, ops::matmul};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]);
+/// assert_eq!(matmul(&a, &b).data(), &[2.0, 1.0, 4.0, 3.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be 2-D");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be 2-D");
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(
+        k,
+        k2,
+        "matmul inner dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut c = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let cd = c.data_mut();
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = ad[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// Matrix–vector product `y = W · x`.
+///
+/// # Panics
+///
+/// Panics if `w` is not 2-D, `x` is not 1-D, or dimensions disagree.
+pub fn gemv(w: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(w.shape().rank(), 2, "gemv matrix must be 2-D");
+    assert_eq!(x.shape().rank(), 1, "gemv vector must be 1-D");
+    let (n, d) = (w.shape().dim(0), w.shape().dim(1));
+    assert_eq!(
+        d,
+        x.len(),
+        "gemv dimension mismatch: {} vs {}",
+        w.shape(),
+        x.shape()
+    );
+    let mut y = Tensor::zeros(&[n]);
+    let wd = w.data();
+    let xd = x.data();
+    let yd = y.data_mut();
+    for i in 0..n {
+        let row = &wd[i * d..(i + 1) * d];
+        let mut acc = 0.0f32;
+        for (wv, xv) in row.iter().zip(xd) {
+            acc += wv * xv;
+        }
+        yd[i] = acc;
+    }
+    y
+}
+
+/// Affine transform `y = W · x + b`, the accurate module of an FF layer.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn affine(w: &Tensor, x: &Tensor, b: &Tensor) -> Tensor {
+    let mut y = gemv(w, x);
+    assert_eq!(
+        y.len(),
+        b.len(),
+        "bias length {} does not match output length {}",
+        b.len(),
+        y.len()
+    );
+    for (yv, bv) in y.data_mut().iter_mut().zip(b.data()) {
+        *yv += bv;
+    }
+    y
+}
+
+/// Element-wise addition.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    a.zip_map(b, |x, y| x + y)
+}
+
+/// Element-wise subtraction `a - b`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    a.zip_map(b, |x, y| x - y)
+}
+
+/// Element-wise (Hadamard) product — the `⊙` of Eq. (2).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn hadamard(a: &Tensor, b: &Tensor) -> Tensor {
+    a.zip_map(b, |x, y| x * y)
+}
+
+/// Scales a tensor by a constant.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x * s)
+}
+
+/// `y += alpha * x`, in place.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn axpy(alpha: f32, x: &Tensor, y: &mut Tensor) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yv, xv) in y.data_mut().iter_mut().zip(x.data()) {
+        *yv += alpha * xv;
+    }
+}
+
+/// Dot product of two 1-D tensors.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.data().iter().zip(b.data()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Mean squared error between two tensors of the same shape.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(a: &Tensor, b: &Tensor) -> f32 {
+    sub(a, b).norm_sq() / a.len() as f32
+}
+
+/// Argmax over a 1-D tensor; ties resolve to the lowest index.
+///
+/// # Panics
+///
+/// Panics if the tensor is empty.
+pub fn argmax(a: &Tensor) -> usize {
+    assert!(!a.is_empty(), "argmax of empty tensor");
+    let mut best = 0;
+    let mut best_v = a.data()[0];
+    for (i, &v) in a.data().iter().enumerate().skip(1) {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d)
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let c = matmul(&a, &Tensor::eye(3));
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let b = t(vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[2, 4]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape().dims(), &[3, 4]);
+        assert_eq!(&c.data()[0..4], &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(&c.data()[8..12], &[8.0, 10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn gemv_matches_matmul() {
+        let w = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let x = t(vec![1.0, 0.5, -1.0], &[3]);
+        let y = gemv(&w, &x);
+        let xm = x.reshaped(&[3, 1]);
+        let ym = matmul(&w, &xm);
+        assert_eq!(y.data(), ym.data());
+    }
+
+    #[test]
+    fn affine_adds_bias() {
+        let w = Tensor::eye(2);
+        let x = t(vec![3.0, 4.0], &[2]);
+        let b = t(vec![1.0, -1.0], &[2]);
+        assert_eq!(affine(&w, &x, &b).data(), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn hadamard_and_switching_mix() {
+        // Eq. (2): y = y ⊙ m + y' ⊙ (1-m)
+        let y = t(vec![10.0, 20.0, 30.0], &[3]);
+        let yp = t(vec![1.0, 2.0, 3.0], &[3]);
+        let m = t(vec![1.0, 0.0, 1.0], &[3]);
+        let ones = Tensor::full(&[3], 1.0);
+        let mixed = add(&hadamard(&y, &m), &hadamard(&yp, &sub(&ones, &m)));
+        assert_eq!(mixed.data(), &[10.0, 2.0, 30.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = t(vec![1.0, 2.0], &[2]);
+        let mut y = t(vec![10.0, 10.0], &[2]);
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y.data(), &[10.5, 11.0]);
+    }
+
+    #[test]
+    fn dot_and_mse() {
+        let a = t(vec![1.0, 2.0, 3.0], &[3]);
+        let b = t(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(dot(&a, &b), 32.0);
+        assert!((mse(&a, &b) - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        let a = t(vec![0.5, 2.0, 2.0, 1.0], &[4]);
+        assert_eq!(argmax(&a), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 3]));
+    }
+}

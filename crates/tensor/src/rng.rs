@@ -1,0 +1,134 @@
+//! Seeded random number helpers.
+//!
+//! Everything in the workspace that needs randomness (weight init, ternary
+//! projection matrices, synthetic workloads) threads a seeded
+//! [`SmallRng`] through so every experiment is
+//! reproducible bit-for-bit.
+
+use crate::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Fills a new tensor with uniform values in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform(rng: &mut SmallRng, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    assert!(lo < hi, "uniform range must be non-empty");
+    Tensor::from_fn(dims, |_| rng.random_range(lo..hi))
+}
+
+/// Samples one standard-normal value via the Box–Muller transform.
+pub fn normal_sample(rng: &mut SmallRng) -> f32 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f32 = 1.0 - rng.random::<f32>();
+    let u2: f32 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Fills a new tensor with N(mean, std²) samples.
+///
+/// # Panics
+///
+/// Panics if `std` is negative.
+pub fn normal(rng: &mut SmallRng, dims: &[usize], mean: f32, std: f32) -> Tensor {
+    assert!(std >= 0.0, "standard deviation must be non-negative");
+    Tensor::from_fn(dims, |_| mean + std * normal_sample(rng))
+}
+
+/// Returns `true` with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside [0, 1].
+pub fn bernoulli(rng: &mut SmallRng, p: f64) -> bool {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+    rng.random_bool(p)
+}
+
+/// Samples an index from an unnormalized non-negative weight slice.
+///
+/// # Panics
+///
+/// Panics if weights are empty, contain a negative value, or sum to zero.
+pub fn weighted_index(rng: &mut SmallRng, weights: &[f32]) -> usize {
+    assert!(!weights.is_empty(), "weighted_index needs weights");
+    assert!(
+        weights.iter().all(|&w| w >= 0.0),
+        "weights must be non-negative"
+    );
+    let total: f32 = weights.iter().sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut u = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a = uniform(&mut seeded(7), &[32], -1.0, 1.0);
+        let b = uniform(&mut seeded(7), &[32], -1.0, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = uniform(&mut seeded(1), &[32], -1.0, 1.0);
+        let b = uniform(&mut seeded(2), &[32], -1.0, 1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded(42);
+        let t = normal(&mut rng, &[20000], 2.0, 3.0);
+        let mean = t.mean();
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = seeded(3);
+        let t = uniform(&mut rng, &[1000], -0.5, 0.5);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = seeded(9);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[weighted_index(&mut rng, &[1.0, 0.0, 3.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 2, "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn uniform_bad_range_panics() {
+        uniform(&mut seeded(0), &[1], 1.0, 1.0);
+    }
+}

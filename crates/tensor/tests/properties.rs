@@ -1,0 +1,164 @@
+//! Property-based tests of the tensor substrate's algebraic laws.
+
+use duet_tensor::fixed::{Fixed16Tensor, Int4Tensor};
+use duet_tensor::im2col::{col2im, im2col, ConvGeometry};
+use duet_tensor::{ops, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(n: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, n).prop_map(move |v| Tensor::from_vec(v, &[n]))
+}
+
+fn matrix_strategy(r: usize, c: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-5.0f32..5.0, r * c).prop_map(move |v| Tensor::from_vec(v, &[r, c]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(
+        a in matrix_strategy(4, 5),
+        b in matrix_strategy(5, 3),
+        c in matrix_strategy(5, 3),
+    ) {
+        let lhs = ops::matmul(&a, &ops::add(&b, &c));
+        let rhs = ops::add(&ops::matmul(&a, &b), &ops::matmul(&a, &c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn matmul_transpose_law(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+    ) {
+        let lhs = ops::matmul(&a, &b).transposed();
+        let rhs = ops::matmul(&b.transposed(), &a.transposed());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// gemv agrees with matmul against a column vector.
+    #[test]
+    fn gemv_matmul_consistency(
+        w in matrix_strategy(6, 4),
+        x in tensor_strategy(4),
+    ) {
+        let y = ops::gemv(&w, &x);
+        let ym = ops::matmul(&w, &x.reshaped(&[4, 1]));
+        for (a, b) in y.data().iter().zip(ym.data()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    /// Dot product is symmetric and Cauchy–Schwarz holds.
+    #[test]
+    fn dot_properties(a in tensor_strategy(16), b in tensor_strategy(16)) {
+        let ab = ops::dot(&a, &b);
+        let ba = ops::dot(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-2);
+        let bound = (a.norm_sq() * b.norm_sq()).sqrt();
+        prop_assert!(ab.abs() <= bound * 1.0001 + 1e-3);
+    }
+
+    /// INT16 quantization round-trip error is bounded by one step.
+    #[test]
+    fn fixed16_roundtrip_bound(t in tensor_strategy(64)) {
+        let q = Fixed16Tensor::quantize(&t);
+        let back = q.dequantize();
+        for (a, b) in t.data().iter().zip(back.data()) {
+            prop_assert!((a - b).abs() <= q.scale() * 1.01);
+        }
+    }
+
+    /// The 16→4 truncation always matches shifting the integer payload.
+    #[test]
+    fn truncation_is_arithmetic_shift(t in tensor_strategy(32)) {
+        let q16 = Fixed16Tensor::quantize(&t);
+        let q4 = q16.truncate_to_int4();
+        for (&v16, &v4) in q16.data().iter().zip(q4.data()) {
+            prop_assert_eq!((v16 >> 12) as i8, v4);
+        }
+        prop_assert!((q4.scale() / q16.scale() - 4096.0).abs() < 1e-3);
+    }
+
+    /// INT4 values always stay within [-8, 7].
+    #[test]
+    fn int4_range_invariant(t in tensor_strategy(64)) {
+        let q = Int4Tensor::quantize(&t);
+        prop_assert!(q.data().iter().all(|&v| (-8..=7).contains(&v)));
+        let tr = Fixed16Tensor::quantize(&t).truncate_to_int4();
+        prop_assert!(tr.data().iter().all(|&v| (-8..=7).contains(&v)));
+    }
+
+    /// im2col → GEMM equals direct convolution on random shapes.
+    #[test]
+    fn conv_lowering_equivalence(
+        c in 1usize..3,
+        hw in 4usize..8,
+        k in 1usize..4,
+        pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let geom = ConvGeometry {
+            in_channels: c,
+            in_h: hw,
+            in_w: hw,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: pad,
+        };
+        if hw + 2 * pad < 3 {
+            return Ok(());
+        }
+        let mut r = duet_tensor::rng::seeded(seed);
+        let input = duet_tensor::rng::normal(&mut r, &[c, hw, hw], 0.0, 1.0);
+        let filters = duet_tensor::rng::normal(&mut r, &[k, c, 3, 3], 0.0, 0.5);
+        let direct = duet_tensor::im2col::conv2d_direct(&input, &filters, &geom);
+        let cols = im2col(&input, &geom);
+        let gemm = ops::matmul(&filters.reshaped(&[k, geom.patch_len()]), &cols);
+        for (a, b) in direct.data().iter().zip(gemm.data()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    /// col2im is the adjoint of im2col for random geometries.
+    #[test]
+    fn adjoint_property(hw in 4usize..8, pad in 0usize..2, seed in 0u64..500) {
+        let geom = ConvGeometry {
+            in_channels: 2,
+            in_h: hw,
+            in_w: hw,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: pad,
+        };
+        let mut r = duet_tensor::rng::seeded(seed);
+        let x = duet_tensor::rng::normal(&mut r, &[2, hw, hw], 0.0, 1.0);
+        let y = duet_tensor::rng::normal(
+            &mut r,
+            &[geom.patch_len(), geom.out_positions()],
+            0.0,
+            1.0,
+        );
+        let n1 = geom.patch_len() * geom.out_positions();
+        let lhs = ops::dot(&im2col(&x, &geom).reshaped(&[n1]), &y.reshaped(&[n1]));
+        let rhs = ops::dot(&x.reshaped(&[x.len()]), &col2im(&y, &geom).reshaped(&[x.len()]));
+        prop_assert!((lhs - rhs).abs() < 1e-1 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// Reshape preserves data; transpose twice is identity.
+    #[test]
+    fn shape_laws(m in matrix_strategy(5, 7)) {
+        let reshaped = m.reshaped(&[7, 5]);
+        prop_assert_eq!(reshaped.data(), m.data());
+        prop_assert_eq!(&m.transposed().transposed(), &m);
+    }
+}

@@ -1,0 +1,508 @@
+//! Converting trained networks into dual-module form and measuring the
+//! true quality-vs-savings trade-off (the data behind Fig. 10).
+
+use crate::datasets::Classification;
+use crate::trainer::CharLm;
+use duet_core::dual_rnn::{DualGruCell, DualLstmCell, RnnThresholds};
+use duet_core::{DualConvLayer, DualModuleLayer, SavingsReport, SwitchingPolicy};
+use duet_nn::lstm::LstmState;
+use duet_nn::{loss, Activation, Sequential};
+use duet_tensor::im2col::{im2col, ConvGeometry};
+use duet_tensor::{ops, Tensor};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A dual-module MLP: hidden ReLU layers run dual-module, the final
+/// logits layer stays dense (no non-linearity to exploit).
+#[derive(Debug, Clone)]
+pub struct DualMlp {
+    hidden: Vec<DualModuleLayer>,
+    final_w: Tensor,
+    final_b: Tensor,
+}
+
+impl DualMlp {
+    /// Builds from a trained `linear → ReLU → … → linear` [`Sequential`],
+    /// distilling each hidden layer's approximate module from calibration
+    /// data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no linear layers.
+    pub fn from_sequential(
+        net: &Sequential,
+        calibration: &Classification,
+        reduced_ratio: f64,
+        r: &mut SmallRng,
+    ) -> Self {
+        let linears = net.linear_layers();
+        assert!(!linears.is_empty(), "network has no linear layers");
+        let (last, hidden_layers) = linears.split_last().unwrap();
+
+        // Collect calibration activations layer by layer.
+        let n = calibration.len().min(256);
+        let d0 = calibration.inputs.shape().dim(1);
+        let mut acts = Tensor::from_vec(calibration.inputs.data()[..n * d0].to_vec(), &[n, d0]);
+        let mut hidden = Vec::with_capacity(hidden_layers.len());
+        for l in hidden_layers {
+            let k = ((l.in_features() as f64 * reduced_ratio) as usize).clamp(8, l.in_features());
+            let dual = DualModuleLayer::learn_from_activations(
+                l.weight(),
+                l.bias(),
+                Activation::Relu,
+                k,
+                &acts,
+                r,
+            );
+            // propagate calibration data through the dense layer + ReLU
+            let mut next = Tensor::zeros(&[n, l.out_features()]);
+            for i in 0..n {
+                let x = Tensor::from_vec(acts.row(i).to_vec(), &[l.in_features()]);
+                let y = Activation::Relu.apply(&ops::affine(l.weight(), &x, l.bias()));
+                next.row_mut(i).copy_from_slice(y.data());
+            }
+            acts = next;
+            hidden.push(dual);
+        }
+        Self {
+            hidden,
+            final_w: last.weight().clone(),
+            final_b: last.bias().clone(),
+        }
+    }
+
+    /// Forward pass for one input vector at threshold θ.
+    pub fn forward(&self, x: &Tensor, theta: f32) -> (Tensor, SavingsReport) {
+        let mut cur = x.clone();
+        let mut report = SavingsReport::new();
+        for layer in &self.hidden {
+            let out = layer.forward(&cur, &SwitchingPolicy::relu(theta));
+            report += out.report;
+            cur = out.output;
+        }
+        let logits = ops::affine(&self.final_w, &cur, &self.final_b);
+        (logits, report)
+    }
+
+    /// Accuracy and aggregate savings over a dataset at threshold θ.
+    pub fn evaluate(&self, data: &Classification, theta: f32) -> (f64, SavingsReport) {
+        let d = data.inputs.shape().dim(1);
+        let mut correct = 0usize;
+        let mut report = SavingsReport::new();
+        for i in 0..data.len() {
+            let x = Tensor::from_vec(data.inputs.row(i).to_vec(), &[d]);
+            let (logits, rep) = self.forward(&x, theta);
+            report += rep;
+            if ops::argmax(&logits) == data.labels[i] {
+                correct += 1;
+            }
+        }
+        (correct as f64 / data.len() as f64, report)
+    }
+}
+
+/// A dual-module CNN classifier: the conv layer runs dual-module, pooling
+/// and the classifier head stay dense.
+#[derive(Debug, Clone)]
+pub struct DualCnn {
+    conv: DualConvLayer,
+    geom: ConvGeometry,
+    pool: usize,
+    head_w: Tensor,
+    head_b: Tensor,
+}
+
+impl DualCnn {
+    /// Builds from a trained `conv → ReLU → pool → flatten → linear`
+    /// [`Sequential`], distilling the conv's approximate module from real
+    /// im2col patches of the calibration images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network shape is not conv + linear.
+    pub fn from_sequential(
+        net: &Sequential,
+        calibration: &Classification,
+        reduced_ratio: f64,
+        r: &mut SmallRng,
+    ) -> Self {
+        let convs = net.conv_layers();
+        let linears = net.linear_layers();
+        assert_eq!(convs.len(), 1, "expected exactly one conv layer");
+        assert_eq!(linears.len(), 1, "expected exactly one linear head");
+        let conv = convs[0];
+        let geom = *conv.geometry();
+        let kk = conv.out_channels();
+
+        // Gather real patch columns as calibration activations.
+        let dims = calibration.inputs.shape().dims().to_vec();
+        let (c, s) = (dims[1], dims[2]);
+        let img = c * s * s;
+        let n_img = calibration.len().min(8);
+        let mut patches: Vec<f32> = Vec::new();
+        let mut count = 0usize;
+        for i in 0..n_img {
+            let sample = Tensor::from_vec(
+                calibration.inputs.data()[i * img..(i + 1) * img].to_vec(),
+                &[c, s, s],
+            );
+            let cols = im2col(&sample, &geom); // [patch, positions]
+            let positions = cols.shape().dim(1);
+            for p in (0..positions).step_by(3) {
+                for row in 0..geom.patch_len() {
+                    patches.push(cols.at(&[row, p]));
+                }
+                count += 1;
+            }
+        }
+        let acts = Tensor::from_vec(patches, &[count, geom.patch_len()]);
+
+        let k = ((geom.patch_len() as f64 * reduced_ratio) as usize).clamp(4, geom.patch_len());
+        let fmat = conv.weight_matrix().clone();
+        let approx = duet_core::distill::distill_linear_from_activations(
+            &fmat,
+            conv.bias(),
+            duet_core::ApproxConfig::paper_default(k),
+            &acts,
+            r,
+        );
+        let filters = fmat.reshaped(&[kk, geom.in_channels, geom.kernel_h, geom.kernel_w]);
+        let dual = DualConvLayer::new(geom, &filters, conv.bias().clone(), approx);
+
+        Self {
+            conv: dual,
+            geom,
+            pool: 2,
+            head_w: linears[0].weight().clone(),
+            head_b: linears[0].bias().clone(),
+        }
+    }
+
+    /// Forward pass for one `[C, H, W]` image at threshold θ.
+    pub fn forward(&self, image: &Tensor, theta: f32) -> (Tensor, SavingsReport) {
+        let out = self
+            .conv
+            .forward(image, &SwitchingPolicy::relu(theta), None);
+        // max pool
+        let (kk, oh, ow) = (
+            out.output.shape().dim(0),
+            out.output.shape().dim(1),
+            out.output.shape().dim(2),
+        );
+        let (ph, pw) = (oh / self.pool, ow / self.pool);
+        let mut pooled = Tensor::zeros(&[kk * ph * pw]);
+        for ch in 0..kk {
+            for y in 0..ph {
+                for x in 0..pw {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..self.pool {
+                        for dx in 0..self.pool {
+                            best = best.max(out.output.at(&[
+                                ch,
+                                y * self.pool + dy,
+                                x * self.pool + dx,
+                            ]));
+                        }
+                    }
+                    pooled.data_mut()[(ch * ph + y) * pw + x] = best;
+                }
+            }
+        }
+        let logits = ops::affine(&self.head_w, &pooled, &self.head_b);
+        (logits, out.report)
+    }
+
+    /// Accuracy and savings over a dataset at threshold θ.
+    pub fn evaluate(&self, data: &Classification, theta: f32) -> (f64, SavingsReport) {
+        let dims = data.inputs.shape().dims().to_vec();
+        let img: usize = dims[1..].iter().product();
+        let mut correct = 0usize;
+        let mut report = SavingsReport::new();
+        for i in 0..data.len() {
+            let x = Tensor::from_vec(
+                data.inputs.data()[i * img..(i + 1) * img].to_vec(),
+                &[dims[1], dims[2], dims[3]],
+            );
+            let (logits, rep) = self.forward(&x, theta);
+            report += rep;
+            if ops::argmax(&logits) == data.labels[i] {
+                correct += 1;
+            }
+        }
+        (correct as f64 / data.len() as f64, report)
+    }
+
+    /// The conv geometry (useful for trace building).
+    pub fn geometry(&self) -> &ConvGeometry {
+        &self.geom
+    }
+
+    /// The dual-module conv layer (for direct access to switching maps
+    /// and the approximate module).
+    pub fn conv_layer(&self) -> &DualConvLayer {
+        &self.conv
+    }
+}
+
+/// Which dual recurrent cell a [`DualCharLm`] wraps.
+#[derive(Debug, Clone)]
+pub enum DualLmCell {
+    /// Dual-module LSTM.
+    Lstm(DualLstmCell),
+    /// Dual-module GRU.
+    Gru(DualGruCell),
+}
+
+/// A dual-module language model: the recurrent cell runs dual-module,
+/// embedding and output projection stay dense.
+#[derive(Debug, Clone)]
+pub struct DualCharLm {
+    lm: CharLm,
+    cell: DualLmCell,
+}
+
+impl DualCharLm {
+    /// Distills dual-module cells from a trained [`CharLm`].
+    pub fn from_char_lm(lm: &CharLm, reduced_dim: usize, samples: usize, r: &mut SmallRng) -> Self {
+        let cell = if let Some(c) = lm.lstm_cell() {
+            DualLmCell::Lstm(DualLstmCell::learn(c, reduced_dim, samples, r))
+        } else {
+            DualLmCell::Gru(DualGruCell::learn(
+                lm.gru_cell().expect("lm must hold lstm or gru"),
+                reduced_dim,
+                samples,
+                r,
+            ))
+        };
+        Self {
+            lm: lm.clone(),
+            cell,
+        }
+    }
+
+    /// Mean NLL (nats/token) and savings over a token sequence at the
+    /// given per-gate thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.len() < 2`.
+    pub fn nll(&self, tokens: &[usize], thresholds: &RnnThresholds) -> (f32, SavingsReport) {
+        assert!(tokens.len() >= 2, "need at least two tokens");
+        let steps = tokens.len() - 1;
+        let steps_u64 = steps as u64;
+        let hidden = self.lm.hidden();
+        let vocab = self.lm.vocab();
+        let mut state = LstmState::zeros(hidden);
+        let mut gru_h = Tensor::zeros(&[hidden]);
+        let mut total = 0.0f32;
+        let mut report = SavingsReport::new();
+        for t in 0..steps {
+            let x = self.embed_token(tokens[t]);
+            let h = match &self.cell {
+                DualLmCell::Lstm(c) => {
+                    let out = c.step(&x, &state, thresholds);
+                    report += out.report;
+                    state = LstmState {
+                        h: out.h.clone(),
+                        c: out.c,
+                    };
+                    out.h
+                }
+                DualLmCell::Gru(c) => {
+                    let out = c.step(&x, &gru_h, thresholds);
+                    report += out.report;
+                    gru_h = out.h.clone();
+                    out.h
+                }
+            };
+            let logits = ops::affine(&self.lm.w_out.value, &h, &self.lm.b_out.value);
+            let (l, _) = loss::cross_entropy(&logits.reshaped(&[1, vocab]), &[tokens[t + 1]]);
+            total += l;
+        }
+        // The Speculator's QDR weights stay resident in its weight buffer
+        // across time steps (§III-B pre-step); the per-step reports each
+        // counted a fresh load, so amortize them back to a single fetch.
+        report.speculator_weight_bytes /= steps_u64;
+        (total / steps as f32, report)
+    }
+
+    /// Perplexity and savings at the given thresholds.
+    pub fn perplexity(&self, tokens: &[usize], thresholds: &RnnThresholds) -> (f32, SavingsReport) {
+        let (nll, rep) = self.nll(tokens, thresholds);
+        (loss::perplexity(nll), rep)
+    }
+
+    /// Records per-step gate maps for trace building.
+    pub fn record_gate_maps(
+        &self,
+        tokens: &[usize],
+        thresholds: &RnnThresholds,
+    ) -> Vec<Vec<duet_core::SwitchingMap>> {
+        let hidden = self.lm.hidden();
+        let mut state = LstmState::zeros(hidden);
+        let mut gru_h = Tensor::zeros(&[hidden]);
+        let mut all = Vec::new();
+        for &tok in &tokens[..tokens.len().saturating_sub(1)] {
+            let x = self.embed_token(tok);
+            match &self.cell {
+                DualLmCell::Lstm(c) => {
+                    let out = c.step(&x, &state, thresholds);
+                    state = LstmState {
+                        h: out.h.clone(),
+                        c: out.c,
+                    };
+                    all.push(out.gate_maps);
+                }
+                DualLmCell::Gru(c) => {
+                    let out = c.step(&x, &gru_h, thresholds);
+                    gru_h = out.h.clone();
+                    all.push(out.gate_maps);
+                }
+            }
+        }
+        all
+    }
+
+    fn embed_token(&self, token: usize) -> Tensor {
+        let vocab = self.lm.vocab();
+        let emb = self.lm.embed.value.shape().dim(0);
+        Tensor::from_vec(
+            (0..emb)
+                .map(|i| self.lm.embed.value.data()[i * vocab + token])
+                .collect(),
+            &[emb],
+        )
+    }
+}
+
+/// Generates calibration inputs by sampling rows of a dataset with
+/// replacement (a quick bootstrap for distillation).
+pub fn bootstrap_rows(data: &Classification, n: usize, r: &mut SmallRng) -> Tensor {
+    let d = data.inputs.shape().dim(1);
+    let mut out = Tensor::zeros(&[n, d]);
+    for i in 0..n {
+        let j = r.random_range(0..data.len());
+        out.row_mut(i).copy_from_slice(data.inputs.row(j));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use crate::trainer;
+    use duet_tensor::rng::seeded;
+
+    #[test]
+    fn dual_mlp_matches_dense_at_never_switch() {
+        let mut r = seeded(1);
+        let data = datasets::gaussian_clusters(3, 12, 200, 5.0, &mut r);
+        let mut net = trainer::train_mlp(&data, 24, 25, &mut r);
+        let dense_acc = trainer::evaluate_classifier(&mut net, &data);
+
+        let dual = DualMlp::from_sequential(&net, &data, 0.5, &mut r);
+        // θ = −∞ keeps every ReLU output sensitive → identical accuracy
+        let (acc, rep) = dual.evaluate(&data, f32::NEG_INFINITY);
+        assert!((acc - dense_acc).abs() < 1e-9, "{acc} vs {dense_acc}");
+        assert_eq!(rep.approximate_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dual_mlp_saves_flops_with_small_accuracy_loss() {
+        let mut r = seeded(2);
+        let data = datasets::gaussian_clusters(3, 12, 300, 5.0, &mut r);
+        let mut net = trainer::train_mlp(&data, 32, 30, &mut r);
+        let dense_acc = trainer::evaluate_classifier(&mut net, &data);
+
+        let dual = DualMlp::from_sequential(&net, &data, 0.5, &mut r);
+        let (acc, rep) = dual.evaluate(&data, 0.0);
+        assert!(
+            rep.flops_reduction() > 1.2,
+            "reduction {}",
+            rep.flops_reduction()
+        );
+        assert!(
+            acc >= dense_acc - 0.05,
+            "accuracy {acc} vs dense {dense_acc}"
+        );
+    }
+
+    #[test]
+    fn dual_mlp_quality_degrades_monotonically_in_theta() {
+        let mut r = seeded(3);
+        let data = datasets::gaussian_clusters(4, 10, 200, 4.0, &mut r);
+        let net = trainer::train_mlp(&data, 24, 25, &mut r);
+        let dual = DualMlp::from_sequential(&net, &data, 0.5, &mut r);
+
+        let (_, rep_low) = dual.evaluate(&data, -10.0);
+        let (_, rep_high) = dual.evaluate(&data, 10.0);
+        assert!(rep_high.approximate_fraction() > rep_low.approximate_fraction());
+        assert!(rep_high.flops_reduction() > rep_low.flops_reduction());
+    }
+
+    #[test]
+    fn dual_cnn_roundtrip() {
+        let mut r = seeded(4);
+        let data = datasets::shape_images(120, 9, 0.05, &mut r);
+        let mut net = trainer::train_cnn(&data, 6, 10, &mut r);
+        let dense_acc = trainer::evaluate_classifier(&mut net, &data);
+        let dual = DualCnn::from_sequential(&net, &data, 0.5, &mut r);
+        let (acc_exact, _) = dual.evaluate(&data, f32::NEG_INFINITY);
+        assert!(
+            (acc_exact - dense_acc).abs() < 0.02,
+            "{acc_exact} vs {dense_acc}"
+        );
+        let (acc, rep) = dual.evaluate(&data, 0.0);
+        assert!(rep.mac_skip_fraction() > 0.1);
+        assert!(acc >= dense_acc - 0.1, "{acc} vs {dense_acc}");
+    }
+
+    #[test]
+    fn dual_lm_tracks_dense_perplexity_when_conservative() {
+        let mut r = seeded(5);
+        let source = datasets::MarkovText::new(12, 3, &mut r);
+        let lm = trainer::train_char_lm(&source, true, 12, 24, 50, 20, &mut r);
+        let test = source.sample(150, &mut r);
+        let dense_ppl = lm.perplexity(&test);
+
+        let dual = DualCharLm::from_char_lm(&lm, 16, 300, &mut r);
+        let (ppl, rep) = dual.perplexity(&test, &RnnThresholds::never_switch());
+        assert!(
+            (ppl - dense_ppl).abs() < dense_ppl * 0.02,
+            "{ppl} vs {dense_ppl}"
+        );
+        assert_eq!(rep.approximate_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dual_lm_saves_weight_accesses_with_bounded_ppl_loss() {
+        let mut r = seeded(6);
+        let source = datasets::MarkovText::new(12, 3, &mut r);
+        let lm = trainer::train_char_lm(&source, true, 12, 32, 150, 25, &mut r);
+        let test = source.sample(150, &mut r);
+        let dense_ppl = lm.perplexity(&test);
+
+        let dual = DualCharLm::from_char_lm(&lm, 24, 400, &mut r);
+        let th = RnnThresholds {
+            theta_sigmoid: 2.0,
+            theta_tanh: 1.5,
+        };
+        let (ppl, rep) = dual.perplexity(&test, &th);
+        assert!(rep.approximate_fraction() > 0.02, "no switching happened");
+        assert!(ppl < dense_ppl * 1.5, "ppl {ppl} vs dense {dense_ppl}");
+    }
+
+    #[test]
+    fn recorded_gate_maps_have_right_shape() {
+        let mut r = seeded(7);
+        let source = datasets::MarkovText::new(10, 2, &mut r);
+        let lm = trainer::train_char_lm(&source, false, 10, 16, 30, 15, &mut r);
+        let dual = DualCharLm::from_char_lm(&lm, 12, 200, &mut r);
+        let tokens = source.sample(10, &mut r);
+        let maps = dual.record_gate_maps(&tokens, &RnnThresholds::never_switch());
+        assert_eq!(maps.len(), 9);
+        assert_eq!(maps[0].len(), 3); // GRU gates
+        assert_eq!(maps[0][0].len(), 16);
+    }
+}

@@ -1,0 +1,30 @@
+//! # duet-workloads
+//!
+//! The benchmark model zoo and data substrate for the DUET reproduction:
+//!
+//! * [`models`] — layer-shape-faithful configs for AlexNet, VGG16,
+//!   ResNet18, ResNet50 and the PTB-style LSTM/GRU and GNMT-style
+//!   recurrent stacks the paper evaluates (§V-A),
+//! * [`sparsity`] — per-layer activation-sensitivity calibration following
+//!   the paper's Fig. 2 measurements,
+//! * [`datasets`] — synthetic stand-ins for ImageNet/PTB/WMT16: Gaussian
+//!   cluster classification, procedurally rendered shape images, and a
+//!   Markov-chain text source (see DESIGN.md for the substitution
+//!   rationale),
+//! * [`trainer`] — real end-to-end training of small classifiers and
+//!   language models whose layers become dual-module teachers,
+//! * [`dualize`] — converting trained networks into dual-module form and
+//!   measuring true accuracy/perplexity vs. savings (the Fig. 10 data).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod dualize;
+pub mod models;
+pub mod seq2seq;
+pub mod sparsity;
+pub mod trainer;
+
+pub use models::{ConvShape, ModelZoo, RnnShape};
+pub use sparsity::SparsityCalibration;

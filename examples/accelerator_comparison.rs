@@ -1,0 +1,69 @@
+//! Architecture comparison scenario (Fig. 11): run AlexNet-shaped
+//! workloads on DUET and on the modeled state-of-the-art designs —
+//! Eyeriss, Cnvlutin, SnaPEA, Predict, Predict+Cnvlutin — and print
+//! latency / energy / EDP normalized to DUET.
+//!
+//! ```text
+//! cargo run --release --example accelerator_comparison
+//! ```
+
+use duet::sim::baselines;
+use duet::sim::cnn::run_cnn;
+use duet::sim::config::{ArchConfig, ExecutorFeatures};
+use duet::sim::energy::EnergyTable;
+use duet::tensor::rng;
+use duet::workloads::models::ModelZoo;
+use duet::workloads::sparsity;
+
+fn main() {
+    let mut r = rng::seeded(2024);
+    let traces = sparsity::cnn_traces(ModelZoo::AlexNet, &mut r);
+    let cfg = ArchConfig::duet();
+    let energy = EnergyTable::default();
+
+    let duet = run_cnn("AlexNet", &traces, &cfg, &energy);
+    let base = run_cnn("AlexNet", &traces, &ArchConfig::single_module(), &energy);
+
+    println!(
+        "AlexNet on DUET: {:.2}x speedup, {:.2}x energy efficiency vs single-module baseline\n",
+        duet.speedup_over(&base),
+        duet.energy_efficiency_over(&base)
+    );
+
+    println!(
+        "{:>18} | {:>8} | {:>8} | {:>8}   (normalized to DUET; >1 = worse)",
+        "design", "latency", "energy", "EDP"
+    );
+    let runs = [
+        baselines::run_eyeriss("AlexNet", &traces, &cfg, &energy),
+        baselines::run_cnvlutin("AlexNet", &traces, &cfg, &energy),
+        baselines::run_snapea("AlexNet", &traces, &cfg, &energy),
+        baselines::run_predict("AlexNet", &traces, &cfg, &energy),
+        baselines::run_predict_cnvlutin("AlexNet", &traces, &cfg, &energy),
+    ];
+    for p in &runs {
+        println!(
+            "{:>18} | {:>7.2}x | {:>7.2}x | {:>7.2}x",
+            p.design,
+            p.total_latency_cycles as f64 / duet.total_latency_cycles as f64,
+            p.total_energy().total_pj() / duet.total_energy().total_pj(),
+            p.edp() / duet.edp(),
+        );
+    }
+    println!(
+        "{:>18} | {:>7.2}x | {:>7.2}x | {:>7.2}x",
+        "DUET", 1.0, 1.0, 1.0
+    );
+
+    // ablation: what each DUET mechanism buys (Fig. 12a ladder)
+    println!("\nDUET technique ladder (end-to-end speedup over dense baseline):");
+    for f in [
+        ExecutorFeatures::os(),
+        ExecutorFeatures::bos(),
+        ExecutorFeatures::ios(),
+        ExecutorFeatures::duet(),
+    ] {
+        let p = run_cnn("AlexNet", &traces, &cfg.with_features(f), &energy);
+        println!("  {:>5}: {:.2}x", f.label(), p.speedup_over(&base));
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end exercise of the §II-A tuning phase: greedy per-layer
+//! threshold calibration (`duet-core::calibration`) against a real
+//! trained two-hidden-layer MLP, with the accuracy floor enforced on the
+//! actual test set.
+
+use duet::core::calibration::calibrate;
+use duet::core::{DualModuleLayer, SavingsReport, SwitchingPolicy};
+use duet::nn::{Activation, Linear, Optimizer, Sequential};
+use duet::tensor::{ops, rng, Tensor};
+use duet::workloads::datasets;
+
+/// Builds a two-hidden-layer MLP and trains it on Gaussian clusters.
+fn train_two_layer_mlp(
+    data: &datasets::Classification,
+    r: &mut rand::rngs::SmallRng,
+) -> Sequential {
+    let d = data.inputs.shape().dim(1);
+    let mut net = Sequential::new();
+    net.push_linear(Linear::new(d, 48, r));
+    net.push_activation(Activation::Relu);
+    net.push_linear(Linear::new(48, 32, r));
+    net.push_activation(Activation::Relu);
+    net.push_linear(Linear::new(32, data.classes, r));
+    let mut opt = Optimizer::adam(0.01);
+    for _ in 0..40 {
+        net.train_step(&data.inputs, &data.labels, &mut opt);
+    }
+    net
+}
+
+#[test]
+fn greedy_calibration_finds_per_layer_thresholds() {
+    let mut r = rng::seeded(501);
+    let all = datasets::gaussian_clusters(4, 20, 700, 4.5, &mut r);
+    let (train, test) = all.split_at(500);
+    let mut net = train_two_layer_mlp(&train, &mut r);
+    let dense_acc = net.evaluate(&test.inputs, &test.labels);
+    assert!(dense_acc > 0.85, "training failed: {dense_acc}");
+
+    // Dualize both hidden layers.
+    let linears = net.linear_layers();
+    let duals: Vec<DualModuleLayer> = linears[..2]
+        .iter()
+        .map(|l| {
+            let k = l.in_features() / 2;
+            DualModuleLayer::learn(l.weight(), l.bias(), Activation::Relu, k, 300, &mut r)
+        })
+        .collect();
+    let (head_w, head_b) = (linears[2].weight().clone(), linears[2].bias().clone());
+
+    // Evaluation closure: accuracy + savings for a per-layer θ vector.
+    let d = test.inputs.shape().dim(1);
+    let evaluate = |thetas: &[f32]| -> (f64, SavingsReport) {
+        let mut correct = 0usize;
+        let mut report = SavingsReport::new();
+        for i in 0..test.len() {
+            let mut cur = Tensor::from_vec(test.inputs.row(i).to_vec(), &[d]);
+            for (layer, &theta) in duals.iter().zip(thetas) {
+                let out = layer.forward(&cur, &SwitchingPolicy::relu(theta));
+                report += out.report;
+                cur = out.output;
+            }
+            let logits = ops::affine(&head_w, &cur, &head_b);
+            if ops::argmax(&logits) == test.labels[i] {
+                correct += 1;
+            }
+        }
+        (correct as f64 / test.len() as f64, report)
+    };
+
+    // Candidate grid from conservative to aggressive; floor = 2% loss.
+    let grid = [f32::NEG_INFINITY, -0.5, 0.0, 0.5, 1.0, 1.5];
+    let floor = dense_acc - 0.02;
+    let cal = calibrate(2, &grid, evaluate, floor).expect("conservative must be feasible");
+
+    assert!(cal.quality >= floor, "floor violated: {}", cal.quality);
+    // calibration must have moved at least one layer off the conservative
+    // extreme and gained real savings
+    assert!(
+        cal.thetas.iter().any(|&t| t.is_finite()),
+        "calibration stayed fully conservative: {:?}",
+        cal.thetas
+    );
+    let (_, base_report) = {
+        let mut correct = 0usize;
+        let mut report = SavingsReport::new();
+        for i in 0..test.len() {
+            let mut cur = Tensor::from_vec(test.inputs.row(i).to_vec(), &[d]);
+            for layer in &duals {
+                let out = layer.forward(&cur, &SwitchingPolicy::never_switch());
+                report += out.report;
+                cur = out.output;
+            }
+            let logits = ops::affine(&head_w, &cur, &head_b);
+            if ops::argmax(&logits) == test.labels[i] {
+                correct += 1;
+            }
+        }
+        (correct as f64 / test.len() as f64, report)
+    };
+    assert!(
+        cal.report.flops_reduction() > base_report.flops_reduction(),
+        "calibration gained nothing: {} vs {}",
+        cal.report.flops_reduction(),
+        base_report.flops_reduction()
+    );
+    assert!(
+        cal.report.flops_reduction() > 1.2,
+        "too little saving at 2% budget: {}",
+        cal.report.flops_reduction()
+    );
+}

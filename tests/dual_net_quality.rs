@@ -1,0 +1,65 @@
+//! Integration test: the §III-C OMap→IMap chain measured on a *trained*
+//! two-conv CNN — chaining must save work without changing predictions.
+
+use duet::core::dual_net::DualConvNet;
+use duet::core::{DualConvLayer, SwitchingPolicy};
+use duet::tensor::{ops, rng, Tensor};
+use duet::workloads::{datasets, trainer};
+
+#[test]
+fn chained_dual_net_preserves_trained_accuracy() {
+    let mut r = rng::seeded(301);
+    let all = datasets::shape_images(450, 10, 0.15, &mut r);
+    let (train, test) = all.split_at(300);
+    let mut net = trainer::train_deep_cnn(&train, 6, 12, &mut r);
+    let dense_acc = trainer::evaluate_classifier(&mut net, &test);
+    assert!(dense_acc > 0.8, "deep CNN failed to train: {dense_acc}");
+
+    // Build the dual chain from the trained convs.
+    let convs = net.conv_layers();
+    let heads = net.linear_layers();
+    let (head_w, head_b) = (heads[0].weight().clone(), heads[0].bias().clone());
+    let mut chain = DualConvNet::new();
+    for conv in &convs {
+        let g = *conv.geometry();
+        let k = conv.out_channels();
+        let filters =
+            conv.weight_matrix()
+                .reshaped(&[k, g.in_channels, g.kernel_h, g.kernel_w]);
+        let dual = DualConvLayer::learn(g, &filters, conv.bias(), 9, 300, &mut r);
+        chain.push_conv(dual);
+    }
+    chain.push_pool(2);
+    assert_eq!(chain.conv_count(), 2);
+
+    // Classify through the chain at a conservative threshold and compare
+    // with the dense network.
+    let dims = test.inputs.shape().dims().to_vec();
+    let img: usize = dims[1..].iter().product();
+    let mut correct = 0usize;
+    let mut imap_used = false;
+    let mut macs_saved = false;
+    let n_eval = 60.min(test.len());
+    for i in 0..n_eval {
+        let x = Tensor::from_vec(
+            test.inputs.data()[i * img..(i + 1) * img].to_vec(),
+            &[dims[1], dims[2], dims[3]],
+        );
+        let out = chain.forward(&x, &SwitchingPolicy::relu(0.0));
+        imap_used |= out.layers[1].had_imap;
+        let total = out.total_report();
+        macs_saved |= total.executor_macs < total.dense_macs;
+        let flat = out.output.reshaped(&[out.output.len()]);
+        let logits = ops::affine(&head_w, &flat, &head_b);
+        if ops::argmax(&logits) == test.labels[i] {
+            correct += 1;
+        }
+    }
+    let acc = correct as f64 / n_eval as f64;
+    assert!(imap_used, "second conv never received the chained IMap");
+    assert!(macs_saved, "chain saved no MACs");
+    assert!(
+        acc >= dense_acc - 0.15,
+        "chained accuracy {acc} vs dense {dense_acc}"
+    );
+}

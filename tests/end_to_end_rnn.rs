@@ -1,0 +1,101 @@
+//! End-to-end RNN integration test: train a language model, distill dual
+//! cells, record real gate switching maps, and replay them in the
+//! memory-bound simulator — verifying the §IV-B weight-fetch saving on
+//! genuinely measured maps.
+
+use duet::core::dual_rnn::RnnThresholds;
+use duet::sim::config::ArchConfig;
+use duet::sim::energy::EnergyTable;
+use duet::sim::rnn::run_rnn_layer;
+use duet::sim::trace::RnnLayerTrace;
+use duet::tensor::rng;
+use duet::workloads::datasets::MarkovText;
+use duet::workloads::dualize::DualCharLm;
+use duet::workloads::trainer;
+
+#[test]
+fn trained_lstm_to_simulator_pipeline() {
+    let mut r = rng::seeded(201);
+    let source = MarkovText::new(12, 3, &mut r);
+    let lm = trainer::train_char_lm(&source, true, 12, 32, 120, 25, &mut r);
+    let test = source.sample(200, &mut r);
+    let dense_ppl = lm.perplexity(&test);
+    assert!(dense_ppl < 9.0, "LM failed to train: ppl {dense_ppl}");
+
+    let dual = DualCharLm::from_char_lm(&lm, 24, 400, &mut r);
+    let th = RnnThresholds {
+        theta_sigmoid: 2.0,
+        theta_tanh: 1.5,
+    };
+    let (ppl, report) = dual.perplexity(&test, &th);
+    assert!(
+        ppl < dense_ppl * 1.6,
+        "quality collapsed: {ppl} vs {dense_ppl}"
+    );
+    assert!(report.approximate_fraction() > 0.02, "no switching");
+
+    // Record real maps and replay in the simulator.
+    let tokens = source.sample(30, &mut r);
+    let maps = dual.record_gate_maps(&tokens, &th);
+    let trace = RnnLayerTrace::from_step_maps("lstm", 12, &maps);
+    assert_eq!(trace.gates, 4);
+
+    // The paper's RNN weights exceed the GLB, forcing per-step streaming
+    // (§IV-B). Our test LM is tiny, so shrink the GLB to put the
+    // simulation in the same memory-bound regime.
+    let mut cfg = ArchConfig::duet();
+    cfg.glb_bytes = 2048;
+    let energy = EnergyTable::default();
+    let base = run_rnn_layer(&trace, &cfg, &energy, false);
+    let duet = run_rnn_layer(&trace, &cfg, &energy, true);
+
+    // Fetched weight bytes must shrink by exactly the sensitive fraction.
+    let expected = trace.sensitive_fraction();
+    let measured = duet.weight_bytes_fetched as f64 / base.weight_bytes_fetched as f64;
+    assert!(
+        (measured - expected).abs() < 0.02,
+        "fetch ratio {measured} vs sensitive fraction {expected}"
+    );
+    assert!(duet.perf.energy.dram_pj < base.perf.energy.dram_pj);
+
+    // At the paper's own GLB size this small model is *not* streamed:
+    // both designs load the weights once — check that the simulator
+    // models the capacity boundary rather than always assuming streaming.
+    let resident = run_rnn_layer(&trace, &ArchConfig::duet(), &energy, false);
+    assert!(
+        resident.weight_bytes_fetched < base.weight_bytes_fetched,
+        "resident weights should be fetched once, streamed weights every step"
+    );
+}
+
+#[test]
+fn gru_lm_dual_pipeline() {
+    let mut r = rng::seeded(202);
+    let source = MarkovText::new(10, 2, &mut r);
+    let lm = trainer::train_char_lm(&source, false, 10, 24, 100, 20, &mut r);
+    let test = source.sample(150, &mut r);
+    let dense_ppl = lm.perplexity(&test);
+
+    let dual = DualCharLm::from_char_lm(&lm, 16, 300, &mut r);
+    // conservative thresholds: quality must be essentially unchanged
+    let (ppl, _) = dual.perplexity(
+        &test,
+        &RnnThresholds {
+            theta_sigmoid: 4.0,
+            theta_tanh: 3.0,
+        },
+    );
+    assert!(ppl < dense_ppl * 1.1, "{ppl} vs {dense_ppl}");
+
+    let tokens = source.sample(20, &mut r);
+    let maps = dual.record_gate_maps(
+        &tokens,
+        &RnnThresholds {
+            theta_sigmoid: 1.5,
+            theta_tanh: 1.2,
+        },
+    );
+    let trace = RnnLayerTrace::from_step_maps("gru", 10, &maps);
+    assert_eq!(trace.gates, 3);
+    assert!(trace.sensitive_fraction() < 1.0);
+}
