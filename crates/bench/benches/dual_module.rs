@@ -1,85 +1,77 @@
-//! Criterion benchmarks of dual-module execution: the software-level
-//! speedup of switching (Fig. 3's pipeline) and the offline distillation
-//! cost.
+//! Benchmarks of dual-module execution: the software-level speedup of
+//! switching (Fig. 3's pipeline) and the offline distillation cost.
+//!
+//! Uses the in-tree `duet_bench::timing` harness; run with
+//! `cargo bench -p duet-bench --features criterion`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use duet_bench::timing::bench_and_print;
 use duet_core::{distill, ApproxConfig, DualModuleLayer, SwitchingPolicy};
 use duet_nn::Activation;
 use duet_tensor::{ops, rng};
 use std::hint::black_box;
 
-fn bench_dual_forward(c: &mut Criterion) {
+fn bench_dual_forward() {
     let mut r = rng::seeded(1);
     let w = rng::normal(&mut r, &[512, 512], 0.0, 0.1);
     let b = rng::normal(&mut r, &[512], 0.0, 0.05);
     let layer = DualModuleLayer::learn(&w, &b, Activation::Relu, 64, 256, &mut r);
     let x = rng::normal(&mut r, &[512], 0.0, 1.0);
 
-    let mut group = c.benchmark_group("dual_forward_512x512");
-    group.bench_function("dense_reference", |bch| {
-        bch.iter(|| layer.forward_dense(black_box(&x)))
+    bench_and_print("dual_forward_512x512/dense_reference", || {
+        layer.forward_dense(black_box(&x))
     });
-    group.bench_function("dual_never_switch", |bch| {
-        bch.iter(|| layer.forward(black_box(&x), &SwitchingPolicy::never_switch()))
+    bench_and_print("dual_forward_512x512/dual_never_switch", || {
+        layer.forward(black_box(&x), &SwitchingPolicy::never_switch())
     });
-    group.bench_function("dual_relu_theta0", |bch| {
-        bch.iter(|| layer.forward(black_box(&x), &SwitchingPolicy::relu(0.0)))
+    bench_and_print("dual_forward_512x512/dual_relu_theta0", || {
+        layer.forward(black_box(&x), &SwitchingPolicy::relu(0.0))
     });
-    group.bench_function("dual_relu_theta_inf", |bch| {
-        bch.iter(|| layer.forward(black_box(&x), &SwitchingPolicy::relu(f32::INFINITY)))
+    bench_and_print("dual_forward_512x512/dual_relu_theta_inf", || {
+        layer.forward(black_box(&x), &SwitchingPolicy::relu(f32::INFINITY))
     });
-    group.finish();
 }
 
-fn bench_distillation(c: &mut Criterion) {
+fn bench_distillation() {
     let mut r = rng::seeded(2);
     let w = rng::normal(&mut r, &[128, 256], 0.0, 0.1);
     let b = rng::normal(&mut r, &[128], 0.0, 0.05);
 
-    c.bench_function("distill_128x256_k32_s128", |bch| {
-        bch.iter(|| {
-            let mut rr = rng::seeded(3);
-            distill::distill_linear(
-                black_box(&w),
-                black_box(&b),
-                ApproxConfig::paper_default(32),
-                128,
-                &mut rr,
-            )
-        })
+    bench_and_print("distill_128x256_k32_s128", || {
+        let mut rr = rng::seeded(3);
+        distill::distill_linear(
+            black_box(&w),
+            black_box(&b),
+            ApproxConfig::paper_default(32),
+            128,
+            &mut rr,
+        )
     });
 }
 
-fn bench_switching_map(c: &mut Criterion) {
+fn bench_switching_map() {
     let mut r = rng::seeded(4);
     let y = rng::normal(&mut r, &[4096], 0.0, 2.0);
     let policy = SwitchingPolicy::tanh(1.5);
     let acc = rng::normal(&mut r, &[4096], 0.0, 2.0);
 
-    let mut group = c.benchmark_group("switching");
-    group.bench_function("map_4096", |bch| bch.iter(|| policy.map(black_box(&y))));
+    bench_and_print("switching/map_4096", || policy.map(black_box(&y)));
     let map = policy.map(&y);
-    group.bench_function("mix_4096", |bch| {
-        bch.iter(|| map.mix(black_box(&acc), black_box(&y)))
+    bench_and_print("switching/mix_4096", || {
+        map.mix(black_box(&acc), black_box(&y))
     });
-    group.bench_function("eq2_reference_hadamard", |bch| {
-        // the textbook Eq. (2) with float masks, for comparison
-        let m = y.map(|v| if policy.is_sensitive(v) { 1.0 } else { 0.0 });
-        let ones = duet_tensor::Tensor::full(&[4096], 1.0);
-        bch.iter(|| {
-            ops::add(
-                &ops::hadamard(black_box(&acc), &m),
-                &ops::hadamard(black_box(&y), &ops::sub(&ones, &m)),
-            )
-        })
+    // the textbook Eq. (2) with float masks, for comparison
+    let m = y.map(|v| if policy.is_sensitive(v) { 1.0 } else { 0.0 });
+    let ones = duet_tensor::Tensor::full(&[4096], 1.0);
+    bench_and_print("switching/eq2_reference_hadamard", || {
+        ops::add(
+            &ops::hadamard(black_box(&acc), &m),
+            &ops::hadamard(black_box(&y), &ops::sub(&ones, &m)),
+        )
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_dual_forward,
-    bench_distillation,
-    bench_switching_map
-);
-criterion_main!(benches);
+fn main() {
+    bench_dual_forward();
+    bench_distillation();
+    bench_switching_map();
+}

@@ -1,28 +1,34 @@
-//! Criterion micro-benchmarks of the numeric kernels underlying both
-//! modules: dense GEMM/GEMV (the accurate module), ternary projection and
-//! INT4 arithmetic (the approximate module), and the im2col lowering.
+//! Micro-benchmarks of the numeric kernels underlying both modules:
+//! dense GEMM/GEMV (the accurate module), ternary projection and INT4
+//! arithmetic (the approximate module), and the im2col lowering.
+//!
+//! Uses the in-tree `duet_bench::timing` harness; run with
+//! `cargo bench -p duet-bench --features criterion`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use duet_bench::timing::bench_and_print;
 use duet_core::TernaryProjection;
 use duet_tensor::fixed::{Fixed16Tensor, Int4Tensor};
 use duet_tensor::im2col::{im2col, ConvGeometry};
 use duet_tensor::{ops, rng};
 use std::hint::black_box;
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm");
+fn bench_gemm() {
     for n in [32usize, 64, 128] {
         let mut r = rng::seeded(1);
         let a = rng::normal(&mut r, &[n, n], 0.0, 1.0);
         let b = rng::normal(&mut r, &[n, n], 0.0, 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| ops::matmul(black_box(&a), black_box(&b)))
+        let m = bench_and_print(&format!("gemm/{n}"), || {
+            ops::matmul(black_box(&a), black_box(&b))
         });
+        println!(
+            "{:<40} {:>12.2} GFLOP/s",
+            format!("gemm/{n} throughput"),
+            m.gflops(2 * (n * n * n) as u64)
+        );
     }
-    group.finish();
 }
 
-fn bench_gemv_vs_projection(c: &mut Criterion) {
+fn bench_gemv_vs_projection() {
     // The headline kernel contrast: a dense accurate GEMV vs the
     // Speculator's ternary projection + low-rank GEMV.
     let mut r = rng::seeded(2);
@@ -34,41 +40,35 @@ fn bench_gemv_vs_projection(c: &mut Criterion) {
     let x = rng::normal(&mut r, &[d], 0.0, 1.0);
     let proj = TernaryProjection::sample(d, k, &mut r);
 
-    let mut group = c.benchmark_group("gemv_vs_approx");
-    group.bench_function("dense_gemv_1024x1024", |b| {
-        b.iter(|| ops::gemv(black_box(&w), black_box(&x)))
+    bench_and_print("gemv_vs_approx/dense_gemv_1024x1024", || {
+        ops::gemv(black_box(&w), black_box(&x))
     });
-    group.bench_function("ternary_project_1024_to_128", |b| {
-        b.iter(|| proj.project(black_box(&x)))
+    bench_and_print("gemv_vs_approx/ternary_project_1024_to_128", || {
+        proj.project(black_box(&x))
     });
-    group.bench_function("approx_project_plus_gemv", |b| {
-        b.iter(|| {
-            let p = proj.project(black_box(&x));
-            ops::gemv(black_box(&wk), &p)
-        })
+    bench_and_print("gemv_vs_approx/approx_project_plus_gemv", || {
+        let p = proj.project(black_box(&x));
+        ops::gemv(black_box(&wk), &p)
     });
-    group.finish();
 }
 
-fn bench_quantization(c: &mut Criterion) {
+fn bench_quantization() {
     let mut r = rng::seeded(3);
     let t = rng::normal(&mut r, &[4096], 0.0, 1.0);
     let q16 = Fixed16Tensor::quantize(&t);
 
-    let mut group = c.benchmark_group("quantization");
-    group.bench_function("fp32_to_int16", |b| {
-        b.iter(|| Fixed16Tensor::quantize(black_box(&t)))
+    bench_and_print("quantization/fp32_to_int16", || {
+        Fixed16Tensor::quantize(black_box(&t))
     });
-    group.bench_function("int16_truncate_to_int4", |b| {
-        b.iter(|| black_box(&q16).truncate_to_int4())
+    bench_and_print("quantization/int16_truncate_to_int4", || {
+        black_box(&q16).truncate_to_int4()
     });
-    group.bench_function("fp32_to_int4_rounded", |b| {
-        b.iter(|| Int4Tensor::quantize(black_box(&t)))
+    bench_and_print("quantization/fp32_to_int4_rounded", || {
+        Int4Tensor::quantize(black_box(&t))
     });
-    group.finish();
 }
 
-fn bench_im2col(c: &mut Criterion) {
+fn bench_im2col() {
     let mut r = rng::seeded(4);
     let geom = ConvGeometry {
         in_channels: 64,
@@ -80,16 +80,14 @@ fn bench_im2col(c: &mut Criterion) {
         padding: 1,
     };
     let input = rng::normal(&mut r, &[64, 28, 28], 0.0, 1.0);
-    c.bench_function("im2col_64x28x28_k3", |b| {
-        b.iter(|| im2col(black_box(&input), black_box(&geom)))
+    bench_and_print("im2col_64x28x28_k3", || {
+        im2col(black_box(&input), black_box(&geom))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_gemm,
-    bench_gemv_vs_projection,
-    bench_quantization,
-    bench_im2col
-);
-criterion_main!(benches);
+fn main() {
+    bench_gemm();
+    bench_gemv_vs_projection();
+    bench_quantization();
+    bench_im2col();
+}

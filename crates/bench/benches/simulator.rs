@@ -1,78 +1,67 @@
-//! Criterion benchmarks of the cycle-level simulator itself: how fast a
-//! full model sweep runs (this bounds the design-space-exploration loop
-//! of Fig. 13).
+//! Benchmarks of the cycle-level simulator itself: how fast a full model
+//! sweep runs (this bounds the design-space-exploration loop of Fig. 13).
+//!
+//! Uses the in-tree `duet_bench::timing` harness; run with
+//! `cargo bench -p duet-bench --features criterion`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use duet_bench::timing::bench_and_print;
 use duet_bench::Suite;
 use duet_sim::config::ExecutorFeatures;
 use duet_sim::rnn::run_rnn_layer;
 use duet_workloads::models::ModelZoo;
 use std::hint::black_box;
 
-fn bench_cnn_sim(c: &mut Criterion) {
+fn bench_cnn_sim() {
     let s = Suite::paper();
     let traces = s.cnn_traces(ModelZoo::AlexNet);
 
-    let mut group = c.benchmark_group("simulate_alexnet");
-    group.sample_size(20);
     for (label, f) in [
         ("base", ExecutorFeatures::base()),
         ("duet", ExecutorFeatures::duet()),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                duet_sim::cnn::run_cnn(
-                    "AlexNet",
-                    black_box(&traces),
-                    &s.config.with_features(f),
-                    &s.energy,
-                )
-            })
+        bench_and_print(&format!("simulate_alexnet/{label}"), || {
+            duet_sim::cnn::run_cnn(
+                "AlexNet",
+                black_box(&traces),
+                &s.config.with_features(f),
+                &s.energy,
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_rnn_sim(c: &mut Criterion) {
+fn bench_rnn_sim() {
     let s = Suite::paper();
     let traces = s.rnn_traces(ModelZoo::LstmPtb);
 
-    let mut group = c.benchmark_group("simulate_lstm_layer");
-    group.sample_size(20);
-    group.bench_function("base", |b| {
-        b.iter(|| run_rnn_layer(black_box(&traces[0]), &s.config, &s.energy, false))
+    bench_and_print("simulate_lstm_layer/base", || {
+        run_rnn_layer(black_box(&traces[0]), &s.config, &s.energy, false)
     });
-    group.bench_function("duet", |b| {
-        b.iter(|| run_rnn_layer(black_box(&traces[0]), &s.config, &s.energy, true))
+    bench_and_print("simulate_lstm_layer/duet", || {
+        run_rnn_layer(black_box(&traces[0]), &s.config, &s.energy, true)
     });
-    group.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
+fn bench_trace_generation() {
     let s = Suite::paper();
-    let mut group = c.benchmark_group("trace_generation");
-    group.sample_size(20);
-    group.bench_function("resnet50_traces", |b| {
-        b.iter(|| s.cnn_traces(black_box(ModelZoo::ResNet50)))
+    bench_and_print("trace_generation/resnet50_traces", || {
+        s.cnn_traces(black_box(ModelZoo::ResNet50))
     });
-    group.finish();
 }
 
-fn bench_functional_models(c: &mut Criterion) {
+fn bench_functional_models() {
     use duet_sim::pe::{MacInstructionLut, TileShape};
     use duet_sim::systolic::SystolicArray;
     use duet_tensor::fixed::Int4Tensor;
     use duet_tensor::rng;
-
-    let mut group = c.benchmark_group("functional_models");
 
     // functional INT4 systolic GEMM (Speculator core)
     let mut r = rng::seeded(1);
     let a = Int4Tensor::quantize(&rng::normal(&mut r, &[64, 128], 0.0, 1.0));
     let b = Int4Tensor::quantize(&rng::normal(&mut r, &[128, 64], 0.0, 1.0));
     let arr = SystolicArray::new(16, 32);
-    group.bench_function("systolic_int4_64x128x64", |bch| {
-        bch.iter(|| arr.gemm(black_box(&a), black_box(&b)))
+    bench_and_print("functional_models/systolic_int4_64x128x64", || {
+        arr.gemm(black_box(&a), black_box(&b))
     });
 
     // functional PE tile with tag skipping
@@ -87,19 +76,16 @@ fn bench_functional_models(c: &mut Criterion) {
     lut.configure_tags(&omap, None);
     let input = rng::normal(&mut r, &[54], 0.0, 1.0);
     let weights = rng::normal(&mut r, &[9], 0.0, 1.0);
-    group.bench_function("pe_tile_half_skipped", |bch| {
-        bch.iter(|| lut.execute(black_box(&input), black_box(&weights)))
+    bench_and_print("functional_models/pe_tile_half_skipped", || {
+        lut.execute(black_box(&input), black_box(&weights))
     });
 
     // trace codec round trip
     let trace = s_trace();
-    group.bench_function("trace_codec_roundtrip", |bch| {
-        bch.iter(|| {
-            let blob = duet_sim::trace_io::encode_conv_trace(black_box(&trace));
-            duet_sim::trace_io::decode_conv_trace(blob).unwrap()
-        })
+    bench_and_print("functional_models/trace_codec_roundtrip", || {
+        let blob = duet_sim::trace_io::encode_conv_trace(black_box(&trace));
+        duet_sim::trace_io::decode_conv_trace(&blob).unwrap()
     });
-    group.finish();
 }
 
 fn s_trace() -> duet_sim::trace::ConvLayerTrace {
@@ -117,11 +103,9 @@ fn s_trace() -> duet_sim::trace::ConvLayerTrace {
     )
 }
 
-criterion_group!(
-    benches,
-    bench_cnn_sim,
-    bench_rnn_sim,
-    bench_trace_generation,
-    bench_functional_models
-);
-criterion_main!(benches);
+fn main() {
+    bench_cnn_sim();
+    bench_rnn_sim();
+    bench_trace_generation();
+    bench_functional_models();
+}

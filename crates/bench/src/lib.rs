@@ -16,6 +16,8 @@
 
 pub mod suite;
 pub mod table;
+pub mod timing;
 
 pub use suite::Suite;
 pub use table::Table;
+pub use timing::Measurement;

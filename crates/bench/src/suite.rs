@@ -158,6 +158,9 @@ mod extra_tests {
     #[test]
     fn rnn_traces_are_reproducible() {
         let s = Suite::paper();
-        assert_eq!(s.rnn_traces(ModelZoo::GruPtb), s.rnn_traces(ModelZoo::GruPtb));
+        assert_eq!(
+            s.rnn_traces(ModelZoo::GruPtb),
+            s.rnn_traces(ModelZoo::GruPtb)
+        );
     }
 }

@@ -6,11 +6,12 @@
 
 use crate::projection::TernaryProjection;
 use duet_tensor::fixed::{Fixed16Tensor, Int4Tensor};
+use duet_tensor::rng::Rng;
 use duet_tensor::{ops, Tensor};
-use rand::rngs::SmallRng;
 
 /// Precision / size configuration of an approximate module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ApproxConfig {
     /// Reduced input dimension `k`.
     pub reduced_dim: usize,
@@ -33,7 +34,8 @@ impl ApproxConfig {
 
 /// An approximate module for a linear (FF / gate) layer:
 /// `y' = W' (P x_q) + b'` with `W'` quantized to `weight_bits`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ApproxLinear {
     projection: TernaryProjection,
     /// Quantized weights `[n, k]`.
@@ -185,7 +187,7 @@ impl ApproxLinear {
 
     /// Builds a *random* (undistilled) approximate module — only useful as
     /// a baseline to show distillation matters.
-    pub fn random(d: usize, n: usize, config: ApproxConfig, rng: &mut SmallRng) -> Self {
+    pub fn random(d: usize, n: usize, config: ApproxConfig, rng: &mut Rng) -> Self {
         let projection = TernaryProjection::sample(d, config.reduced_dim, rng);
         let w = duet_tensor::rng::normal(rng, &[n, config.reduced_dim], 0.0, 0.1);
         Self::from_parts(projection, &w, Tensor::zeros(&[n]), config)

@@ -8,7 +8,7 @@
 use crate::dual_layer::DualModuleLayer;
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
-use duet_tensor::{ops, Tensor};
+use duet_tensor::{ops, parallel, Tensor};
 
 /// Result of a batched dual-module forward pass.
 #[derive(Debug, Clone)]
@@ -21,8 +21,12 @@ pub struct BatchDualOutput {
     pub report: SavingsReport,
 }
 
-/// Runs a dual-module layer over a batch `[B, d]`, row by row, sharing
-/// the (already loaded) approximate module across the batch.
+/// Runs a dual-module layer over a batch `[B, d]`, sample-parallel,
+/// sharing the (already loaded) approximate module across the batch.
+///
+/// Samples are distributed over [`parallel::num_threads`] scoped threads;
+/// results are merged in sample order, so the output (and every map and
+/// counter in the report) is identical to the serial row-by-row loop.
 ///
 /// # Panics
 ///
@@ -41,9 +45,11 @@ pub fn forward_batch(
     let mut output = Tensor::zeros(&[b, n]);
     let mut maps = Vec::with_capacity(b);
     let mut report = SavingsReport::new();
-    for bi in 0..b {
+    let results = parallel::map_indexed(b, parallel::num_threads().min(b), |bi| {
         let row = Tensor::from_vec(x.row(bi).to_vec(), &[d]);
-        let out = layer.forward(&row, policy);
+        layer.forward(&row, policy)
+    });
+    for (bi, out) in results.into_iter().enumerate() {
         output.row_mut(bi).copy_from_slice(out.output.data());
         maps.push(out.map);
         report += out.report;
@@ -70,16 +76,25 @@ pub fn forward_batch(
     }
 }
 
-/// Dense batched reference for comparison.
+/// Dense batched reference for comparison (also sample-parallel).
 pub fn forward_batch_dense(layer: &DualModuleLayer, x: &Tensor) -> Tensor {
     let b = x.shape().dim(0);
     let d = x.shape().dim(1);
-    let mut out = Tensor::zeros(&[b, layer.output_dim()]);
-    for bi in 0..b {
-        let row = Tensor::from_vec(x.row(bi).to_vec(), &[d]);
-        let y = layer.forward_dense(&row);
-        out.row_mut(bi).copy_from_slice(y.data());
-    }
+    let n = layer.output_dim();
+    let mut out = Tensor::zeros(&[b, n]);
+    parallel::for_each_row_chunk(
+        out.data_mut(),
+        b,
+        n,
+        parallel::num_threads().min(b),
+        |rows, chunk| {
+            for (local, bi) in rows.enumerate() {
+                let row = Tensor::from_vec(x.row(bi).to_vec(), &[d]);
+                let y = layer.forward_dense(&row);
+                chunk[local * n..(local + 1) * n].copy_from_slice(y.data());
+            }
+        },
+    );
     out
 }
 
@@ -100,7 +115,7 @@ mod tests {
     use duet_nn::Activation;
     use duet_tensor::rng::{self, seeded};
 
-    fn layer() -> (DualModuleLayer, rand::rngs::SmallRng) {
+    fn layer() -> (DualModuleLayer, duet_tensor::rng::Rng) {
         let mut r = seeded(5);
         let w = rng::normal(&mut r, &[24, 48], 0.0, 0.2);
         let b = Tensor::zeros(&[24]);

@@ -10,8 +10,8 @@
 
 use crate::approx::{ApproxConfig, ApproxLinear};
 use crate::projection::TernaryProjection;
+use duet_tensor::rng::Rng;
 use duet_tensor::{ops, Tensor};
-use rand::rngs::SmallRng;
 
 /// Ridge regularizer added to the normal equations for numerical safety.
 pub const DEFAULT_RIDGE: f32 = 1e-4;
@@ -133,8 +133,8 @@ pub fn distill_linear_with_sampler(
     b: &Tensor,
     config: ApproxConfig,
     samples: usize,
-    rng: &mut SmallRng,
-    mut sampler: impl FnMut(&mut SmallRng) -> Tensor,
+    rng: &mut Rng,
+    mut sampler: impl FnMut(&mut Rng) -> Tensor,
 ) -> ApproxLinear {
     assert!(samples > 0, "need at least one distillation sample");
     assert_eq!(w.shape().rank(), 2, "teacher weight must be [n, d]");
@@ -172,7 +172,7 @@ pub fn distill_linear(
     b: &Tensor,
     config: ApproxConfig,
     samples: usize,
-    rng: &mut SmallRng,
+    rng: &mut Rng,
 ) -> ApproxLinear {
     let d = w.shape().dim(1);
     distill_linear_with_sampler(w, b, config, samples, rng, move |r| {
@@ -192,7 +192,7 @@ pub fn distill_linear_from_activations(
     b: &Tensor,
     config: ApproxConfig,
     activations: &Tensor,
-    rng: &mut SmallRng,
+    rng: &mut Rng,
 ) -> ApproxLinear {
     assert_eq!(activations.shape().rank(), 2, "activations must be [s, d]");
     let s = activations.shape().dim(0);
@@ -214,8 +214,8 @@ pub fn relative_error_with_sampler(
     b: &Tensor,
     student: &ApproxLinear,
     samples: usize,
-    rng: &mut SmallRng,
-    mut sampler: impl FnMut(&mut SmallRng) -> Tensor,
+    rng: &mut Rng,
+    mut sampler: impl FnMut(&mut Rng) -> Tensor,
 ) -> f32 {
     let mut err = 0.0f32;
     let mut norm = 0.0f32;
@@ -242,7 +242,7 @@ pub fn relative_error(
     b: &Tensor,
     student: &ApproxLinear,
     samples: usize,
-    rng: &mut SmallRng,
+    rng: &mut Rng,
 ) -> f32 {
     let d = w.shape().dim(1);
     relative_error_with_sampler(w, b, student, samples, rng, move |r| {
@@ -306,7 +306,7 @@ mod tests {
     /// plus small full-rank noise (trained weight matrices have rapidly
     /// decaying spectra, which is what makes the paper's dimension
     /// reduction viable).
-    fn low_rank_teacher(n: usize, d: usize, rank: usize, r: &mut SmallRng) -> Tensor {
+    fn low_rank_teacher(n: usize, d: usize, rank: usize, r: &mut Rng) -> Tensor {
         let u = rng::normal(r, &[n, rank], 0.0, 1.0 / (rank as f32).sqrt());
         let v = rng::normal(r, &[rank, d], 0.0, 1.0 / (d as f32).sqrt());
         let noise = rng::normal(r, &[n, d], 0.0, 0.02);
@@ -315,18 +315,14 @@ mod tests {
 
     /// Correlated ("real-activation-like") input sampler: inputs lie near
     /// a `latent`-dimensional subspace of R^d plus small noise.
-    fn correlated_sampler(
-        d: usize,
-        latent: usize,
-        seed: u64,
-    ) -> impl FnMut(&mut SmallRng) -> Tensor {
+    fn correlated_sampler(d: usize, latent: usize, seed: u64) -> impl FnMut(&mut Rng) -> Tensor {
         let basis = rng::normal(
             &mut seeded(seed),
             &[d, latent],
             0.0,
             1.0 / (latent as f32).sqrt(),
         );
-        move |r: &mut SmallRng| {
+        move |r: &mut Rng| {
             let z = rng::normal(r, &[latent], 0.0, 1.0);
             let mut x = ops::gemv(&basis, &z);
             let noise = rng::normal(r, &[d], 0.0, 0.05);

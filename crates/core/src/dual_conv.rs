@@ -11,8 +11,8 @@ use crate::distill;
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
 use duet_tensor::im2col::{im2col, ConvGeometry};
+use duet_tensor::rng::Rng;
 use duet_tensor::{ops, Tensor};
-use rand::rngs::SmallRng;
 
 /// Result of one dual-module convolution.
 #[derive(Debug, Clone)]
@@ -72,7 +72,7 @@ impl DualConvLayer {
         bias: &Tensor,
         reduced_dim: usize,
         samples: usize,
-        rng: &mut SmallRng,
+        rng: &mut Rng,
     ) -> Self {
         let k = filters.shape().dim(0);
         let fmat = filters.reshaped(&[k, geom.patch_len()]);
@@ -253,7 +253,7 @@ mod tests {
         }
     }
 
-    fn make_layer(seed: u64) -> (DualConvLayer, SmallRng) {
+    fn make_layer(seed: u64) -> (DualConvLayer, Rng) {
         let mut r = seeded(seed);
         let g = geom();
         let filters = rng::normal(&mut r, &[8, 3, 3, 3], 0.0, 0.25);

@@ -8,8 +8,8 @@ use crate::distill;
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
 use duet_nn::Activation;
+use duet_tensor::rng::Rng;
 use duet_tensor::{ops, Tensor};
-use rand::rngs::SmallRng;
 
 /// Result of one dual-module forward pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,7 +70,7 @@ impl DualModuleLayer {
         activation: Activation,
         reduced_dim: usize,
         samples: usize,
-        rng: &mut SmallRng,
+        rng: &mut Rng,
     ) -> Self {
         let cfg = ApproxConfig::paper_default(reduced_dim);
         let approx = distill::distill_linear(weight, bias, cfg, samples, rng);
@@ -84,7 +84,7 @@ impl DualModuleLayer {
         activation: Activation,
         reduced_dim: usize,
         activations: &Tensor,
-        rng: &mut SmallRng,
+        rng: &mut Rng,
     ) -> Self {
         let cfg = ApproxConfig::paper_default(reduced_dim);
         let approx = distill::distill_linear_from_activations(weight, bias, cfg, activations, rng);
@@ -202,7 +202,7 @@ mod tests {
     use super::*;
     use duet_tensor::rng::{self, seeded};
 
-    fn make_layer(act: Activation, seed: u64) -> (DualModuleLayer, SmallRng) {
+    fn make_layer(act: Activation, seed: u64) -> (DualModuleLayer, Rng) {
         let mut r = seeded(seed);
         let w = rng::normal(&mut r, &[40, 80], 0.0, 0.2);
         let b = rng::normal(&mut r, &[40], 0.0, 0.05);

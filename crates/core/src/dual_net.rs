@@ -181,7 +181,7 @@ mod tests {
         }
     }
 
-    fn net(seed: u64) -> (DualConvNet, rand::rngs::SmallRng) {
+    fn net(seed: u64) -> (DualConvNet, duet_tensor::rng::Rng) {
         let mut r = seeded(seed);
         let f1 = rng::normal(&mut r, &[6, 2, 3, 3], 0.0, 0.3);
         let f2 = rng::normal(&mut r, &[4, 6, 3, 3], 0.0, 0.2);

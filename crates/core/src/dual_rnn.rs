@@ -15,11 +15,12 @@ use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
 use duet_nn::lstm::LstmState;
 use duet_nn::{Activation, GruCell, LstmCell};
+use duet_tensor::rng::Rng;
 use duet_tensor::{ops, Tensor};
-use rand::rngs::SmallRng;
 
 /// Per-gate thresholds for recurrent switching.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RnnThresholds {
     /// θ for sigmoid gates (insensitive iff `|y'| > theta_sigmoid`).
     pub theta_sigmoid: f32,
@@ -64,7 +65,7 @@ pub struct DualLstmCell {
 
 impl DualLstmCell {
     /// Distills approximate modules from a trained [`LstmCell`].
-    pub fn learn(cell: &LstmCell, reduced_dim: usize, samples: usize, rng: &mut SmallRng) -> Self {
+    pub fn learn(cell: &LstmCell, reduced_dim: usize, samples: usize, rng: &mut Rng) -> Self {
         let (d, h) = (cell.input_size(), cell.hidden_size());
         let w_ih = cell.w_ih.value.clone();
         let w_hh = cell.w_hh.value.clone();
@@ -232,7 +233,7 @@ pub struct DualGruCell {
 
 impl DualGruCell {
     /// Distills approximate modules from a trained [`GruCell`].
-    pub fn learn(cell: &GruCell, reduced_dim: usize, samples: usize, rng: &mut SmallRng) -> Self {
+    pub fn learn(cell: &GruCell, reduced_dim: usize, samples: usize, rng: &mut Rng) -> Self {
         let (d, h) = (cell.input_size(), cell.hidden_size());
         let w_ih = cell.w_ih.value.clone();
         let w_hh = cell.w_hh.value.clone();

@@ -7,7 +7,8 @@
 use std::ops::AddAssign;
 
 /// Operation and byte counters for one dual-module layer execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SavingsReport {
     /// MACs a dense (single-module) execution would perform.
     pub dense_macs: u64,

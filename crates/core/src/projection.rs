@@ -12,12 +12,12 @@
 //! step 2). [`TernaryProjection::project`] mirrors that: no
 //! multiplications on the data path.
 
+use duet_tensor::rng::Rng;
 use duet_tensor::Tensor;
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 /// A ternary random projection `R^d → R^k`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TernaryProjection {
     /// Entries in {-1, 0, +1}, row-major `[k, d]`.
     entries: Vec<i8>,
@@ -33,7 +33,7 @@ impl TernaryProjection {
     ///
     /// Panics if `k == 0`, `d == 0`, or `k > d` (a "dimension reduction"
     /// that increases dimension is almost certainly a bug).
-    pub fn sample(d: usize, k: usize, rng: &mut SmallRng) -> Self {
+    pub fn sample(d: usize, k: usize, rng: &mut Rng) -> Self {
         assert!(k > 0 && d > 0, "projection dims must be positive");
         assert!(
             k <= d,

@@ -13,7 +13,8 @@ use duet_nn::Activation;
 use duet_tensor::Tensor;
 
 /// A switching decision rule: activation type + threshold θ.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SwitchingPolicy {
     /// The activation whose insensitive region the rule exploits.
     pub activation: Activation,
@@ -76,7 +77,8 @@ impl SwitchingPolicy {
 
 /// A binary switching map: `sensitive[i] == true` means neuron *i* needs
 /// the Executor (the paper's `m_i = 1`).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SwitchingMap {
     sensitive: Vec<bool>,
 }

@@ -8,7 +8,8 @@ use crate::conv::Conv2d;
 use duet_tensor::Tensor;
 
 /// Per-channel batch-norm parameters in inference form.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BatchNorm2d {
     /// Learned scale γ, one per channel.
     pub gamma: Tensor,

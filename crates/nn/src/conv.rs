@@ -3,8 +3,8 @@
 use crate::init;
 use crate::layer::{Layer, Param};
 use duet_tensor::im2col::{col2im, im2col, ConvGeometry};
-use duet_tensor::{ops, Tensor};
-use rand::rngs::SmallRng;
+use duet_tensor::rng::Rng;
+use duet_tensor::{ops, parallel, Tensor};
 
 /// A 2-D convolution over batched `[B, C, H, W]` inputs, lowered to GEMM
 /// via [`im2col`] exactly as §II-B prescribes for dual-module processing.
@@ -19,7 +19,7 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Creates a convolution with He-initialized filters.
-    pub fn new(geom: ConvGeometry, out_channels: usize, r: &mut SmallRng) -> Self {
+    pub fn new(geom: ConvGeometry, out_channels: usize, r: &mut Rng) -> Self {
         let fan_in = geom.patch_len();
         Self {
             weight: Param::new(init::he_normal(r, &[out_channels, fan_in], fan_in)),
@@ -89,22 +89,36 @@ impl Layer for Conv2d {
 
         let (oh, ow) = (self.geom.out_h(), self.geom.out_w());
         let mut out = Tensor::zeros(&[b, self.out_channels, oh, ow]);
-        self.cached_cols.clear();
         let sample_len = c * h * w;
         let out_len = self.out_channels * oh * ow;
-        for bi in 0..b {
+
+        // Fused im2col + GEMM + bias per sample. Parallelism is placed at
+        // the batch level when there are several samples (each worker runs
+        // its GEMM serially to avoid nested thread fan-out); a lone sample
+        // instead gets the full thread budget inside the GEMM itself.
+        let threads = parallel::num_threads();
+        let batch_threads = threads.min(b);
+        let gemm_threads = if batch_threads > 1 { 1 } else { threads };
+        let geom = &self.geom;
+        let weight = &self.weight.value;
+        let bias = self.bias.value.data();
+        let results = parallel::map_indexed(b, batch_threads, |bi| {
             let sample = Tensor::from_vec(
                 x.data()[bi * sample_len..(bi + 1) * sample_len].to_vec(),
                 &[c, h, w],
             );
-            let cols = im2col(&sample, &self.geom);
-            let mut y = ops::matmul(&self.weight.value, &cols); // [K, oh·ow]
-            for k in 0..self.out_channels {
-                let bk = self.bias.value.data()[k];
+            let cols = im2col(&sample, geom);
+            let mut y = ops::matmul_with_threads(weight, &cols, gemm_threads); // [K, oh·ow]
+            for (k, &bk) in bias.iter().enumerate() {
                 for v in y.row_mut(k) {
                     *v += bk;
                 }
             }
+            (y, cols)
+        });
+
+        self.cached_cols.clear();
+        for (bi, (y, cols)) in results.into_iter().enumerate() {
             out.data_mut()[bi * out_len..(bi + 1) * out_len].copy_from_slice(y.data());
             self.cached_cols.push(cols);
         }

@@ -8,8 +8,8 @@
 
 use crate::activation::Activation;
 use crate::layer::Param;
+use duet_tensor::rng::Rng;
 use duet_tensor::{ops, Tensor};
-use rand::rngs::SmallRng;
 
 /// Number of GRU gates.
 pub const GRU_GATES: usize = 3;
@@ -43,7 +43,7 @@ pub struct GruCell {
 
 impl GruCell {
     /// Creates a GRU cell with LeCun-uniform weights and zero biases.
-    pub fn new(input: usize, hidden: usize, r: &mut SmallRng) -> Self {
+    pub fn new(input: usize, hidden: usize, r: &mut Rng) -> Self {
         Self {
             w_ih: Param::new(crate::init::lecun_uniform(
                 r,

@@ -1,25 +1,25 @@
 //! Weight initialization schemes.
 
+use duet_tensor::rng::Rng;
 use duet_tensor::{rng, Tensor};
-use rand::rngs::SmallRng;
 
 /// Xavier/Glorot uniform initialization for a `[fan_out, fan_in]` weight
 /// matrix: U(−a, a) with `a = sqrt(6 / (fan_in + fan_out))`.
-pub fn xavier_uniform(r: &mut SmallRng, fan_out: usize, fan_in: usize) -> Tensor {
+pub fn xavier_uniform(r: &mut Rng, fan_out: usize, fan_in: usize) -> Tensor {
     let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
     rng::uniform(r, &[fan_out, fan_in], -a, a)
 }
 
 /// He/Kaiming normal initialization for ReLU networks:
 /// N(0, sqrt(2 / fan_in)).
-pub fn he_normal(r: &mut SmallRng, dims: &[usize], fan_in: usize) -> Tensor {
+pub fn he_normal(r: &mut Rng, dims: &[usize], fan_in: usize) -> Tensor {
     assert!(fan_in > 0, "fan_in must be positive");
     rng::normal(r, dims, 0.0, (2.0 / fan_in as f32).sqrt())
 }
 
 /// Uniform initialization in `[-1/sqrt(fan_in), 1/sqrt(fan_in)]`, the
 /// classic recurrent-weight default.
-pub fn lecun_uniform(r: &mut SmallRng, dims: &[usize], fan_in: usize) -> Tensor {
+pub fn lecun_uniform(r: &mut Rng, dims: &[usize], fan_in: usize) -> Tensor {
     assert!(fan_in > 0, "fan_in must be positive");
     let a = 1.0 / (fan_in as f32).sqrt();
     rng::uniform(r, dims, -a, a)

@@ -2,8 +2,8 @@
 
 use crate::init;
 use crate::layer::{Layer, Param};
+use duet_tensor::rng::Rng;
 use duet_tensor::{ops, Tensor};
-use rand::rngs::SmallRng;
 
 /// A fully-connected layer `y = x Wᵀ + b` over batched inputs `[B, d]`.
 ///
@@ -19,7 +19,7 @@ pub struct Linear {
 
 impl Linear {
     /// Creates a layer with Xavier-initialized weights and zero bias.
-    pub fn new(in_features: usize, out_features: usize, r: &mut SmallRng) -> Self {
+    pub fn new(in_features: usize, out_features: usize, r: &mut Rng) -> Self {
         Self {
             weight: Param::new(init::xavier_uniform(r, out_features, in_features)),
             bias: Param::new(Tensor::zeros(&[out_features])),

@@ -8,8 +8,8 @@
 
 use crate::activation::Activation;
 use crate::layer::Param;
+use duet_tensor::rng::Rng;
 use duet_tensor::{ops, Tensor};
-use rand::rngs::SmallRng;
 
 /// Number of LSTM gates.
 pub const LSTM_GATES: usize = 4;
@@ -62,7 +62,7 @@ pub struct LstmCell {
 impl LstmCell {
     /// Creates an LSTM cell with LeCun-uniform weights and the customary
     /// forget-gate bias of 1.
-    pub fn new(input: usize, hidden: usize, r: &mut SmallRng) -> Self {
+    pub fn new(input: usize, hidden: usize, r: &mut Rng) -> Self {
         let w_ih = crate::init::lecun_uniform(r, &[LSTM_GATES * hidden, input], input);
         let w_hh = crate::init::lecun_uniform(r, &[LSTM_GATES * hidden, hidden], hidden);
         let mut bias = Tensor::zeros(&[LSTM_GATES * hidden]);

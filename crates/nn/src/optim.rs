@@ -4,7 +4,8 @@ use crate::layer::Param;
 
 /// Gradient-descent optimizers. One `Optimizer` value is shared across all
 /// parameters of a model; per-parameter state lives in [`Param`].
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Optimizer {
     /// Plain stochastic gradient descent.
     Sgd {

@@ -62,7 +62,7 @@ pub fn pruning_error(
     w: &Tensor,
     pruned: &Tensor,
     samples: usize,
-    rng: &mut rand::rngs::SmallRng,
+    rng: &mut duet_tensor::rng::Rng,
 ) -> f32 {
     let d = w.shape().dim(1);
     let mut err = 0.0f32;

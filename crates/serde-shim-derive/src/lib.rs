@@ -1,0 +1,43 @@
+//! Derive half of the offline `serde` shim.
+//!
+//! Provides `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros that
+//! emit marker-trait impls for the annotated type. The workspace must build
+//! with no registry access, so the real `serde`/`serde_derive` pair is
+//! replaced by this dependency-free stand-in; see `duet-serde-shim` for the
+//! façade crate that re-exports these macros.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Emits `impl ::serde::Serialize for T {}` for the derived type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Emits `impl ::serde::Deserialize for T {}` for the derived type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Finds the type name after `struct`/`enum` and emits a marker impl.
+/// Generic types are not supported (nothing in this workspace needs them).
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter();
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("serde shim derive supports plain structs and enums");
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}

@@ -128,7 +128,10 @@ mod tests {
         let mut r = seeded(3);
         let proj = TernaryProjection::sample(300, 64, &mut r);
         let x = Int4Tensor::quantize(&rng::normal(&mut r, &[300], 0.0, 1.0));
-        let wide = AdderTreeBlock { adds_per_cycle: 512 }.project(&proj, &x);
+        let wide = AdderTreeBlock {
+            adds_per_cycle: 512,
+        }
+        .project(&proj, &x);
         let narrow = AdderTreeBlock { adds_per_cycle: 64 }.project(&proj, &x);
         assert_eq!(wide.accumulators, narrow.accumulators);
         assert!(narrow.cycles > wide.cycles);

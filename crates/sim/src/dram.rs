@@ -5,7 +5,8 @@ use crate::config::ArchConfig;
 use crate::energy::EnergyTable;
 
 /// A DRAM transfer request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DramTransfer {
     /// Bytes moved.
     pub bytes: u64,
@@ -29,7 +30,8 @@ impl DramTransfer {
 }
 
 /// Aggregate DRAM channel statistics for a simulation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DramStats {
     /// Total bytes read.
     pub read_bytes: u64,

@@ -26,7 +26,8 @@ use crate::energy::{EnergyBreakdown, EnergyTable};
 use crate::trace::ConvLayerTrace;
 
 /// Result of executing one CONV layer on the Executor.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExecutorLayerResult {
     /// Compute cycles (including imbalance stalls).
     pub compute_cycles: u64,

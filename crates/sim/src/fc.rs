@@ -14,7 +14,8 @@ use crate::report::LayerPerf;
 use crate::speculator::speculate_rnn_gate;
 
 /// Workload of one FC layer at batch size 1.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FcLayerTrace {
     /// Layer name.
     pub name: String,
@@ -58,9 +59,8 @@ impl FcLayerTrace {
         output: usize,
         sensitive_fraction: f64,
         reduced_dim: usize,
-        rng: &mut rand::rngs::SmallRng,
+        rng: &mut duet_tensor::rng::Rng,
     ) -> Self {
-        use rand::Rng;
         let omap = (0..output)
             .map(|_| rng.random::<f64>() < sensitive_fraction)
             .collect();
@@ -79,7 +79,8 @@ impl FcLayerTrace {
 }
 
 /// Result of simulating one FC layer.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FcRunResult {
     /// Standard per-layer report.
     pub perf: LayerPerf,

@@ -9,7 +9,8 @@
 //! workloads.
 
 /// Result of one adaptive-mapping pass.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReorderResult {
     /// Channel IDs in their new computation order.
     pub order: Vec<usize>,
@@ -18,7 +19,8 @@ pub struct ReorderResult {
 }
 
 /// The Reorder Unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReorderUnit {
     /// Number of buckets (the paper sizes this to the PE-row count).
     pub buckets: usize,

@@ -4,7 +4,8 @@ use crate::config::ArchConfig;
 use crate::energy::EnergyBreakdown;
 
 /// Performance and energy of one simulated layer.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LayerPerf {
     /// Layer name.
     pub name: String,
@@ -27,7 +28,8 @@ pub struct LayerPerf {
 }
 
 /// Whole-model simulation result.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ModelPerf {
     /// Design label ("DUET", "BASE", "Eyeriss", …).
     pub design: String,

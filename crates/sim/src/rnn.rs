@@ -15,7 +15,8 @@ use crate::speculator::speculate_rnn_gate;
 use crate::trace::RnnLayerTrace;
 
 /// Detailed latency split for an RNN run — the Fig. 12(d) data.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RnnLatencySplit {
     /// Cycles the DRAM channel is the bottleneck.
     pub memory_cycles: u64,
@@ -33,7 +34,8 @@ impl RnnLatencySplit {
 }
 
 /// Result of simulating one RNN layer trace.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RnnRunResult {
     /// Standard per-layer report.
     pub perf: LayerPerf,
@@ -44,7 +46,8 @@ pub struct RnnRunResult {
 }
 
 /// Options for an RNN simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RnnOptions {
     /// Dual-module execution (switching maps gate compute and fetches).
     pub dual: bool,

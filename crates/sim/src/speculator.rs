@@ -11,7 +11,8 @@ use crate::reorder::ReorderUnit;
 use crate::trace::ConvLayerTrace;
 
 /// Result of one Speculator pass over a layer.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SpeculatorResult {
     /// Total Speculator cycles (pipelined stages, slowest stage dominates;
     /// includes the Reorder Unit when adaptive mapping is on).

@@ -10,11 +10,11 @@
 //! adaptive mapping).
 
 use duet_core::switching::SwitchingMap;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use duet_tensor::rng::Rng;
 
 /// Workload of one CONV (or im2col-lowered FF) layer.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConvLayerTrace {
     /// Layer name (e.g. "conv3").
     pub name: String,
@@ -87,7 +87,7 @@ impl ConvLayerTrace {
         spread: f64,
         input_density: f64,
         reduced_dim: usize,
-        rng: &mut SmallRng,
+        rng: &mut Rng,
     ) -> Self {
         assert!(
             mean_sensitive > 0.0 && mean_sensitive < 1.0,
@@ -156,7 +156,8 @@ impl ConvLayerTrace {
 }
 
 /// Workload of one recurrent layer (all time steps, all gates).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RnnLayerTrace {
     /// Layer name (e.g. "lstm1").
     pub name: String,
@@ -187,7 +188,7 @@ impl RnnLayerTrace {
         input: usize,
         steps: usize,
         sensitive_fraction: f64,
-        rng: &mut SmallRng,
+        rng: &mut Rng,
     ) -> Self {
         assert!(
             (0.0..=1.0).contains(&sensitive_fraction),

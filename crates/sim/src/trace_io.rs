@@ -2,12 +2,11 @@
 //!
 //! Traces recorded from real dual-module runs can be written to disk and
 //! replayed later (e.g. to compare architecture variants on identical
-//! switching maps). The format is a small custom codec built on
-//! [`bytes`]: length-prefixed strings, little-endian integers, and
+//! switching maps). The format is a small custom codec over plain byte
+//! slices: length-prefixed strings, little-endian integers, and
 //! bit-packed switching maps — the same packing the GLB uses.
 
 use crate::trace::{ConvLayerTrace, RnnLayerTrace};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Magic bytes identifying a CONV trace blob.
 const CONV_MAGIC: u32 = 0x44554543; // "DUEC"
@@ -39,67 +38,93 @@ impl std::fmt::Display for DecodeTraceError {
 
 impl std::error::Error for DecodeTraceError {}
 
-fn put_string(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
-    buf.put_slice(s.as_bytes());
+/// Little-endian cursor over a byte slice; every read is bounds-checked and
+/// reports [`DecodeTraceError::Truncated`] on underrun.
+struct Reader<'a> {
+    buf: &'a [u8],
 }
 
-fn get_string(buf: &mut Bytes) -> Result<String, DecodeTraceError> {
-    if buf.remaining() < 4 {
-        return Err(DecodeTraceError::Truncated);
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
     }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(DecodeTraceError::Truncated);
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeTraceError> {
+        if self.buf.len() < n {
+            return Err(DecodeTraceError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
     }
-    let raw = buf.copy_to_bytes(len);
-    Ok(String::from_utf8_lossy(&raw).into_owned())
+
+    fn get_u32_le(&mut self) -> Result<u32, DecodeTraceError> {
+        let raw = self.take(4)?;
+        Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")))
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, DecodeTraceError> {
+        let raw = self.take(8)?;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+    }
+
+    fn get_f64_le(&mut self) -> Result<f64, DecodeTraceError> {
+        Ok(f64::from_bits(self.get_u64_le()?))
+    }
+
+    fn get_usize_le(&mut self) -> Result<usize, DecodeTraceError> {
+        Ok(self.get_u64_le()? as usize)
+    }
 }
 
-fn put_bitmap(buf: &mut BytesMut, flags: &[bool]) {
-    buf.put_u64_le(flags.len() as u64);
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_string(r: &mut Reader<'_>) -> Result<String, DecodeTraceError> {
+    let len = r.get_u32_le()? as usize;
+    let raw = r.take(len)?;
+    Ok(String::from_utf8_lossy(raw).into_owned())
+}
+
+fn put_bitmap(buf: &mut Vec<u8>, flags: &[bool]) {
+    buf.extend_from_slice(&(flags.len() as u64).to_le_bytes());
     let mut byte = 0u8;
     for (i, &f) in flags.iter().enumerate() {
         if f {
             byte |= 1 << (i % 8);
         }
         if i % 8 == 7 {
-            buf.put_u8(byte);
+            buf.push(byte);
             byte = 0;
         }
     }
     if !flags.len().is_multiple_of(8) {
-        buf.put_u8(byte);
+        buf.push(byte);
     }
 }
 
-fn get_bitmap(buf: &mut Bytes) -> Result<Vec<bool>, DecodeTraceError> {
-    if buf.remaining() < 8 {
-        return Err(DecodeTraceError::Truncated);
-    }
-    let n = buf.get_u64_le() as usize;
-    let bytes_needed = n.div_ceil(8);
-    if buf.remaining() < bytes_needed {
-        return Err(DecodeTraceError::Truncated);
-    }
-    let raw = buf.copy_to_bytes(bytes_needed);
+fn get_bitmap(r: &mut Reader<'_>) -> Result<Vec<bool>, DecodeTraceError> {
+    let n = r.get_u64_le()? as usize;
+    let raw = r.take(n.div_ceil(8))?;
     Ok((0..n).map(|i| raw[i / 8] >> (i % 8) & 1 == 1).collect())
 }
 
 /// Encodes a CONV trace to bytes.
-pub fn encode_conv_trace(t: &ConvLayerTrace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + t.omap.len() / 8);
-    buf.put_u32_le(CONV_MAGIC);
+pub fn encode_conv_trace(t: &ConvLayerTrace) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + t.omap.len() / 8);
+    buf.extend_from_slice(&CONV_MAGIC.to_le_bytes());
     put_string(&mut buf, &t.name);
-    buf.put_u64_le(t.out_channels as u64);
-    buf.put_u64_le(t.positions as u64);
-    buf.put_u64_le(t.patch_len as u64);
-    buf.put_u64_le(t.input_elems as u64);
-    buf.put_u64_le(t.weight_elems as u64);
-    buf.put_f64_le(t.input_density);
-    buf.put_u64_le(t.reduced_dim as u64);
+    buf.extend_from_slice(&(t.out_channels as u64).to_le_bytes());
+    buf.extend_from_slice(&(t.positions as u64).to_le_bytes());
+    buf.extend_from_slice(&(t.patch_len as u64).to_le_bytes());
+    buf.extend_from_slice(&(t.input_elems as u64).to_le_bytes());
+    buf.extend_from_slice(&(t.weight_elems as u64).to_le_bytes());
+    buf.extend_from_slice(&t.input_density.to_bits().to_le_bytes());
+    buf.extend_from_slice(&(t.reduced_dim as u64).to_le_bytes());
     put_bitmap(&mut buf, &t.omap);
-    buf.freeze()
+    buf
 }
 
 /// Decodes a CONV trace.
@@ -107,26 +132,21 @@ pub fn encode_conv_trace(t: &ConvLayerTrace) -> Bytes {
 /// # Errors
 ///
 /// Returns [`DecodeTraceError`] for truncated input or a wrong magic tag.
-pub fn decode_conv_trace(mut buf: Bytes) -> Result<ConvLayerTrace, DecodeTraceError> {
-    if buf.remaining() < 4 {
-        return Err(DecodeTraceError::Truncated);
-    }
-    let magic = buf.get_u32_le();
+pub fn decode_conv_trace(buf: &[u8]) -> Result<ConvLayerTrace, DecodeTraceError> {
+    let mut r = Reader::new(buf);
+    let magic = r.get_u32_le()?;
     if magic != CONV_MAGIC {
         return Err(DecodeTraceError::BadMagic { found: magic });
     }
-    let name = get_string(&mut buf)?;
-    if buf.remaining() < 8 * 5 + 8 + 8 {
-        return Err(DecodeTraceError::Truncated);
-    }
-    let out_channels = buf.get_u64_le() as usize;
-    let positions = buf.get_u64_le() as usize;
-    let patch_len = buf.get_u64_le() as usize;
-    let input_elems = buf.get_u64_le() as usize;
-    let weight_elems = buf.get_u64_le() as usize;
-    let input_density = buf.get_f64_le();
-    let reduced_dim = buf.get_u64_le() as usize;
-    let omap = get_bitmap(&mut buf)?;
+    let name = get_string(&mut r)?;
+    let out_channels = r.get_usize_le()?;
+    let positions = r.get_usize_le()?;
+    let patch_len = r.get_usize_le()?;
+    let input_elems = r.get_usize_le()?;
+    let weight_elems = r.get_usize_le()?;
+    let input_density = r.get_f64_le()?;
+    let reduced_dim = r.get_usize_le()?;
+    let omap = get_bitmap(&mut r)?;
     Ok(ConvLayerTrace {
         name,
         out_channels,
@@ -141,16 +161,16 @@ pub fn decode_conv_trace(mut buf: Bytes) -> Result<ConvLayerTrace, DecodeTraceEr
 }
 
 /// Encodes an RNN trace to bytes.
-pub fn encode_rnn_trace(t: &RnnLayerTrace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + t.maps.len() / 8);
-    buf.put_u32_le(RNN_MAGIC);
+pub fn encode_rnn_trace(t: &RnnLayerTrace) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + t.maps.len() / 8);
+    buf.extend_from_slice(&RNN_MAGIC.to_le_bytes());
     put_string(&mut buf, &t.name);
-    buf.put_u64_le(t.gates as u64);
-    buf.put_u64_le(t.hidden as u64);
-    buf.put_u64_le(t.input as u64);
-    buf.put_u64_le(t.steps as u64);
+    buf.extend_from_slice(&(t.gates as u64).to_le_bytes());
+    buf.extend_from_slice(&(t.hidden as u64).to_le_bytes());
+    buf.extend_from_slice(&(t.input as u64).to_le_bytes());
+    buf.extend_from_slice(&(t.steps as u64).to_le_bytes());
     put_bitmap(&mut buf, &t.maps);
-    buf.freeze()
+    buf
 }
 
 /// Decodes an RNN trace.
@@ -158,23 +178,18 @@ pub fn encode_rnn_trace(t: &RnnLayerTrace) -> Bytes {
 /// # Errors
 ///
 /// Returns [`DecodeTraceError`] for truncated input or a wrong magic tag.
-pub fn decode_rnn_trace(mut buf: Bytes) -> Result<RnnLayerTrace, DecodeTraceError> {
-    if buf.remaining() < 4 {
-        return Err(DecodeTraceError::Truncated);
-    }
-    let magic = buf.get_u32_le();
+pub fn decode_rnn_trace(buf: &[u8]) -> Result<RnnLayerTrace, DecodeTraceError> {
+    let mut r = Reader::new(buf);
+    let magic = r.get_u32_le()?;
     if magic != RNN_MAGIC {
         return Err(DecodeTraceError::BadMagic { found: magic });
     }
-    let name = get_string(&mut buf)?;
-    if buf.remaining() < 8 * 4 {
-        return Err(DecodeTraceError::Truncated);
-    }
-    let gates = buf.get_u64_le() as usize;
-    let hidden = buf.get_u64_le() as usize;
-    let input = buf.get_u64_le() as usize;
-    let steps = buf.get_u64_le() as usize;
-    let maps = get_bitmap(&mut buf)?;
+    let name = get_string(&mut r)?;
+    let gates = r.get_usize_le()?;
+    let hidden = r.get_usize_le()?;
+    let input = r.get_usize_le()?;
+    let steps = r.get_usize_le()?;
+    let maps = get_bitmap(&mut r)?;
     Ok(RnnLayerTrace {
         name,
         gates,
@@ -205,7 +220,7 @@ mod tests {
             &mut seeded(1),
         );
         let blob = encode_conv_trace(&t);
-        let back = decode_conv_trace(blob).unwrap();
+        let back = decode_conv_trace(&blob).unwrap();
         assert_eq!(t, back);
     }
 
@@ -213,7 +228,7 @@ mod tests {
     fn rnn_roundtrip() {
         let t = RnnLayerTrace::synthetic("lstm1", 4, 256, 256, 12, 0.46, &mut seeded(2));
         let blob = encode_rnn_trace(&t);
-        let back = decode_rnn_trace(blob).unwrap();
+        let back = decode_rnn_trace(&blob).unwrap();
         assert_eq!(t, back);
     }
 
@@ -221,7 +236,7 @@ mod tests {
     fn wrong_magic_rejected() {
         let t = RnnLayerTrace::synthetic("x", 3, 8, 8, 2, 0.5, &mut seeded(3));
         let blob = encode_rnn_trace(&t);
-        match decode_conv_trace(blob) {
+        match decode_conv_trace(&blob) {
             Err(DecodeTraceError::BadMagic { found }) => assert_eq!(found, 0x44554552),
             other => panic!("expected BadMagic, got {other:?}"),
         }
@@ -232,9 +247,8 @@ mod tests {
         let t = ConvLayerTrace::synthetic("c", 8, 9, 16, 64, 0.5, 0.2, 1.0, 8, &mut seeded(4));
         let blob = encode_conv_trace(&t);
         for cut in [0usize, 3, 10, blob.len() - 1] {
-            let short = blob.slice(0..cut);
             assert!(
-                decode_conv_trace(short).is_err(),
+                decode_conv_trace(&blob[..cut]).is_err(),
                 "cut at {cut} should fail"
             );
         }
@@ -246,7 +260,7 @@ mod tests {
         let blob = encode_conv_trace(&t);
         // 9 map bits → 2 bytes of bitmap payload
         assert!(blob.len() < 128);
-        let back = decode_conv_trace(blob).unwrap();
+        let back = decode_conv_trace(&blob).unwrap();
         assert_eq!(back.omap.len(), 9);
     }
 

@@ -49,7 +49,7 @@ fn serialized_trace_simulates_identically() {
     let cfg = ArchConfig::duet();
     let original = conv_trace(11);
     let blob = trace_io::encode_conv_trace(&original);
-    let decoded = trace_io::decode_conv_trace(blob).expect("decode");
+    let decoded = trace_io::decode_conv_trace(&blob).expect("decode");
     let a = run_cnn("m", &[original], &cfg, &energy);
     let b = run_cnn("m", &[decoded], &cfg, &energy);
     assert_eq!(a, b);
@@ -61,7 +61,7 @@ fn rnn_trace_roundtrip_simulates_identically() {
     let cfg = ArchConfig::duet();
     let original = RnnLayerTrace::synthetic("l", 4, 512, 512, 8, 0.46, &mut seeded(13));
     let blob = trace_io::encode_rnn_trace(&original);
-    let decoded = trace_io::decode_rnn_trace(blob).expect("decode");
+    let decoded = trace_io::decode_rnn_trace(&blob).expect("decode");
     let a = run_rnn_layer(&original, &cfg, &energy, true);
     let b = run_rnn_layer(&decoded, &cfg, &energy, true);
     assert_eq!(a, b);

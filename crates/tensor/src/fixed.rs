@@ -34,7 +34,8 @@ pub const INT4_MIN: i8 = -8;
 ///     assert!((a - b).abs() < 1e-3);
 /// }
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fixed16Tensor {
     data: Vec<i16>,
     scale: f32,
@@ -134,7 +135,8 @@ impl Fixed16Tensor {
 
 /// An INT4 tensor (stored one nibble per `i8`, values in [-8, 7]) with a
 /// single FP32 scale — the Speculator's number format.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Int4Tensor {
     data: Vec<i8>,
     scale: f32,

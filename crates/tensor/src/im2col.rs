@@ -13,7 +13,8 @@
 use crate::tensor::Tensor;
 
 /// Spatial geometry of a convolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConvGeometry {
     /// Input channels.
     pub in_channels: usize,

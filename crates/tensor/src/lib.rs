@@ -15,8 +15,11 @@
 //!   datapath (§III-B),
 //! * truncation quantization (16-bit → 4-bit keeps the four MSBs and scales
 //!   by 2¹², §III-B step 1),
-//! * seeded RNG helpers and summary statistics used throughout the
-//!   evaluation harness.
+//! * [`parallel`] — the scoped `std::thread` data-parallelism layer behind
+//!   the blocked GEMM/GEMV kernels (`DUET_NUM_THREADS` overrides the
+//!   thread count),
+//! * seeded in-tree RNG helpers ([`rng`]) and summary statistics used
+//!   throughout the evaluation harness.
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@
 pub mod fixed;
 pub mod im2col;
 pub mod ops;
+pub mod parallel;
 pub mod quantize;
 pub mod rng;
 pub mod shape;

@@ -20,7 +20,8 @@ use std::fmt;
 /// assert_eq!(t.shape().dims(), &[2, 3]);
 /// assert_eq!(t.len(), 6);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,

@@ -1,110 +1,227 @@
-//! Property-based tests of the tensor substrate's algebraic laws.
+//! Property-style tests of the tensor substrate's algebraic laws.
+//!
+//! Formerly proptest-based; now driven by the in-tree seeded
+//! [`duet_tensor::rng`] so the workspace tests run with zero external
+//! dependencies. Each law is checked across a sweep of seeds (and, for the
+//! kernels, across deliberately awkward shapes: 1×1, prime dimensions,
+//! tall/skinny) — the parallel blocked kernels must agree with
+//! [`ops::matmul_naive`] within `1e-4`.
 
 use duet_tensor::fixed::{Fixed16Tensor, Int4Tensor};
-use duet_tensor::im2col::{col2im, im2col, ConvGeometry};
+use duet_tensor::im2col::{col2im, conv2d_direct, im2col, ConvGeometry};
+use duet_tensor::rng::{self, Rng};
 use duet_tensor::{ops, Tensor};
-use proptest::prelude::*;
 
-fn tensor_strategy(n: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-10.0f32..10.0, n).prop_map(move |v| Tensor::from_vec(v, &[n]))
+const CASES: u64 = 32;
+
+fn vector(r: &mut Rng, n: usize, amp: f32) -> Tensor {
+    rng::uniform(r, &[n], -amp, amp)
 }
 
-fn matrix_strategy(r: usize, c: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-5.0f32..5.0, r * c).prop_map(move |v| Tensor::from_vec(v, &[r, c]))
+fn matrix(r: &mut Rng, rows: usize, cols: usize, amp: f32) -> Tensor {
+    rng::uniform(r, &[rows, cols], -amp, amp)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Matmul distributes over addition: A(B + C) = AB + AC.
-    #[test]
-    fn matmul_distributes(
-        a in matrix_strategy(4, 5),
-        b in matrix_strategy(5, 3),
-        c in matrix_strategy(5, 3),
-    ) {
+/// Matmul distributes over addition: A(B + C) = AB + AC.
+#[test]
+fn matmul_distributes() {
+    for seed in 0..CASES {
+        let mut r = rng::seeded(seed);
+        let a = matrix(&mut r, 4, 5, 5.0);
+        let b = matrix(&mut r, 5, 3, 5.0);
+        let c = matrix(&mut r, 5, 3, 5.0);
         let lhs = ops::matmul(&a, &ops::add(&b, &c));
         let rhs = ops::add(&ops::matmul(&a, &b), &ops::matmul(&a, &c));
         for (x, y) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+            assert!((x - y).abs() < 1e-2, "seed {seed}: {x} vs {y}");
         }
     }
+}
 
-    /// (AB)ᵀ = BᵀAᵀ.
-    #[test]
-    fn matmul_transpose_law(
-        a in matrix_strategy(3, 4),
-        b in matrix_strategy(4, 2),
-    ) {
+/// (AB)ᵀ = BᵀAᵀ.
+#[test]
+fn matmul_transpose_law() {
+    for seed in 0..CASES {
+        let mut r = rng::seeded(seed);
+        let a = matrix(&mut r, 3, 4, 5.0);
+        let b = matrix(&mut r, 4, 2, 5.0);
         let lhs = ops::matmul(&a, &b).transposed();
         let rhs = ops::matmul(&b.transposed(), &a.transposed());
         for (x, y) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((x - y).abs() < 1e-3);
+            assert!((x - y).abs() < 1e-3, "seed {seed}");
         }
     }
+}
 
-    /// gemv agrees with matmul against a column vector.
-    #[test]
-    fn gemv_matmul_consistency(
-        w in matrix_strategy(6, 4),
-        x in tensor_strategy(4),
-    ) {
+/// gemv agrees with matmul against a column vector.
+#[test]
+fn gemv_matmul_consistency() {
+    for seed in 0..CASES {
+        let mut r = rng::seeded(seed);
+        let w = matrix(&mut r, 6, 4, 5.0);
+        let x = vector(&mut r, 4, 10.0);
         let y = ops::gemv(&w, &x);
         let ym = ops::matmul(&w, &x.reshaped(&[4, 1]));
         for (a, b) in y.data().iter().zip(ym.data()) {
-            prop_assert!((a - b).abs() < 1e-3);
+            assert!((a - b).abs() < 1e-3, "seed {seed}");
         }
     }
+}
 
-    /// Dot product is symmetric and Cauchy–Schwarz holds.
-    #[test]
-    fn dot_properties(a in tensor_strategy(16), b in tensor_strategy(16)) {
+/// The blocked/parallel matmul agrees with the naive reference within
+/// 1e-4 across odd shapes: 1×1, prime dims, tall/skinny, and shapes that
+/// straddle the register-tile and panel boundaries.
+#[test]
+fn blocked_matmul_matches_naive_on_odd_shapes() {
+    let shapes = [
+        (1usize, 1usize, 1usize),
+        (1, 97, 1),
+        (2, 3, 5),
+        (7, 11, 13),
+        (31, 37, 41),  // prime dims above the blocked threshold
+        (128, 1, 128), // degenerate inner dimension
+        (257, 8, 3),   // tall/skinny
+        (3, 8, 257),   // short/wide
+        (33, 64, 65),  // off-by-one around tile multiples
+        (64, 61, 64),
+    ];
+    for (si, &(m, k, n)) in shapes.iter().enumerate() {
+        let mut r = rng::seeded(1000 + si as u64);
+        let a = matrix(&mut r, m, k, 2.0);
+        let b = matrix(&mut r, k, n, 2.0);
+        let reference = ops::matmul_naive(&a, &b);
+        for threads in [1usize, 4] {
+            let c = ops::matmul_with_threads(&a, &b, threads);
+            assert_eq!(c.shape(), reference.shape());
+            for (x, y) in c.data().iter().zip(reference.data()) {
+                assert!(
+                    (x - y).abs() < 1e-4,
+                    "shape ({m},{k},{n}) threads {threads}: {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+/// The parallel gemv agrees with a scalar dot-product loop on odd shapes.
+#[test]
+fn gemv_matches_naive_on_odd_shapes() {
+    for (si, &(n, d)) in [(1usize, 1usize), (5, 3), (127, 1), (311, 211), (64, 4099)]
+        .iter()
+        .enumerate()
+    {
+        let mut r = rng::seeded(2000 + si as u64);
+        let w = matrix(&mut r, n, d, 1.0);
+        let x = vector(&mut r, d, 1.0);
+        for threads in [1usize, 4] {
+            let y = ops::gemv_with_threads(&w, &x, threads);
+            for i in 0..n {
+                let mut acc = 0.0f32;
+                for j in 0..d {
+                    acc += w.data()[i * d + j] * x.data()[j];
+                }
+                assert!(
+                    (y.data()[i] - acc).abs() < 1e-4 * acc.abs().max(1.0),
+                    "({n},{d}) row {i} threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+/// One vs four threads produce bitwise-identical results for every
+/// parallel kernel (`DUET_NUM_THREADS=1` vs `=4` determinism).
+#[test]
+fn thread_count_determinism() {
+    let mut r = rng::seeded(77);
+    let a = matrix(&mut r, 129, 83, 1.0);
+    let b = matrix(&mut r, 83, 101, 1.0);
+    assert_eq!(
+        ops::matmul_with_threads(&a, &b, 1),
+        ops::matmul_with_threads(&a, &b, 4)
+    );
+    let w = matrix(&mut r, 301, 999, 1.0);
+    let x = vector(&mut r, 999, 1.0);
+    assert_eq!(
+        ops::gemv_with_threads(&w, &x, 1),
+        ops::gemv_with_threads(&w, &x, 4)
+    );
+    let bias = vector(&mut r, 301, 1.0);
+    assert_eq!(
+        ops::affine_with_threads(&w, &x, &bias, 1),
+        ops::affine_with_threads(&w, &x, &bias, 4)
+    );
+}
+
+/// Dot product is symmetric and Cauchy–Schwarz holds.
+#[test]
+fn dot_properties() {
+    for seed in 0..CASES {
+        let mut r = rng::seeded(seed);
+        let a = vector(&mut r, 16, 10.0);
+        let b = vector(&mut r, 16, 10.0);
         let ab = ops::dot(&a, &b);
         let ba = ops::dot(&b, &a);
-        prop_assert!((ab - ba).abs() < 1e-2);
+        assert!((ab - ba).abs() < 1e-2, "seed {seed}");
         let bound = (a.norm_sq() * b.norm_sq()).sqrt();
-        prop_assert!(ab.abs() <= bound * 1.0001 + 1e-3);
+        assert!(ab.abs() <= bound * 1.0001 + 1e-3, "seed {seed}");
     }
+}
 
-    /// INT16 quantization round-trip error is bounded by one step.
-    #[test]
-    fn fixed16_roundtrip_bound(t in tensor_strategy(64)) {
+/// INT16 quantization round-trip error is bounded by one step.
+#[test]
+fn fixed16_roundtrip_bound() {
+    for seed in 0..CASES {
+        let mut r = rng::seeded(seed);
+        let t = vector(&mut r, 64, 10.0);
         let q = Fixed16Tensor::quantize(&t);
         let back = q.dequantize();
         for (a, b) in t.data().iter().zip(back.data()) {
-            prop_assert!((a - b).abs() <= q.scale() * 1.01);
+            assert!((a - b).abs() <= q.scale() * 1.01, "seed {seed}");
         }
     }
+}
 
-    /// The 16→4 truncation always matches shifting the integer payload.
-    #[test]
-    fn truncation_is_arithmetic_shift(t in tensor_strategy(32)) {
+/// The 16→4 truncation always matches shifting the integer payload.
+#[test]
+fn truncation_is_arithmetic_shift() {
+    for seed in 0..CASES {
+        let mut r = rng::seeded(seed);
+        let t = vector(&mut r, 32, 10.0);
         let q16 = Fixed16Tensor::quantize(&t);
         let q4 = q16.truncate_to_int4();
         for (&v16, &v4) in q16.data().iter().zip(q4.data()) {
-            prop_assert_eq!((v16 >> 12) as i8, v4);
+            assert_eq!((v16 >> 12) as i8, v4, "seed {seed}");
         }
-        prop_assert!((q4.scale() / q16.scale() - 4096.0).abs() < 1e-3);
+        assert!(
+            (q4.scale() / q16.scale() - 4096.0).abs() < 1e-3,
+            "seed {seed}"
+        );
     }
+}
 
-    /// INT4 values always stay within [-8, 7].
-    #[test]
-    fn int4_range_invariant(t in tensor_strategy(64)) {
+/// INT4 values always stay within [-8, 7].
+#[test]
+fn int4_range_invariant() {
+    for seed in 0..CASES {
+        let mut r = rng::seeded(seed);
+        let t = vector(&mut r, 64, 10.0);
         let q = Int4Tensor::quantize(&t);
-        prop_assert!(q.data().iter().all(|&v| (-8..=7).contains(&v)));
+        assert!(q.data().iter().all(|&v| (-8..=7).contains(&v)));
         let tr = Fixed16Tensor::quantize(&t).truncate_to_int4();
-        prop_assert!(tr.data().iter().all(|&v| (-8..=7).contains(&v)));
+        assert!(tr.data().iter().all(|&v| (-8..=7).contains(&v)));
     }
+}
 
-    /// im2col → GEMM equals direct convolution on random shapes.
-    #[test]
-    fn conv_lowering_equivalence(
-        c in 1usize..3,
-        hw in 4usize..8,
-        k in 1usize..4,
-        pad in 0usize..2,
-        seed in 0u64..1000,
-    ) {
+/// im2col → GEMM equals direct convolution on random shapes.
+#[test]
+fn conv_lowering_equivalence() {
+    for seed in 0..CASES {
+        let mut r = rng::seeded(seed);
+        let c = r.random_range(1usize..3);
+        let hw = r.random_range(4usize..8);
+        let k = r.random_range(1usize..4);
+        let pad = r.random_range(0usize..2);
         let geom = ConvGeometry {
             in_channels: c,
             in_h: hw,
@@ -114,23 +231,24 @@ proptest! {
             stride: 1,
             padding: pad,
         };
-        if hw + 2 * pad < 3 {
-            return Ok(());
-        }
-        let mut r = duet_tensor::rng::seeded(seed);
-        let input = duet_tensor::rng::normal(&mut r, &[c, hw, hw], 0.0, 1.0);
-        let filters = duet_tensor::rng::normal(&mut r, &[k, c, 3, 3], 0.0, 0.5);
-        let direct = duet_tensor::im2col::conv2d_direct(&input, &filters, &geom);
+        let input = rng::normal(&mut r, &[c, hw, hw], 0.0, 1.0);
+        let filters = rng::normal(&mut r, &[k, c, 3, 3], 0.0, 0.5);
+        let direct = conv2d_direct(&input, &filters, &geom);
         let cols = im2col(&input, &geom);
         let gemm = ops::matmul(&filters.reshaped(&[k, geom.patch_len()]), &cols);
         for (a, b) in direct.data().iter().zip(gemm.data()) {
-            prop_assert!((a - b).abs() < 1e-3);
+            assert!((a - b).abs() < 1e-3, "seed {seed}");
         }
     }
+}
 
-    /// col2im is the adjoint of im2col for random geometries.
-    #[test]
-    fn adjoint_property(hw in 4usize..8, pad in 0usize..2, seed in 0u64..500) {
+/// col2im is the adjoint of im2col for random geometries.
+#[test]
+fn adjoint_property() {
+    for seed in 0..CASES {
+        let mut r = rng::seeded(seed);
+        let hw = r.random_range(4usize..8);
+        let pad = r.random_range(0usize..2);
         let geom = ConvGeometry {
             in_channels: 2,
             in_h: hw,
@@ -140,25 +258,29 @@ proptest! {
             stride: 1,
             padding: pad,
         };
-        let mut r = duet_tensor::rng::seeded(seed);
-        let x = duet_tensor::rng::normal(&mut r, &[2, hw, hw], 0.0, 1.0);
-        let y = duet_tensor::rng::normal(
-            &mut r,
-            &[geom.patch_len(), geom.out_positions()],
-            0.0,
-            1.0,
-        );
+        let x = rng::normal(&mut r, &[2, hw, hw], 0.0, 1.0);
+        let y = rng::normal(&mut r, &[geom.patch_len(), geom.out_positions()], 0.0, 1.0);
         let n1 = geom.patch_len() * geom.out_positions();
         let lhs = ops::dot(&im2col(&x, &geom).reshaped(&[n1]), &y.reshaped(&[n1]));
-        let rhs = ops::dot(&x.reshaped(&[x.len()]), &col2im(&y, &geom).reshaped(&[x.len()]));
-        prop_assert!((lhs - rhs).abs() < 1e-1 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        let rhs = ops::dot(
+            &x.reshaped(&[x.len()]),
+            &col2im(&y, &geom).reshaped(&[x.len()]),
+        );
+        assert!(
+            (lhs - rhs).abs() < 1e-1 * (1.0 + lhs.abs()),
+            "seed {seed}: {lhs} vs {rhs}"
+        );
     }
+}
 
-    /// Reshape preserves data; transpose twice is identity.
-    #[test]
-    fn shape_laws(m in matrix_strategy(5, 7)) {
+/// Reshape preserves data; transpose twice is identity.
+#[test]
+fn shape_laws() {
+    for seed in 0..CASES {
+        let mut r = rng::seeded(seed);
+        let m = matrix(&mut r, 5, 7, 5.0);
         let reshaped = m.reshaped(&[7, 5]);
-        prop_assert_eq!(reshaped.data(), m.data());
-        prop_assert_eq!(&m.transposed().transposed(), &m);
+        assert_eq!(reshaped.data(), m.data());
+        assert_eq!(&m.transposed().transposed(), &m);
     }
 }

@@ -5,9 +5,8 @@
 //! content of the data, so procedurally generated tasks with measurable
 //! accuracy/perplexity exercise the full pipeline end-to-end.
 
+use duet_tensor::rng::Rng;
 use duet_tensor::{rng, Tensor};
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 /// A labelled classification dataset.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,7 +69,7 @@ pub fn gaussian_clusters(
     d: usize,
     samples: usize,
     separation: f32,
-    r: &mut SmallRng,
+    r: &mut Rng,
 ) -> Classification {
     assert!(classes > 0 && d > 0 && samples > 0, "degenerate dataset");
     let centers: Vec<Tensor> = (0..classes)
@@ -105,7 +104,7 @@ pub fn gaussian_clusters(
 /// # Panics
 ///
 /// Panics if `size < 5` or `samples == 0`.
-pub fn shape_images(samples: usize, size: usize, noise: f32, r: &mut SmallRng) -> Classification {
+pub fn shape_images(samples: usize, size: usize, noise: f32, r: &mut Rng) -> Classification {
     assert!(size >= 5, "images must be at least 5x5");
     assert!(samples > 0, "need at least one sample");
     let mut inputs = Tensor::zeros(&[samples, 1, size, size]);
@@ -165,7 +164,7 @@ impl MarkovText {
     /// # Panics
     ///
     /// Panics if `vocab == 0` or `band == 0`.
-    pub fn new(vocab: usize, band: usize, r: &mut SmallRng) -> Self {
+    pub fn new(vocab: usize, band: usize, r: &mut Rng) -> Self {
         assert!(vocab > 0 && band > 0, "degenerate Markov source");
         let band = band.min(vocab);
         let mut transitions = vec![0.0f32; vocab * vocab];
@@ -190,7 +189,7 @@ impl MarkovText {
     }
 
     /// Samples a token sequence of length `len` starting from token 0.
-    pub fn sample(&self, len: usize, r: &mut SmallRng) -> Vec<usize> {
+    pub fn sample(&self, len: usize, r: &mut Rng) -> Vec<usize> {
         let mut seq = Vec::with_capacity(len);
         let mut cur = 0usize;
         for _ in 0..len {

@@ -8,9 +8,8 @@ use duet_core::{DualConvLayer, DualModuleLayer, SavingsReport, SwitchingPolicy};
 use duet_nn::lstm::LstmState;
 use duet_nn::{loss, Activation, Sequential};
 use duet_tensor::im2col::{im2col, ConvGeometry};
+use duet_tensor::rng::Rng;
 use duet_tensor::{ops, Tensor};
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 /// A dual-module MLP: hidden ReLU layers run dual-module, the final
 /// logits layer stays dense (no non-linearity to exploit).
@@ -33,7 +32,7 @@ impl DualMlp {
         net: &Sequential,
         calibration: &Classification,
         reduced_ratio: f64,
-        r: &mut SmallRng,
+        r: &mut Rng,
     ) -> Self {
         let linears = net.linear_layers();
         assert!(!linears.is_empty(), "network has no linear layers");
@@ -124,7 +123,7 @@ impl DualCnn {
         net: &Sequential,
         calibration: &Classification,
         reduced_ratio: f64,
-        r: &mut SmallRng,
+        r: &mut Rng,
     ) -> Self {
         let convs = net.conv_layers();
         let linears = net.linear_layers();
@@ -263,7 +262,7 @@ pub struct DualCharLm {
 
 impl DualCharLm {
     /// Distills dual-module cells from a trained [`CharLm`].
-    pub fn from_char_lm(lm: &CharLm, reduced_dim: usize, samples: usize, r: &mut SmallRng) -> Self {
+    pub fn from_char_lm(lm: &CharLm, reduced_dim: usize, samples: usize, r: &mut Rng) -> Self {
         let cell = if let Some(c) = lm.lstm_cell() {
             DualLmCell::Lstm(DualLstmCell::learn(c, reduced_dim, samples, r))
         } else {
@@ -377,7 +376,7 @@ impl DualCharLm {
 
 /// Generates calibration inputs by sampling rows of a dataset with
 /// replacement (a quick bootstrap for distillation).
-pub fn bootstrap_rows(data: &Classification, n: usize, r: &mut SmallRng) -> Tensor {
+pub fn bootstrap_rows(data: &Classification, n: usize, r: &mut Rng) -> Tensor {
     let d = data.inputs.shape().dim(1);
     let mut out = Tensor::zeros(&[n, d]);
     for i in 0..n {

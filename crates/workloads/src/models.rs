@@ -4,7 +4,8 @@
 use duet_tensor::im2col::ConvGeometry;
 
 /// Shape of one CONV layer.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConvShape {
     /// Layer name.
     pub name: String,
@@ -92,7 +93,8 @@ impl ConvShape {
 }
 
 /// Shape of one recurrent layer.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RnnShape {
     /// Layer name.
     pub name: String,
@@ -131,7 +133,8 @@ impl RnnShape {
 }
 
 /// The paper's benchmark suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ModelZoo {
     /// AlexNet on ImageNet-shaped inputs.
     AlexNet,

@@ -15,9 +15,8 @@ use duet_nn::layer::Param;
 use duet_nn::loss;
 use duet_nn::lstm::LstmState;
 use duet_nn::{LstmCell, Optimizer};
+use duet_tensor::rng::Rng;
 use duet_tensor::{ops, Tensor};
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 /// The beginning-of-sequence token (index 0).
 pub const BOS: usize = 0;
@@ -34,7 +33,7 @@ pub struct ReversalTask {
 
 impl ReversalTask {
     /// Samples a (source, target) pair.
-    pub fn sample(&self, r: &mut SmallRng) -> (Vec<usize>, Vec<usize>) {
+    pub fn sample(&self, r: &mut Rng) -> (Vec<usize>, Vec<usize>) {
         let src: Vec<usize> = (0..self.len)
             .map(|_| r.random_range(1..self.vocab))
             .collect();
@@ -62,7 +61,7 @@ pub struct Seq2Seq {
 
 impl Seq2Seq {
     /// Creates an untrained model.
-    pub fn new(vocab: usize, emb: usize, hidden: usize, r: &mut SmallRng) -> Self {
+    pub fn new(vocab: usize, emb: usize, hidden: usize, r: &mut Rng) -> Self {
         Self {
             embed_src: Param::new(duet_nn::init::lecun_uniform(r, &[emb, vocab], vocab)),
             embed_tgt: Param::new(duet_nn::init::lecun_uniform(r, &[emb, vocab], vocab)),
@@ -234,7 +233,7 @@ impl Seq2Seq {
     }
 
     /// Token accuracy of greedy decoding over sampled task instances.
-    pub fn token_accuracy(&self, task: &ReversalTask, samples: usize, r: &mut SmallRng) -> f64 {
+    pub fn token_accuracy(&self, task: &ReversalTask, samples: usize, r: &mut Rng) -> f64 {
         let mut correct = 0usize;
         let mut total = 0usize;
         for _ in 0..samples {
@@ -274,7 +273,7 @@ pub fn train_seq2seq(
     emb: usize,
     hidden: usize,
     iterations: usize,
-    r: &mut SmallRng,
+    r: &mut Rng,
 ) -> Seq2Seq {
     let mut model = Seq2Seq::new(task.vocab, emb, hidden, r);
     let mut opt = Optimizer::adam(0.005);
@@ -296,12 +295,7 @@ pub struct DualSeq2Seq {
 
 impl DualSeq2Seq {
     /// Distills dual cells from a trained model.
-    pub fn from_model(
-        model: &Seq2Seq,
-        reduced_dim: usize,
-        samples: usize,
-        r: &mut SmallRng,
-    ) -> Self {
+    pub fn from_model(model: &Seq2Seq, reduced_dim: usize, samples: usize, r: &mut Rng) -> Self {
         Self {
             model: model.clone(),
             dual_encoder: DualLstmCell::learn(&model.encoder, reduced_dim, samples, r),
@@ -362,7 +356,7 @@ impl DualSeq2Seq {
         task: &ReversalTask,
         samples: usize,
         thresholds: &RnnThresholds,
-        r: &mut SmallRng,
+        r: &mut Rng,
     ) -> (f64, SavingsReport) {
         let mut correct = 0usize;
         let mut total = 0usize;

@@ -9,11 +9,12 @@
 use crate::models::{ConvShape, ModelZoo, RnnShape};
 use duet_nn::Activation;
 use duet_sim::trace::{ConvLayerTrace, RnnLayerTrace};
+use duet_tensor::rng::Rng;
 use duet_tensor::Tensor;
-use rand::rngs::SmallRng;
 
 /// Per-layer sensitivity calibration for trace synthesis.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SparsityCalibration {
     /// Mean fraction of *sensitive* outputs (Executor workload).
     pub mean_sensitive: f64,
@@ -81,11 +82,7 @@ pub fn insensitive_fraction(pre_activations: &Tensor, act: Activation, theta: f3
 }
 
 /// Synthesizes the calibrated trace for one CONV layer of a model.
-pub fn conv_trace(
-    shape: &ConvShape,
-    calib: &SparsityCalibration,
-    rng: &mut SmallRng,
-) -> ConvLayerTrace {
+pub fn conv_trace(shape: &ConvShape, calib: &SparsityCalibration, rng: &mut Rng) -> ConvLayerTrace {
     ConvLayerTrace::synthetic(
         shape.name.clone(),
         shape.out_channels,
@@ -101,7 +98,7 @@ pub fn conv_trace(
 }
 
 /// Synthesizes calibrated traces for every CONV layer of a CNN benchmark.
-pub fn cnn_traces(model: ModelZoo, rng: &mut SmallRng) -> Vec<ConvLayerTrace> {
+pub fn cnn_traces(model: ModelZoo, rng: &mut Rng) -> Vec<ConvLayerTrace> {
     let layers = model.conv_layers();
     let n = layers.len();
     layers
@@ -112,7 +109,7 @@ pub fn cnn_traces(model: ModelZoo, rng: &mut SmallRng) -> Vec<ConvLayerTrace> {
 }
 
 /// Synthesizes the calibrated trace for one RNN layer.
-pub fn rnn_trace(shape: &RnnShape, rng: &mut SmallRng) -> RnnLayerTrace {
+pub fn rnn_trace(shape: &RnnShape, rng: &mut Rng) -> RnnLayerTrace {
     let calib = SparsityCalibration::rnn_layer();
     RnnLayerTrace::synthetic(
         shape.name.clone(),
@@ -126,7 +123,7 @@ pub fn rnn_trace(shape: &RnnShape, rng: &mut SmallRng) -> RnnLayerTrace {
 }
 
 /// Synthesizes calibrated traces for every layer of an RNN benchmark.
-pub fn rnn_traces(model: ModelZoo, rng: &mut SmallRng) -> Vec<RnnLayerTrace> {
+pub fn rnn_traces(model: ModelZoo, rng: &mut Rng) -> Vec<RnnLayerTrace> {
     model
         .rnn_layers()
         .iter()

@@ -12,18 +12,12 @@ use duet_nn::{
     loss, Activation, Conv2d, GruCell, Linear, LstmCell, MaxPool2d, Optimizer, Sequential,
 };
 use duet_tensor::im2col::ConvGeometry;
+use duet_tensor::rng::Rng;
 use duet_tensor::{ops, Tensor};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
 
 /// Trains a one-hidden-layer ReLU MLP classifier; returns the trained
 /// network.
-pub fn train_mlp(
-    data: &Classification,
-    hidden: usize,
-    epochs: usize,
-    r: &mut SmallRng,
-) -> Sequential {
+pub fn train_mlp(data: &Classification, hidden: usize, epochs: usize, r: &mut Rng) -> Sequential {
     let d = data.inputs.shape().dim(1);
     let mut net = Sequential::new();
     net.push_linear(Linear::new(d, hidden, r));
@@ -35,7 +29,7 @@ pub fn train_mlp(
     let batch = 32.min(n);
     let mut order: Vec<usize> = (0..n).collect();
     for _ in 0..epochs {
-        order.shuffle(r);
+        r.shuffle(&mut order);
         for chunk in order.chunks(batch) {
             let mut x = Tensor::zeros(&[chunk.len(), d]);
             let mut y = Vec::with_capacity(chunk.len());
@@ -52,12 +46,7 @@ pub fn train_mlp(
 
 /// Trains a tiny CNN (conv → ReLU → pool → flatten → linear) on image
 /// data shaped `[n, 1, s, s]`.
-pub fn train_cnn(
-    data: &Classification,
-    channels: usize,
-    epochs: usize,
-    r: &mut SmallRng,
-) -> Sequential {
+pub fn train_cnn(data: &Classification, channels: usize, epochs: usize, r: &mut Rng) -> Sequential {
     let dims = data.inputs.shape().dims().to_vec();
     assert_eq!(dims.len(), 4, "image data must be [n, c, h, w]");
     let (c, s) = (dims[1], dims[2]);
@@ -83,7 +72,7 @@ pub fn train_cnn(
     let batch = 16.min(n);
     let mut order: Vec<usize> = (0..n).collect();
     for _ in 0..epochs {
-        order.shuffle(r);
+        r.shuffle(&mut order);
         for chunk in order.chunks(batch) {
             let mut x = Tensor::zeros(&[chunk.len(), c, s, s]);
             let mut y = Vec::with_capacity(chunk.len());
@@ -131,7 +120,7 @@ pub struct CharLm {
 
 impl CharLm {
     /// Creates an untrained LM.
-    pub fn new(vocab: usize, emb: usize, hidden: usize, lstm: bool, r: &mut SmallRng) -> Self {
+    pub fn new(vocab: usize, emb: usize, hidden: usize, lstm: bool, r: &mut Rng) -> Self {
         let cell = if lstm {
             LmCell::Lstm(LstmCell::new(emb, hidden, r))
         } else {
@@ -329,7 +318,7 @@ pub fn train_char_lm(
     hidden: usize,
     windows: usize,
     window_len: usize,
-    r: &mut SmallRng,
+    r: &mut Rng,
 ) -> CharLm {
     let mut lm = CharLm::new(source.vocab, emb, hidden, lstm, r);
     let mut opt = Optimizer::adam(0.005);
@@ -338,6 +327,66 @@ pub fn train_char_lm(
         lm.train_step(&seq, &mut opt);
     }
     lm
+}
+
+/// Trains a two-conv CNN (conv → ReLU → conv → ReLU → pool → flatten →
+/// linear) on image data shaped `[n, 1, s, s]` — the smallest network
+/// that exercises the §III-C OMap→IMap chain on trained weights.
+pub fn train_deep_cnn(
+    data: &Classification,
+    channels: usize,
+    epochs: usize,
+    r: &mut Rng,
+) -> Sequential {
+    let dims = data.inputs.shape().dims().to_vec();
+    assert_eq!(dims.len(), 4, "image data must be [n, c, h, w]");
+    let (c, s) = (dims[1], dims[2]);
+    let g1 = ConvGeometry {
+        in_channels: c,
+        in_h: s,
+        in_w: s,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let g2 = ConvGeometry {
+        in_channels: channels,
+        in_h: s,
+        in_w: s,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let mut net = Sequential::new();
+    net.push_conv(Conv2d::new(g1, channels, r));
+    net.push_activation(Activation::Relu);
+    net.push_conv(Conv2d::new(g2, channels, r));
+    net.push_activation(Activation::Relu);
+    net.push_pool(MaxPool2d::new(2));
+    net.push_flatten();
+    net.push_linear(Linear::new(channels * (s / 2) * (s / 2), data.classes, r));
+
+    let mut opt = Optimizer::adam(0.01);
+    let n = data.len();
+    let img = c * s * s;
+    let batch = 16.min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..epochs {
+        r.shuffle(&mut order);
+        for chunk in order.chunks(batch) {
+            let mut x = Tensor::zeros(&[chunk.len(), c, s, s]);
+            let mut y = Vec::with_capacity(chunk.len());
+            for (bi, &i) in chunk.iter().enumerate() {
+                x.data_mut()[bi * img..(bi + 1) * img]
+                    .copy_from_slice(&data.inputs.data()[i * img..(i + 1) * img]);
+                y.push(data.labels[i]);
+            }
+            net.train_step(&x, &y, &mut opt);
+        }
+    }
+    net
 }
 
 #[cfg(test)]
@@ -402,64 +451,4 @@ mod tests {
         let last = lm.train_step(&source.sample(30, &mut r), &mut opt);
         assert!(last < first, "{first} -> {last}");
     }
-}
-
-/// Trains a two-conv CNN (conv → ReLU → conv → ReLU → pool → flatten →
-/// linear) on image data shaped `[n, 1, s, s]` — the smallest network
-/// that exercises the §III-C OMap→IMap chain on trained weights.
-pub fn train_deep_cnn(
-    data: &Classification,
-    channels: usize,
-    epochs: usize,
-    r: &mut SmallRng,
-) -> Sequential {
-    let dims = data.inputs.shape().dims().to_vec();
-    assert_eq!(dims.len(), 4, "image data must be [n, c, h, w]");
-    let (c, s) = (dims[1], dims[2]);
-    let g1 = ConvGeometry {
-        in_channels: c,
-        in_h: s,
-        in_w: s,
-        kernel_h: 3,
-        kernel_w: 3,
-        stride: 1,
-        padding: 1,
-    };
-    let g2 = ConvGeometry {
-        in_channels: channels,
-        in_h: s,
-        in_w: s,
-        kernel_h: 3,
-        kernel_w: 3,
-        stride: 1,
-        padding: 1,
-    };
-    let mut net = Sequential::new();
-    net.push_conv(Conv2d::new(g1, channels, r));
-    net.push_activation(Activation::Relu);
-    net.push_conv(Conv2d::new(g2, channels, r));
-    net.push_activation(Activation::Relu);
-    net.push_pool(MaxPool2d::new(2));
-    net.push_flatten();
-    net.push_linear(Linear::new(channels * (s / 2) * (s / 2), data.classes, r));
-
-    let mut opt = Optimizer::adam(0.01);
-    let n = data.len();
-    let img = c * s * s;
-    let batch = 16.min(n);
-    let mut order: Vec<usize> = (0..n).collect();
-    for _ in 0..epochs {
-        order.shuffle(r);
-        for chunk in order.chunks(batch) {
-            let mut x = Tensor::zeros(&[chunk.len(), c, s, s]);
-            let mut y = Vec::with_capacity(chunk.len());
-            for (bi, &i) in chunk.iter().enumerate() {
-                x.data_mut()[bi * img..(bi + 1) * img]
-                    .copy_from_slice(&data.inputs.data()[i * img..(i + 1) * img]);
-                y.push(data.labels[i]);
-            }
-            net.train_step(&x, &y, &mut opt);
-        }
-    }
-    net
 }

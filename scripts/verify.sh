@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline build + tests, then formatting and lints.
+# The workspace has zero external dependencies, so everything runs with
+# --offline against an empty registry cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --workspace --release --offline
+
+echo "== cargo test --offline =="
+cargo test -q --workspace --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo clippy --workspace --all-targets --offline --features duet-bench/criterion -- -D warnings
+
+echo "verify: OK"

@@ -12,7 +12,7 @@ use duet::workloads::datasets;
 /// Builds a two-hidden-layer MLP and trains it on Gaussian clusters.
 fn train_two_layer_mlp(
     data: &datasets::Classification,
-    r: &mut rand::rngs::SmallRng,
+    r: &mut duet_tensor::rng::Rng,
 ) -> Sequential {
     let d = data.inputs.shape().dim(1);
     let mut net = Sequential::new();
