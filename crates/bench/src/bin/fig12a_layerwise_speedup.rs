@@ -9,6 +9,7 @@
 use duet_bench::table::{ratio, Table};
 use duet_bench::Suite;
 use duet_sim::config::ExecutorFeatures;
+use duet_sim::sweep::{SweepGrid, SweepPoint, SweepWorkload};
 use duet_tensor::stats::geometric_mean;
 use duet_workloads::models::ModelZoo;
 
@@ -17,16 +18,46 @@ fn main() {
     println!("(paper averages: OS 1.20x, BOS 1.93x, IOS 2.36x, DUET 3.05x)\n");
     let s = Suite::paper();
     let ladder = [
-        ExecutorFeatures::os(),
-        ExecutorFeatures::bos(),
-        ExecutorFeatures::ios(),
-        ExecutorFeatures::duet(),
+        ("OS", ExecutorFeatures::os()),
+        ("BOS", ExecutorFeatures::bos()),
+        ("IOS", ExecutorFeatures::ios()),
+        ("DUET", ExecutorFeatures::duet()),
     ];
+    let models = [ModelZoo::AlexNet, ModelZoo::ResNet18];
+
+    // The full (feature point × model) grid runs as one parallel sweep.
+    let mut points = vec![SweepPoint::new(
+        "BASE",
+        s.config.with_features(ExecutorFeatures::base()),
+    )];
+    for (label, f) in ladder {
+        points.push(SweepPoint::new(label, s.config.with_features(f)));
+    }
+    let workloads = models
+        .iter()
+        .map(|&m| SweepWorkload::Cnn {
+            name: m.name().to_string(),
+            traces: s.cnn_traces(m),
+        })
+        .collect();
+    let grid = SweepGrid::new(points, workloads);
+    let cells = grid.run(&s.energy);
 
     let mut all: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for model in [ModelZoo::AlexNet, ModelZoo::ResNet18] {
-        let base = s.run_cnn(model, ExecutorFeatures::base());
-        let runs: Vec<_> = ladder.iter().map(|&f| s.run_cnn(model, f)).collect();
+    for model in models {
+        let base = &grid
+            .cell(&cells, "BASE", model.name())
+            .expect("base cell")
+            .perf;
+        let runs: Vec<_> = ladder
+            .iter()
+            .map(|(label, _)| {
+                &grid
+                    .cell(&cells, label, model.name())
+                    .expect("ladder cell")
+                    .perf
+            })
+            .collect();
 
         let mut t = Table::new(["layer", "OS", "BOS", "IOS", "DUET"]);
         // print the first 8 layers per model to keep the table readable

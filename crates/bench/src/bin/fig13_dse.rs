@@ -14,6 +14,7 @@ use duet_bench::Suite;
 use duet_core::{ApproxConfig, SwitchingPolicy};
 use duet_nn::Activation;
 use duet_sim::config::ExecutorFeatures;
+use duet_sim::sweep::{SweepGrid, SweepPoint, SweepWorkload};
 use duet_tensor::rng;
 use duet_tensor::stats::geometric_mean;
 use duet_tensor::Tensor;
@@ -31,28 +32,50 @@ fn main() {
 fn size_sweep() {
     println!("Fig. 13(a) — Speculator size sweep (paper chooses 16x32)\n");
     let s = Suite::paper();
+
+    // One parallel grid run replaces the serial per-size loop: the "base"
+    // point is the shared denominator (its latency is Speculator-size
+    // independent), every other point is a sized DUET configuration.
+    let sizes = [(8, 8), (8, 16), (16, 16), (16, 32), (32, 32)];
+    let mut points = vec![SweepPoint::new(
+        "base",
+        s.config.with_features(ExecutorFeatures::base()),
+    )];
+    for (rows, cols) in sizes {
+        let mut cfg = s.config.with_features(ExecutorFeatures::duet());
+        cfg.speculator.systolic_rows = rows;
+        cfg.speculator.systolic_cols = cols;
+        points.push(SweepPoint::new(format!("{rows}x{cols}"), cfg));
+    }
+    let models = [ModelZoo::AlexNet, ModelZoo::ResNet18];
+    let workloads = models
+        .iter()
+        .map(|&m| SweepWorkload::Cnn {
+            name: m.name().to_string(),
+            traces: s.cnn_traces(m),
+        })
+        .collect();
+    let grid = SweepGrid::new(points, workloads);
+    let cells = grid.run(&s.energy);
+
     let mut t = Table::new([
         "systolic array",
         "AlexNet speedup",
         "ResNet18 speedup",
         "geomean",
     ]);
-    for (rows, cols) in [(8, 8), (8, 16), (16, 16), (16, 32), (32, 32)] {
-        let mut cfg = s.config;
-        cfg.speculator.systolic_rows = rows;
-        cfg.speculator.systolic_cols = cols;
-        let sized = duet_bench::Suite {
-            config: cfg,
-            energy: s.energy,
-        };
-        let mut speedups = Vec::new();
-        for m in [ModelZoo::AlexNet, ModelZoo::ResNet18] {
-            let base = sized.run_cnn(m, ExecutorFeatures::base());
-            let duet = sized.run_cnn(m, ExecutorFeatures::duet());
-            speedups.push(duet.speedup_over(&base));
-        }
+    for (rows, cols) in sizes {
+        let label = format!("{rows}x{cols}");
+        let speedups: Vec<f64> = models
+            .iter()
+            .map(|&m| {
+                let base = grid.cell(&cells, "base", m.name()).expect("base cell");
+                let duet = grid.cell(&cells, &label, m.name()).expect("sized cell");
+                duet.perf.speedup_over(&base.perf)
+            })
+            .collect();
         t.row([
-            format!("{rows}x{cols}"),
+            label,
             ratio(speedups[0]),
             ratio(speedups[1]),
             ratio(geometric_mean(&speedups)),

@@ -1,0 +1,114 @@
+//! Serial-vs-parallel trace-simulation sweep timing harness.
+//!
+//! Runs the same design-space-exploration grid (Speculator size ladder ×
+//! AlexNet/ResNet18/LSTM workloads) once per thread setting and writes
+//! `results/BENCH_sim.json` with the wall-clock for each, the thread
+//! count, and an order-sensitive checksum of every cell's
+//! `total_latency_cycles` — the checksum must be identical across thread
+//! counts (bitwise-deterministic sweep), and on a ≥4-core machine the
+//! parallel sweep should approach core-count speedup since cells are
+//! independent.
+//!
+//! Run with: `cargo run --release -p duet-bench --bin sim_bench`
+
+use duet_bench::Suite;
+use duet_sim::config::ExecutorFeatures;
+use duet_sim::rnn::RnnOptions;
+use duet_sim::sweep::{latency_checksum, SweepGrid, SweepPoint, SweepWorkload};
+use duet_tensor::parallel;
+use duet_workloads::models::ModelZoo;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Timed repetitions per thread setting (min is reported; sweeps are long
+/// enough that batching à la `duet_bench::timing` would be overkill).
+const REPS: usize = 3;
+
+fn grid(suite: &Suite) -> SweepGrid {
+    let mut points = vec![SweepPoint::new(
+        "base",
+        suite.config.with_features(ExecutorFeatures::base()),
+    )];
+    for (rows, cols) in [(8, 8), (8, 16), (16, 16), (16, 32), (32, 32)] {
+        let mut cfg = suite.config;
+        cfg.speculator.systolic_rows = rows;
+        cfg.speculator.systolic_cols = cols;
+        points.push(SweepPoint::new(format!("{rows}x{cols}"), cfg));
+    }
+
+    let mut workloads = Vec::new();
+    for model in [ModelZoo::AlexNet, ModelZoo::ResNet18] {
+        workloads.push(SweepWorkload::Cnn {
+            name: model.name().to_string(),
+            traces: suite.cnn_traces(model),
+        });
+    }
+    workloads.push(SweepWorkload::Rnn {
+        name: ModelZoo::LstmPtb.name().to_string(),
+        traces: suite.rnn_traces(ModelZoo::LstmPtb),
+        options: RnnOptions::duet(),
+    });
+    SweepGrid::new(points, workloads)
+}
+
+fn time_sweep(grid: &SweepGrid, suite: &Suite, threads: usize) -> (f64, u64) {
+    let mut best_ms = f64::INFINITY;
+    let mut checksum = 0u64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let cells = grid.run_with_threads(&suite.energy, threads);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(ms);
+        checksum = latency_checksum(&cells);
+    }
+    (best_ms, checksum)
+}
+
+fn main() {
+    let threads = parallel::num_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let suite = Suite::paper();
+    let grid = grid(&suite);
+    println!(
+        "sim_bench: {} cells ({} points x {} workloads), {threads} threads on {cores} cores",
+        grid.cells(),
+        grid.points.len(),
+        grid.workloads.len()
+    );
+
+    let (serial_ms, serial_sum) = time_sweep(&grid, &suite, 1);
+    println!("serial sweep   (1 thread):  {serial_ms:>9.1} ms  checksum {serial_sum:#018x}");
+    let (parallel_ms, parallel_sum) = time_sweep(&grid, &suite, threads);
+    println!(
+        "parallel sweep ({threads} threads): {parallel_ms:>9.1} ms  checksum {parallel_sum:#018x}"
+    );
+
+    assert_eq!(
+        serial_sum, parallel_sum,
+        "sweep is not deterministic across thread counts"
+    );
+    let speedup = serial_ms / parallel_ms;
+    println!("speedup: {speedup:.2}x (cells are independent; expect ~min(threads, cells))");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"sim_sweep\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"available_cores\": {cores},");
+    let _ = writeln!(json, "  \"grid_points\": {},", grid.points.len());
+    let _ = writeln!(json, "  \"grid_workloads\": {},", grid.workloads.len());
+    let _ = writeln!(json, "  \"cells\": {},", grid.cells());
+    let _ = writeln!(json, "  \"serial_sweep_ms\": {serial_ms:.2},");
+    let _ = writeln!(json, "  \"parallel_sweep_ms\": {parallel_ms:.2},");
+    let _ = writeln!(json, "  \"speedup_parallel_vs_serial\": {speedup:.4},");
+    let _ = writeln!(json, "  \"latency_checksum\": \"{serial_sum:#018x}\",");
+    let _ = writeln!(
+        json,
+        "  \"checksum_matches_across_thread_counts\": {}",
+        serial_sum == parallel_sum
+    );
+    json.push_str("}\n");
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("wrote results/BENCH_sim.json");
+}

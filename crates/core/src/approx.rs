@@ -175,14 +175,10 @@ impl ApproxLinear {
     }
 
     /// Approximate-module weight storage in bytes (packed nibbles for
-    /// 4-bit, one byte otherwise) — what the Speculator's QDR Weight Buffer
-    /// holds.
+    /// ≤4-bit, one byte otherwise) — what the Speculator's QDR Weight
+    /// Buffer holds. Delegates to the tensor's own width-aware accounting.
     pub fn weight_bytes(&self) -> usize {
-        if self.config.weight_bits <= 4 {
-            self.weights.len().div_ceil(2)
-        } else {
-            self.weights.len()
-        }
+        self.weights.payload_bytes()
     }
 
     /// Builds a *random* (undistilled) approximate module — only useful as

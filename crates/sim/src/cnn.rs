@@ -4,17 +4,68 @@
 //! Speculator consumes L's freshly produced output tiles to generate
 //! layer *L+1*'s switching maps (and, under adaptive mapping, its channel
 //! order). Only the very first layer's speculation is exposed.
+//!
+//! Simulation is two-phase: the expensive per-layer work (Reorder Unit,
+//! Executor trace walk, Speculator model) has no cross-layer state, so it
+//! fans out over [`duet_tensor::parallel::map_indexed`]; a cheap serial
+//! composition pass then applies the layer-pipeline recurrence
+//! (`exposed_spec = spec.saturating_sub(prev_exec_latency)`) over the
+//! precomputed per-layer results in layer order. The composition is the
+//! only place cross-layer state exists, so results are bitwise identical
+//! across thread counts.
 
 use crate::config::ArchConfig;
-use crate::energy::EnergyTable;
-use crate::executor::{natural_order, run_conv_layer};
+use crate::energy::{EnergyBreakdown, EnergyTable};
+use crate::executor::{natural_order, run_conv_layer, ExecutorLayerResult};
 use crate::reorder::ReorderUnit;
 use crate::report::{LayerPerf, ModelPerf};
 use crate::speculator::speculate_conv_layer;
 use crate::trace::ConvLayerTrace;
+use duet_tensor::parallel;
+
+/// Phase-1 output for one layer: everything that does not depend on the
+/// neighbouring layers.
+struct LayerSim {
+    exec: ExecutorLayerResult,
+    dram_cycles: u64,
+    exec_latency: u64,
+    spec_cycles: u64,
+    spec_energy: EnergyBreakdown,
+}
+
+fn simulate_layer(trace: &ConvLayerTrace, config: &ArchConfig, energy: &EnergyTable) -> LayerSim {
+    // Channel order: Reorder Unit output under adaptive mapping.
+    let order = if config.features.adaptive_mapping {
+        ReorderUnit::new(config.pe_rows)
+            .reorder(&trace.channel_workloads(), trace.outputs())
+            .order
+    } else {
+        natural_order(trace)
+    };
+
+    let exec = run_conv_layer(trace, &order, config, energy);
+    let dram_cycles = exec.dram_bytes.div_ceil(config.dram_bytes_per_cycle as u64);
+    let exec_latency = exec.latency_cycles(dram_cycles);
+
+    let (spec_cycles, spec_energy) = if config.features.output_switching {
+        let s = speculate_conv_layer(trace, config, energy);
+        (s.cycles, s.energy)
+    } else {
+        (0, Default::default())
+    };
+
+    LayerSim {
+        exec,
+        dram_cycles,
+        exec_latency,
+        spec_cycles,
+        spec_energy,
+    }
+}
 
 /// Runs a CNN (sequence of CONV-layer traces) through the configured
-/// design and returns the per-layer and end-to-end results.
+/// design and returns the per-layer and end-to-end results, using the
+/// process-wide thread count ([`parallel::num_threads`]).
 ///
 /// The Executor features in `config.features` select BASE / OS / BOS /
 /// IOS / DUET behaviour; designs with `output_switching` off never touch
@@ -25,54 +76,47 @@ pub fn run_cnn(
     config: &ArchConfig,
     energy: &EnergyTable,
 ) -> ModelPerf {
+    run_cnn_with_threads(model, traces, config, energy, parallel::num_threads())
+}
+
+/// [`run_cnn`] on an explicit thread count. Bitwise identical across
+/// thread counts: layers simulate independently in phase 1 and the serial
+/// phase 2 walks them in layer order.
+pub fn run_cnn_with_threads(
+    model: &str,
+    traces: &[ConvLayerTrace],
+    config: &ArchConfig,
+    energy: &EnergyTable,
+    threads: usize,
+) -> ModelPerf {
+    // Phase 1 (parallel): per-layer reorder + execution + speculation.
+    let sims = parallel::map_indexed(traces.len(), threads, |i| {
+        simulate_layer(&traces[i], config, energy)
+    });
+
+    // Phase 2 (serial): apply the speculation-hiding recurrence — this
+    // layer's speculation hides under the previous layer's execution; any
+    // excess is exposed.
     let mut layers = Vec::with_capacity(traces.len());
     let mut total_latency = 0u64;
-    let uses_speculator = config.features.output_switching;
-
-    // The Speculator runs one layer ahead; its cycles overlap the
-    // *previous* layer's execution.
     let mut prev_exec_latency = 0u64;
-
-    for (i, trace) in traces.iter().enumerate() {
-        // Channel order: Reorder Unit output under adaptive mapping.
-        let order = if config.features.adaptive_mapping {
-            ReorderUnit::new(config.pe_rows)
-                .reorder(&trace.channel_workloads(), trace.outputs())
-                .order
-        } else {
-            natural_order(trace)
-        };
-
-        let exec = run_conv_layer(trace, &order, config, energy);
-        let dram_cycles = exec.dram_bytes.div_ceil(config.dram_bytes_per_cycle as u64);
-        let exec_latency = exec.latency_cycles(dram_cycles);
-
-        let (spec_cycles, spec_energy) = if uses_speculator {
-            let s = speculate_conv_layer(trace, config, energy);
-            (s.cycles, s.energy)
-        } else {
-            (0, Default::default())
-        };
-
-        // Pipeline: this layer's speculation hides under the previous
-        // layer's execution; any excess is exposed.
-        let exposed_spec = spec_cycles.saturating_sub(prev_exec_latency);
-        let layer_latency = exec_latency + exposed_spec;
+    for (trace, sim) in traces.iter().zip(sims) {
+        let exposed_spec = sim.spec_cycles.saturating_sub(prev_exec_latency);
+        let layer_latency = sim.exec_latency + exposed_spec;
         total_latency += layer_latency;
-        prev_exec_latency = exec_latency;
+        prev_exec_latency = sim.exec_latency;
 
-        let mut e = exec.energy;
-        e += spec_energy;
-        let _ = i;
+        let mut e = sim.exec.energy;
+        e += sim.spec_energy;
         layers.push(LayerPerf {
             name: trace.name.clone(),
-            executor_cycles: exec.compute_cycles,
-            speculator_cycles: spec_cycles,
-            dram_cycles,
+            executor_cycles: sim.exec.compute_cycles,
+            speculator_cycles: sim.spec_cycles,
+            dram_cycles: sim.dram_cycles,
             latency_cycles: layer_latency,
-            executed_macs: exec.executed_macs,
-            dense_macs: exec.dense_macs,
-            mac_utilization: exec.mac_utilization(config),
+            executed_macs: sim.exec.executed_macs,
+            dense_macs: sim.exec.dense_macs,
+            mac_utilization: sim.exec.mac_utilization(config),
             energy: e,
         });
     }

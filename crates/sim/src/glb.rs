@@ -21,6 +21,15 @@ pub struct GlbPlan {
 }
 
 impl GlbPlan {
+    /// The GLB slice reserved for switching maps and Speculator QDR data:
+    /// 1/16 of the configured capacity (64 KiB at the paper's 1 MiB GLB).
+    /// Derived from the config so GLB sizing sweeps shrink or grow the
+    /// partition along with the buffer instead of pinning it at the paper
+    /// default.
+    pub fn speculator_partition_bytes(config: &ArchConfig) -> u64 {
+        config.glb_bytes as u64 / 16
+    }
+
     /// Total working set.
     pub fn total_bytes(&self) -> u64 {
         self.weight_bytes + self.input_bytes + self.output_bytes + self.speculator_bytes
@@ -71,6 +80,17 @@ mod tests {
         };
         assert!(!p.fits(&ArchConfig::duet()));
         assert_eq!(p.weight_refetch_factor(&ArchConfig::duet(), 20), 20);
+    }
+
+    #[test]
+    fn speculator_partition_scales_with_glb() {
+        // Regression: the RNN fit decision used a hardcoded 64 KiB, so GLB
+        // sizing sweeps never moved the speculator partition.
+        let duet = ArchConfig::duet();
+        assert_eq!(GlbPlan::speculator_partition_bytes(&duet), 64 << 10);
+        let mut big = duet;
+        big.glb_bytes = 4 << 20;
+        assert_eq!(GlbPlan::speculator_partition_bytes(&big), 256 << 10);
     }
 
     #[test]

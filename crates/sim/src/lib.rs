@@ -14,7 +14,10 @@
 //!   systolic array → MFU → reorder unit),
 //! * [`reorder`] — the bucketed adaptive-mapping Reorder Unit (§IV-A),
 //! * [`cnn`] / [`rnn`] — the layer-pipelined CNN dataflow and the
-//!   gate-pipelined memory-bound RNN dataflow,
+//!   gate-pipelined memory-bound RNN dataflow (both two-phase: parallel
+//!   simulate, serial compose),
+//! * [`sweep`] — the design-space-exploration driver fanning a
+//!   (config × workload) grid out over `duet_tensor::parallel`,
 //! * [`glb`] / [`dram`] / [`noc`] — memory-system components,
 //! * [`energy`] / [`area`] — the CACTI-style constant tables behind the
 //!   energy breakdowns and Table I,
@@ -59,6 +62,7 @@ pub mod reorder;
 pub mod report;
 pub mod rnn;
 pub mod speculator;
+pub mod sweep;
 pub mod systolic;
 pub mod trace;
 pub mod trace_io;
@@ -67,4 +71,5 @@ pub use area::{AreaModel, AreaReport};
 pub use config::{ArchConfig, ExecutorFeatures, SpeculatorConfig};
 pub use energy::{EnergyBreakdown, EnergyTable};
 pub use report::{LayerPerf, ModelPerf};
+pub use sweep::{SweepCell, SweepGrid, SweepPoint, SweepWorkload};
 pub use trace::{ConvLayerTrace, RnnLayerTrace};

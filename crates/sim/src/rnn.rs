@@ -6,6 +6,14 @@
 //! insensitive, in which case the row is *never fetched*. The Speculator
 //! runs one gate ahead (gate-level dual-module pipeline); only the first
 //! gate's speculation per step is exposed.
+//!
+//! Simulation is two-phase: time steps are mutually independent (the
+//! gate-pipeline state `prev_gate_latency` resets at every step), so the
+//! per-step trace walk fans out over [`duet_tensor::parallel::map_indexed`]
+//! and the per-step partials are folded *in step order* on the calling
+//! thread. Because each partial is computed by the same code regardless of
+//! which worker runs it, and the fold order is fixed, results are bitwise
+//! identical across thread counts.
 
 use crate::config::ArchConfig;
 use crate::energy::{EnergyBreakdown, EnergyTable};
@@ -13,6 +21,7 @@ use crate::glb::GlbPlan;
 use crate::report::{LayerPerf, ModelPerf};
 use crate::speculator::speculate_rnn_gate;
 use crate::trace::RnnLayerTrace;
+use duet_tensor::parallel;
 
 /// Detailed latency split for an RNN run — the Fig. 12(d) data.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -106,14 +115,138 @@ pub fn run_rnn_layer(
     )
 }
 
-/// Simulates one recurrent layer with explicit [`RnnOptions`].
+/// Simulates one recurrent layer with explicit [`RnnOptions`], using the
+/// process-wide thread count ([`parallel::num_threads`]).
 pub fn run_rnn_layer_with(
     trace: &RnnLayerTrace,
     config: &ArchConfig,
     energy: &EnergyTable,
     options: RnnOptions,
 ) -> RnnRunResult {
+    run_rnn_layer_with_threads(trace, config, energy, options, parallel::num_threads())
+}
+
+/// Per-step simulation partials, reduced in step order by the caller.
+struct StepPartial {
+    split: RnnLatencySplit,
+    executed_macs: u64,
+    weight_bytes_fetched: u64,
+    energy: EnergyBreakdown,
+    spec_cycles: u64,
+    executor_cycles: u64,
+    dram_cycles: u64,
+}
+
+/// Walks the gates of one time step; the only cross-step coupling is the
+/// `step == 0` cold-fetch special case, decided from the step index alone.
+fn simulate_rnn_step(
+    step: usize,
+    trace: &RnnLayerTrace,
+    config: &ArchConfig,
+    energy: &EnergyTable,
+    options: RnnOptions,
+    streamed: bool,
+    k: usize,
+) -> StepPartial {
     let dual = options.dual;
+    let rows_per_gate = trace.hidden as u64;
+    let row_macs = trace.row_macs();
+    let row_bytes = trace.row_weight_bytes();
+
+    let mut p = StepPartial {
+        split: RnnLatencySplit::default(),
+        executed_macs: 0,
+        weight_bytes_fetched: 0,
+        energy: EnergyBreakdown::default(),
+        spec_cycles: 0,
+        executor_cycles: 0,
+        dram_cycles: 0,
+    };
+
+    let mut prev_gate_latency = 0u64;
+    for gate in 0..trace.gates {
+        let sensitive = if dual {
+            trace.sensitive_rows(step, gate) as u64
+        } else {
+            rows_per_gate
+        };
+
+        // DRAM: fetch only sensitive rows (or everything when the
+        // matrix would fit — it never does for real LSTM sizes).
+        let fetch_bytes = if streamed {
+            sensitive * row_bytes
+        } else if step == 0 {
+            rows_per_gate * row_bytes
+        } else {
+            0
+        };
+        p.weight_bytes_fetched += fetch_bytes;
+        let dram_cycles = fetch_bytes.div_ceil(config.dram_bytes_per_cycle as u64);
+
+        // Compute: each PE row takes one weight row; the row's dot
+        // product spreads over the row's PEs.
+        let row_batches = sensitive.div_ceil(config.pe_rows as u64);
+        let cycles_per_batch = row_macs.div_ceil(config.pe_cols as u64);
+        let compute_cycles = row_batches * cycles_per_batch;
+        p.executed_macs += sensitive * row_macs;
+        p.executor_cycles += compute_cycles;
+        p.dram_cycles += dram_cycles;
+
+        // Speculation for this gate (dual only): hidden behind the
+        // previous gate's execution; the step's first gate is exposed.
+        let (spec_cycles, spec_energy) = if dual {
+            let s = speculate_rnn_gate(trace.hidden, trace.input, k, config, energy);
+            (s.cycles, s.energy)
+        } else {
+            (0, EnergyBreakdown::default())
+        };
+        p.spec_cycles += spec_cycles;
+        let exposed_spec = if options.gate_pipeline {
+            spec_cycles.saturating_sub(prev_gate_latency)
+        } else {
+            spec_cycles
+        };
+
+        // Memory and compute overlap (double-buffered row streaming):
+        // the slower one dominates the gate.
+        let gate_latency = dram_cycles.max(compute_cycles) + exposed_spec;
+        if dram_cycles >= compute_cycles {
+            p.split.memory_cycles += dram_cycles;
+        } else {
+            p.split.compute_cycles += compute_cycles;
+        }
+        p.split.speculation_cycles += exposed_spec;
+        prev_gate_latency = gate_latency;
+
+        // Energy.
+        p.energy += EnergyBreakdown {
+            executor_compute_pj: (sensitive * row_macs) as f64 * energy.mac_int16_pj,
+            executor_rf_pj: (sensitive * row_macs) as f64 * 1.0 * energy.rf_16b_pj,
+            glb_pj: (sensitive * row_macs) as f64 / 16.0 * energy.glb_16b_pj
+                + (trace.input + trace.hidden) as f64 * energy.glb_16b_pj,
+            noc_pj: fetch_bytes as f64 / 2.0 * energy.noc_16b_pj,
+            dram_pj: fetch_bytes as f64 / 2.0 * energy.dram_16b_pj,
+            speculator_pj: 0.0,
+            control_pj: compute_cycles as f64
+                * config.pe_count() as f64
+                * energy.control_pj_per_cycle
+                * 0.1,
+        } + spec_energy;
+    }
+    p
+}
+
+/// Simulates one recurrent layer with explicit [`RnnOptions`] on an
+/// explicit thread count. The result is bitwise identical for any
+/// `threads` value: per-step partials are computed independently and
+/// folded in step order.
+pub fn run_rnn_layer_with_threads(
+    trace: &RnnLayerTrace,
+    config: &ArchConfig,
+    energy: &EnergyTable,
+    options: RnnOptions,
+    threads: usize,
+) -> RnnRunResult {
     let rows_per_gate = trace.hidden as u64;
     let row_macs = trace.row_macs();
     let row_bytes = trace.row_weight_bytes();
@@ -123,10 +256,21 @@ pub fn run_rnn_layer_with(
         weight_bytes: rows_per_gate * row_bytes,
         input_bytes: (trace.input + trace.hidden) as u64 * 2,
         output_bytes: trace.hidden as u64 * 2,
-        speculator_bytes: 64 << 10,
+        speculator_bytes: GlbPlan::speculator_partition_bytes(config),
     };
     let streamed = !plan.fits(config);
 
+    // Reduced dim for speculation: paper-style k = h/8 clamped.
+    let k = (trace.hidden / 8).clamp(16, 256);
+
+    // Phase 1 (parallel): independent per-step trace walks.
+    let partials = parallel::map_indexed(trace.steps, threads, |step| {
+        simulate_rnn_step(step, trace, config, energy, options, streamed, k)
+    });
+
+    // Phase 2 (serial): fold partials in step order so float accumulation
+    // order — and therefore every bit of the result — is thread-count
+    // independent.
     let mut split = RnnLatencySplit::default();
     let mut executed_macs = 0u64;
     let mut weight_bytes_fetched = 0u64;
@@ -134,82 +278,16 @@ pub fn run_rnn_layer_with(
     let mut spec_cycles_total = 0u64;
     let mut executor_cycles_total = 0u64;
     let mut dram_cycles_total = 0u64;
-
-    // Reduced dim for speculation: paper-style k = h/8 clamped.
-    let k = (trace.hidden / 8).clamp(16, 256);
-
-    for step in 0..trace.steps {
-        let mut prev_gate_latency = 0u64;
-        for gate in 0..trace.gates {
-            let sensitive = if dual {
-                trace.sensitive_rows(step, gate) as u64
-            } else {
-                rows_per_gate
-            };
-
-            // DRAM: fetch only sensitive rows (or everything when the
-            // matrix would fit — it never does for real LSTM sizes).
-            let fetch_bytes = if streamed {
-                sensitive * row_bytes
-            } else if step == 0 {
-                rows_per_gate * row_bytes
-            } else {
-                0
-            };
-            weight_bytes_fetched += fetch_bytes;
-            let dram_cycles = fetch_bytes.div_ceil(config.dram_bytes_per_cycle as u64);
-
-            // Compute: each PE row takes one weight row; the row's dot
-            // product spreads over the row's PEs.
-            let row_batches = sensitive.div_ceil(config.pe_rows as u64);
-            let cycles_per_batch = row_macs.div_ceil(config.pe_cols as u64);
-            let compute_cycles = row_batches * cycles_per_batch;
-            executed_macs += sensitive * row_macs;
-            executor_cycles_total += compute_cycles;
-            dram_cycles_total += dram_cycles;
-
-            // Speculation for this gate (dual only): hidden behind the
-            // previous gate's execution; the step's first gate is exposed.
-            let (spec_cycles, spec_energy) = if dual {
-                let s = speculate_rnn_gate(trace.hidden, trace.input, k, config, energy);
-                (s.cycles, s.energy)
-            } else {
-                (0, EnergyBreakdown::default())
-            };
-            spec_cycles_total += spec_cycles;
-            let exposed_spec = if options.gate_pipeline {
-                spec_cycles.saturating_sub(prev_gate_latency)
-            } else {
-                spec_cycles
-            };
-
-            // Memory and compute overlap (double-buffered row streaming):
-            // the slower one dominates the gate.
-            let gate_latency = dram_cycles.max(compute_cycles) + exposed_spec;
-            if dram_cycles >= compute_cycles {
-                split.memory_cycles += dram_cycles;
-                split.compute_cycles += 0;
-            } else {
-                split.compute_cycles += compute_cycles;
-            }
-            split.speculation_cycles += exposed_spec;
-            prev_gate_latency = gate_latency;
-
-            // Energy.
-            energy_total += EnergyBreakdown {
-                executor_compute_pj: (sensitive * row_macs) as f64 * energy.mac_int16_pj,
-                executor_rf_pj: (sensitive * row_macs) as f64 * 1.0 * energy.rf_16b_pj,
-                glb_pj: (sensitive * row_macs) as f64 / 16.0 * energy.glb_16b_pj
-                    + (trace.input + trace.hidden) as f64 * energy.glb_16b_pj,
-                noc_pj: fetch_bytes as f64 / 2.0 * energy.noc_16b_pj,
-                dram_pj: fetch_bytes as f64 / 2.0 * energy.dram_16b_pj,
-                speculator_pj: 0.0,
-                control_pj: compute_cycles as f64
-                    * config.pe_count() as f64
-                    * energy.control_pj_per_cycle
-                    * 0.1,
-            } + spec_energy;
-        }
+    for p in partials {
+        split.memory_cycles += p.split.memory_cycles;
+        split.compute_cycles += p.split.compute_cycles;
+        split.speculation_cycles += p.split.speculation_cycles;
+        executed_macs += p.executed_macs;
+        weight_bytes_fetched += p.weight_bytes_fetched;
+        energy_total += p.energy;
+        spec_cycles_total += p.spec_cycles;
+        executor_cycles_total += p.executor_cycles;
+        dram_cycles_total += p.dram_cycles;
     }
 
     let latency = split.total();
@@ -246,10 +324,28 @@ pub fn run_rnn(
     energy: &EnergyTable,
     dual: bool,
 ) -> ModelPerf {
+    run_rnn_with_threads(model, traces, config, energy, dual, parallel::num_threads())
+}
+
+/// [`run_rnn`] on an explicit thread count (each layer fans its steps out
+/// over that many threads; layers run in sequence). Bitwise identical
+/// across thread counts.
+pub fn run_rnn_with_threads(
+    model: &str,
+    traces: &[RnnLayerTrace],
+    config: &ArchConfig,
+    energy: &EnergyTable,
+    dual: bool,
+    threads: usize,
+) -> ModelPerf {
+    let options = RnnOptions {
+        dual,
+        gate_pipeline: true,
+    };
     let mut layers = Vec::with_capacity(traces.len());
     let mut total = 0u64;
     for t in traces {
-        let r = run_rnn_layer(t, config, energy, dual);
+        let r = run_rnn_layer_with_threads(t, config, energy, options, threads);
         total += r.perf.latency_cycles;
         layers.push(r.perf);
     }

@@ -1,0 +1,292 @@
+//! Design-space-exploration sweep driver.
+//!
+//! The Fig. 12/13 sweeps call the cycle-level simulator thousands of
+//! times over a (architecture point × workload) grid; each cell is an
+//! independent simulation, so the grid fans out over
+//! [`duet_tensor::parallel::map_indexed`]. Cells run the simulator
+//! serially inside (thread budget 1) to avoid nested fan-out, and the
+//! output vector is in row-major grid order (all workloads of point 0,
+//! then point 1, …) regardless of the thread count — per-cell results are
+//! thread-count invariant by the two-phase construction of
+//! [`crate::cnn::run_cnn_with_threads`] /
+//! [`crate::rnn::run_rnn_layer_with_threads`], and [`map_indexed`]
+//! concatenates range results in index order.
+//!
+//! [`map_indexed`]: duet_tensor::parallel::map_indexed
+
+use crate::cnn::run_cnn_with_threads;
+use crate::config::ArchConfig;
+use crate::energy::EnergyTable;
+use crate::report::ModelPerf;
+use crate::rnn::{run_rnn_layer_with_threads, RnnOptions};
+use crate::trace::{ConvLayerTrace, RnnLayerTrace};
+use duet_tensor::parallel;
+
+/// One named trace set to simulate at every architecture point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepWorkload {
+    /// A CNN model: sequence of CONV-layer traces.
+    Cnn {
+        /// Model name carried into the [`ModelPerf`].
+        name: String,
+        /// Per-layer traces.
+        traces: Vec<ConvLayerTrace>,
+    },
+    /// An RNN model: sequence of recurrent-layer traces plus run options.
+    Rnn {
+        /// Model name carried into the [`ModelPerf`].
+        name: String,
+        /// Per-layer traces.
+        traces: Vec<RnnLayerTrace>,
+        /// Dual-module / pipeline knobs.
+        options: RnnOptions,
+    },
+}
+
+impl SweepWorkload {
+    /// The workload's model name.
+    pub fn name(&self) -> &str {
+        match self {
+            SweepWorkload::Cnn { name, .. } => name,
+            SweepWorkload::Rnn { name, .. } => name,
+        }
+    }
+}
+
+/// One named architecture point of the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Label identifying the point (e.g. `"16x32"` or `"duet"`).
+    pub label: String,
+    /// The architecture to simulate.
+    pub config: ArchConfig,
+}
+
+impl SweepPoint {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, config: ArchConfig) -> Self {
+        Self {
+            label: label.into(),
+            config,
+        }
+    }
+}
+
+/// Result of one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Label of the architecture point that produced this cell.
+    pub point: String,
+    /// Name of the workload that produced this cell.
+    pub workload: String,
+    /// The simulation result.
+    pub perf: ModelPerf,
+}
+
+/// A (architecture point × workload) grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    /// Architecture points (outer/slow grid axis).
+    pub points: Vec<SweepPoint>,
+    /// Workloads (inner/fast grid axis).
+    pub workloads: Vec<SweepWorkload>,
+}
+
+impl SweepGrid {
+    /// Builds a grid.
+    pub fn new(points: Vec<SweepPoint>, workloads: Vec<SweepWorkload>) -> Self {
+        Self { points, workloads }
+    }
+
+    /// Number of cells (`points × workloads`).
+    pub fn cells(&self) -> usize {
+        self.points.len() * self.workloads.len()
+    }
+
+    /// Runs the grid with the process-wide thread count
+    /// ([`parallel::num_threads`]).
+    pub fn run(&self, energy: &EnergyTable) -> Vec<SweepCell> {
+        self.run_with_threads(energy, parallel::num_threads())
+    }
+
+    /// Runs the grid on an explicit thread count. Output is row-major
+    /// (point-major, workload-minor) and bitwise identical across thread
+    /// counts.
+    pub fn run_with_threads(&self, energy: &EnergyTable, threads: usize) -> Vec<SweepCell> {
+        let inner = self.workloads.len();
+        parallel::map_indexed(self.cells(), threads, |idx| {
+            let point = &self.points[idx / inner];
+            let workload = &self.workloads[idx % inner];
+            // Serial simulation inside a cell: the sweep already owns the
+            // thread budget, and nesting scoped fan-outs would
+            // oversubscribe the machine without changing any result bits.
+            let perf = match workload {
+                SweepWorkload::Cnn { name, traces } => {
+                    run_cnn_with_threads(name, traces, &point.config, energy, 1)
+                }
+                SweepWorkload::Rnn {
+                    name,
+                    traces,
+                    options,
+                } => run_rnn_model(name, traces, &point.config, energy, *options),
+            };
+            SweepCell {
+                point: point.label.clone(),
+                workload: workload.name().to_string(),
+                perf,
+            }
+        })
+    }
+
+    /// The cell for (`point`, `workload`) in a [`SweepGrid::run`] result.
+    pub fn cell<'a>(
+        &self,
+        cells: &'a [SweepCell],
+        point: &str,
+        workload: &str,
+    ) -> Option<&'a SweepCell> {
+        cells
+            .iter()
+            .find(|c| c.point == point && c.workload == workload)
+    }
+}
+
+/// Runs a multi-layer RNN workload serially with explicit options (the
+/// sweep-internal analogue of [`crate::rnn::run_rnn`], which hardcodes the
+/// gate pipeline on).
+fn run_rnn_model(
+    model: &str,
+    traces: &[RnnLayerTrace],
+    config: &ArchConfig,
+    energy: &EnergyTable,
+    options: RnnOptions,
+) -> ModelPerf {
+    let mut layers = Vec::with_capacity(traces.len());
+    let mut total = 0u64;
+    for t in traces {
+        let r = run_rnn_layer_with_threads(t, config, energy, options, 1);
+        total += r.perf.latency_cycles;
+        layers.push(r.perf);
+    }
+    ModelPerf {
+        design: if options.dual { "DUET" } else { "BASE" }.to_string(),
+        model: model.to_string(),
+        layers,
+        total_latency_cycles: total,
+    }
+}
+
+/// Order-sensitive FNV-1a-style checksum of every cell's
+/// `total_latency_cycles` — the quick equality witness the benches use to
+/// assert that serial and parallel sweeps computed the same grid.
+pub fn latency_checksum(cells: &[SweepCell]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for c in cells {
+        h ^= c.perf.total_latency_cycles;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecutorFeatures;
+    use duet_tensor::rng::seeded;
+
+    fn grid() -> SweepGrid {
+        let mut r = seeded(99);
+        let conv = (0..3)
+            .map(|i| {
+                ConvLayerTrace::synthetic(
+                    format!("conv{i}"),
+                    32,
+                    49,
+                    144,
+                    32 * 49,
+                    0.45,
+                    0.3,
+                    0.55,
+                    16,
+                    &mut r,
+                )
+            })
+            .collect();
+        let rnn = vec![RnnLayerTrace::synthetic(
+            "lstm", 4, 128, 128, 6, 0.46, &mut r,
+        )];
+        SweepGrid::new(
+            vec![
+                SweepPoint::new("duet", ArchConfig::duet()),
+                SweepPoint::new(
+                    "base",
+                    ArchConfig::duet().with_features(ExecutorFeatures::base()),
+                ),
+            ],
+            vec![
+                SweepWorkload::Cnn {
+                    name: "cnn".into(),
+                    traces: conv,
+                },
+                SweepWorkload::Rnn {
+                    name: "lstm".into(),
+                    traces: rnn,
+                    options: RnnOptions::duet(),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn grid_order_is_point_major() {
+        let g = grid();
+        let cells = g.run_with_threads(&EnergyTable::default(), 1);
+        assert_eq!(cells.len(), 4);
+        let labels: Vec<_> = cells
+            .iter()
+            .map(|c| (c.point.as_str(), c.workload.as_str()))
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                ("duet", "cnn"),
+                ("duet", "lstm"),
+                ("base", "cnn"),
+                ("base", "lstm")
+            ]
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_cells() {
+        let g = grid();
+        let e = EnergyTable::default();
+        let serial = g.run_with_threads(&e, 1);
+        for threads in [2usize, 4, 7] {
+            let par = g.run_with_threads(&e, threads);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        assert_eq!(
+            latency_checksum(&serial),
+            latency_checksum(&g.run_with_threads(&e, 4))
+        );
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let g = grid();
+        let cells = g.run_with_threads(&EnergyTable::default(), 2);
+        let c = g.cell(&cells, "base", "cnn").expect("cell exists");
+        assert_eq!(c.perf.design, "BASE");
+        assert!(g.cell(&cells, "nope", "cnn").is_none());
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let g = grid();
+        let mut cells = g.run_with_threads(&EnergyTable::default(), 1);
+        let a = latency_checksum(&cells);
+        cells.swap(0, 2);
+        assert_ne!(a, latency_checksum(&cells));
+    }
+}

@@ -23,6 +23,22 @@ pub enum DecodeTraceError {
         /// The tag found in the buffer.
         found: u32,
     },
+    /// A cross-field invariant is violated: the named field disagrees
+    /// with the value implied by the geometry fields. Rejecting here keeps
+    /// inconsistent blobs from panicking later inside the simulator
+    /// (`sensitive_rows` / `run_conv_layer` index with the geometry, not
+    /// the bitmap length).
+    Inconsistent {
+        /// The field whose value disagrees.
+        field: &'static str,
+        /// The value the geometry implies (u64::MAX when the geometry
+        /// itself overflows).
+        expected: u64,
+        /// The value found in the blob.
+        found: u64,
+    },
+    /// A string field holds invalid UTF-8.
+    BadUtf8,
 }
 
 impl std::fmt::Display for DecodeTraceError {
@@ -32,6 +48,15 @@ impl std::fmt::Display for DecodeTraceError {
             DecodeTraceError::BadMagic { found } => {
                 write!(f, "bad trace magic 0x{found:08x}")
             }
+            DecodeTraceError::Inconsistent {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "inconsistent trace blob: {field} is {found}, geometry implies {expected}"
+            ),
+            DecodeTraceError::BadUtf8 => write!(f, "trace string is not valid UTF-8"),
         }
     }
 }
@@ -85,7 +110,27 @@ fn put_string(buf: &mut Vec<u8>, s: &str) {
 fn get_string(r: &mut Reader<'_>) -> Result<String, DecodeTraceError> {
     let len = r.get_u32_le()? as usize;
     let raw = r.take(len)?;
-    Ok(String::from_utf8_lossy(raw).into_owned())
+    String::from_utf8(raw.to_vec()).map_err(|_| DecodeTraceError::BadUtf8)
+}
+
+/// Checks that a decoded bitmap length equals the product of its geometry
+/// fields (overflow in the product is itself inconsistent).
+fn check_len(
+    field: &'static str,
+    found: usize,
+    geometry: &[usize],
+) -> Result<(), DecodeTraceError> {
+    let expected = geometry
+        .iter()
+        .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64));
+    if expected != Some(found as u64) {
+        return Err(DecodeTraceError::Inconsistent {
+            field,
+            expected: expected.unwrap_or(u64::MAX),
+            found: found as u64,
+        });
+    }
+    Ok(())
 }
 
 fn put_bitmap(buf: &mut Vec<u8>, flags: &[bool]) {
@@ -131,7 +176,9 @@ pub fn encode_conv_trace(t: &ConvLayerTrace) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`DecodeTraceError`] for truncated input or a wrong magic tag.
+/// Returns [`DecodeTraceError`] for truncated input, a wrong magic tag, a
+/// name that is not UTF-8, or a bitmap/weight count inconsistent with the
+/// layer geometry.
 pub fn decode_conv_trace(buf: &[u8]) -> Result<ConvLayerTrace, DecodeTraceError> {
     let mut r = Reader::new(buf);
     let magic = r.get_u32_le()?;
@@ -147,6 +194,8 @@ pub fn decode_conv_trace(buf: &[u8]) -> Result<ConvLayerTrace, DecodeTraceError>
     let input_density = r.get_f64_le()?;
     let reduced_dim = r.get_usize_le()?;
     let omap = get_bitmap(&mut r)?;
+    check_len("omap length", omap.len(), &[out_channels, positions])?;
+    check_len("weight_elems", weight_elems, &[out_channels, patch_len])?;
     Ok(ConvLayerTrace {
         name,
         out_channels,
@@ -177,7 +226,9 @@ pub fn encode_rnn_trace(t: &RnnLayerTrace) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`DecodeTraceError`] for truncated input or a wrong magic tag.
+/// Returns [`DecodeTraceError`] for truncated input, a wrong magic tag, a
+/// name that is not UTF-8, or a switching-map length inconsistent with
+/// `steps × gates × hidden`.
 pub fn decode_rnn_trace(buf: &[u8]) -> Result<RnnLayerTrace, DecodeTraceError> {
     let mut r = Reader::new(buf);
     let magic = r.get_u32_le()?;
@@ -190,6 +241,7 @@ pub fn decode_rnn_trace(buf: &[u8]) -> Result<RnnLayerTrace, DecodeTraceError> {
     let input = r.get_usize_le()?;
     let steps = r.get_usize_le()?;
     let maps = get_bitmap(&mut r)?;
+    check_len("maps length", maps.len(), &[steps, gates, hidden])?;
     Ok(RnnLayerTrace {
         name,
         gates,
@@ -270,5 +322,78 @@ mod tests {
         assert!(e.to_string().contains("truncated"));
         let b = DecodeTraceError::BadMagic { found: 0xdead };
         assert!(b.to_string().contains("dead"));
+        let i = DecodeTraceError::Inconsistent {
+            field: "omap length",
+            expected: 12,
+            found: 9,
+        };
+        assert!(i.to_string().contains("omap length"));
+        assert!(DecodeTraceError::BadUtf8.to_string().contains("UTF-8"));
+    }
+
+    /// Byte offset of the first geometry field: magic + name length prefix
+    /// + name bytes.
+    fn geometry_offset(name: &str) -> usize {
+        4 + 4 + name.len()
+    }
+
+    #[test]
+    fn conv_geometry_bitmap_mismatch_rejected() {
+        // Regression: a blob whose out_channels disagrees with the bitmap
+        // used to decode fine and panic later inside run_conv_layer.
+        let t = ConvLayerTrace::synthetic("c", 8, 9, 16, 64, 0.5, 0.2, 1.0, 8, &mut seeded(6));
+        let mut blob = encode_conv_trace(&t);
+        let off = geometry_offset("c");
+        blob[off..off + 8].copy_from_slice(&16u64.to_le_bytes()); // out_channels 8 → 16
+        match decode_conv_trace(&blob) {
+            Err(DecodeTraceError::Inconsistent { field, .. }) => {
+                assert_eq!(field, "omap length");
+            }
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conv_geometry_overflow_rejected() {
+        let t = ConvLayerTrace::synthetic("c", 8, 9, 16, 64, 0.5, 0.2, 1.0, 8, &mut seeded(6));
+        let mut blob = encode_conv_trace(&t);
+        let off = geometry_offset("c");
+        blob[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_conv_trace(&blob),
+            Err(DecodeTraceError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn rnn_geometry_map_mismatch_rejected() {
+        // Regression: steps inflated past the recorded maps used to panic
+        // in sensitive_rows with index out of bounds.
+        let t = RnnLayerTrace::synthetic("l", 3, 8, 8, 2, 0.5, &mut seeded(7));
+        let mut blob = encode_rnn_trace(&t);
+        let steps_off = geometry_offset("l") + 3 * 8; // after gates/hidden/input
+        blob[steps_off..steps_off + 8].copy_from_slice(&4u64.to_le_bytes()); // steps 2 → 4
+        match decode_rnn_trace(&blob) {
+            Err(DecodeTraceError::Inconsistent {
+                field,
+                expected,
+                found,
+            }) => {
+                assert_eq!(field, "maps length");
+                assert_eq!(expected, 4 * 3 * 8);
+                assert_eq!(found, 2 * 3 * 8);
+            }
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_name_rejected() {
+        // Regression: get_string silently mangled invalid UTF-8 via
+        // from_utf8_lossy, so a corrupted name round-tripped differently.
+        let t = ConvLayerTrace::synthetic("cv", 3, 3, 4, 16, 0.5, 0.2, 1.0, 4, &mut seeded(8));
+        let mut blob = encode_conv_trace(&t);
+        blob[8] = 0xff; // first name byte → invalid UTF-8
+        assert_eq!(decode_conv_trace(&blob), Err(DecodeTraceError::BadUtf8));
     }
 }

@@ -1,0 +1,246 @@
+//! Thread-count determinism and decode-robustness integration tests.
+//!
+//! The simulator's parallel paths (`run_cnn_with_threads`,
+//! `run_rnn_layer_with_threads`, `SweepGrid::run_with_threads`) promise
+//! *bitwise* identical results for any thread count: per-unit partials
+//! are computed by the same code regardless of which worker runs them,
+//! `map_indexed` returns them in index order, and the serial composition
+//! folds in that fixed order. These tests pin that contract at 1 vs 4
+//! (and a non-power-of-two) threads over the synthetic paper workloads.
+//!
+//! The second half sweeps corrupted trace blobs through the codec:
+//! truncation at every byte boundary, oversized length fields, geometry
+//! mismatches, and invalid UTF-8 must all surface as `DecodeTraceError`
+//! values — never a panic, never a silently wrong trace.
+
+use duet_sim::cnn::run_cnn_with_threads;
+use duet_sim::config::{ArchConfig, ExecutorFeatures};
+use duet_sim::energy::EnergyTable;
+use duet_sim::rnn::{run_rnn_layer_with_threads, run_rnn_with_threads, RnnOptions};
+use duet_sim::sweep::{latency_checksum, SweepGrid, SweepPoint, SweepWorkload};
+use duet_sim::trace::{ConvLayerTrace, RnnLayerTrace};
+use duet_sim::trace_io::{self, DecodeTraceError};
+use duet_tensor::rng::seeded;
+
+fn conv_traces() -> Vec<ConvLayerTrace> {
+    (0..4)
+        .map(|i| {
+            ConvLayerTrace::synthetic(
+                format!("conv{i}"),
+                32 + 16 * i,
+                196,
+                288,
+                12544,
+                0.45,
+                0.3,
+                0.5,
+                36,
+                &mut seeded(40 + i as u64),
+            )
+        })
+        .collect()
+}
+
+fn rnn_traces() -> Vec<RnnLayerTrace> {
+    (0..2)
+        .map(|i| {
+            RnnLayerTrace::synthetic(
+                format!("l{i}"),
+                4,
+                256,
+                256,
+                6,
+                0.46,
+                &mut seeded(50 + i as u64),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn cnn_model_perf_is_thread_count_invariant() {
+    let energy = EnergyTable::default();
+    let traces = conv_traces();
+    for cfg in [ArchConfig::duet(), ArchConfig::single_module()] {
+        let serial = run_cnn_with_threads("m", &traces, &cfg, &energy, 1);
+        for threads in [2, 4, 7] {
+            let parallel = run_cnn_with_threads("m", &traces, &cfg, &energy, threads);
+            assert_eq!(serial, parallel, "CNN diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn rnn_layer_result_is_thread_count_invariant() {
+    let energy = EnergyTable::default();
+    let cfg = ArchConfig::duet();
+    let trace = &rnn_traces()[0];
+    for options in [
+        RnnOptions::duet(),
+        RnnOptions {
+            dual: true,
+            gate_pipeline: false,
+        },
+        RnnOptions {
+            dual: false,
+            gate_pipeline: true,
+        },
+    ] {
+        let serial = run_rnn_layer_with_threads(trace, &cfg, &energy, options, 1);
+        for threads in [2, 4, 7] {
+            let parallel = run_rnn_layer_with_threads(trace, &cfg, &energy, options, threads);
+            assert_eq!(serial, parallel, "RNN layer diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn rnn_model_perf_is_thread_count_invariant() {
+    let energy = EnergyTable::default();
+    let cfg = ArchConfig::duet();
+    let traces = rnn_traces();
+    let serial = run_rnn_with_threads("lstm", &traces, &cfg, &energy, true, 1);
+    let parallel = run_rnn_with_threads("lstm", &traces, &cfg, &energy, true, 4);
+    assert_eq!(serial, parallel);
+}
+
+fn small_grid() -> SweepGrid {
+    let points = vec![
+        SweepPoint::new(
+            "base",
+            ArchConfig::duet().with_features(ExecutorFeatures::base()),
+        ),
+        SweepPoint::new("duet", ArchConfig::duet()),
+    ];
+    let workloads = vec![
+        SweepWorkload::Cnn {
+            name: "cnn".to_string(),
+            traces: conv_traces(),
+        },
+        SweepWorkload::Rnn {
+            name: "rnn".to_string(),
+            traces: rnn_traces(),
+            options: RnnOptions::duet(),
+        },
+    ];
+    SweepGrid::new(points, workloads)
+}
+
+#[test]
+fn sweep_cells_and_checksum_are_thread_count_invariant() {
+    let energy = EnergyTable::default();
+    let grid = small_grid();
+    let serial = grid.run_with_threads(&energy, 1);
+    for threads in [2, 4, 7] {
+        let parallel = grid.run_with_threads(&energy, threads);
+        assert_eq!(serial, parallel, "sweep diverged at {threads} threads");
+        assert_eq!(latency_checksum(&serial), latency_checksum(&parallel));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corrupted-blob sweep: decode must fail loudly, never panic or accept.
+// ---------------------------------------------------------------------
+
+#[test]
+fn truncated_conv_blob_errors_at_every_cut_point() {
+    let blob = trace_io::encode_conv_trace(&conv_traces()[0]);
+    for cut in 0..blob.len() {
+        assert!(
+            trace_io::decode_conv_trace(&blob[..cut]).is_err(),
+            "prefix of {cut}/{} bytes decoded successfully",
+            blob.len()
+        );
+    }
+    assert!(trace_io::decode_conv_trace(&blob).is_ok());
+}
+
+#[test]
+fn truncated_rnn_blob_errors_at_every_cut_point() {
+    let blob = trace_io::encode_rnn_trace(&rnn_traces()[0]);
+    for cut in 0..blob.len() {
+        assert!(
+            trace_io::decode_rnn_trace(&blob[..cut]).is_err(),
+            "prefix of {cut}/{} bytes decoded successfully",
+            blob.len()
+        );
+    }
+    assert!(trace_io::decode_rnn_trace(&blob).is_ok());
+}
+
+/// Byte offset of the first fixed-width field: magic (4) + name length
+/// prefix (4) + name bytes.
+fn fields_offset(name: &str) -> usize {
+    4 + 4 + name.len()
+}
+
+#[test]
+fn oversized_name_length_rejected() {
+    let mut blob = trace_io::encode_conv_trace(&conv_traces()[0]);
+    // Claim the name is far longer than the blob.
+    blob[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        trace_io::decode_conv_trace(&blob),
+        Err(DecodeTraceError::Truncated)
+    ));
+}
+
+#[test]
+fn tampered_bitmap_length_rejected() {
+    let t = &conv_traces()[0];
+    let mut blob = trace_io::encode_conv_trace(t);
+    // The omap length prefix sits after the 7 fixed 8-byte geometry
+    // fields. Shrinking it leaves a well-formed but inconsistent blob:
+    // the bitmap no longer covers out_channels × positions.
+    let len_off = fields_offset(&t.name) + 7 * 8;
+    let claimed = (t.omap.len() as u64) - 64;
+    blob[len_off..len_off + 8].copy_from_slice(&claimed.to_le_bytes());
+    match trace_io::decode_conv_trace(&blob) {
+        Err(DecodeTraceError::Inconsistent { field, .. }) => {
+            assert_eq!(field, "omap length");
+        }
+        other => panic!("expected Inconsistent, got {other:?}"),
+    }
+}
+
+#[test]
+fn tampered_rnn_hidden_rejected() {
+    let t = &rnn_traces()[0];
+    let mut blob = trace_io::encode_rnn_trace(t);
+    // gates is the first fixed field, hidden the second.
+    let hidden_off = fields_offset(&t.name) + 8;
+    blob[hidden_off..hidden_off + 8].copy_from_slice(&((t.hidden as u64) * 2).to_le_bytes());
+    match trace_io::decode_rnn_trace(&blob) {
+        Err(DecodeTraceError::Inconsistent {
+            field,
+            expected,
+            found,
+        }) => {
+            assert_eq!(field, "maps length");
+            assert_eq!(found, t.maps.len() as u64);
+            assert_eq!(expected, 2 * t.maps.len() as u64);
+        }
+        other => panic!("expected Inconsistent, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_utf8_name_rejected() {
+    let t = &conv_traces()[0];
+    let mut blob = trace_io::encode_conv_trace(t);
+    blob[8] = 0xff; // first name byte: 0xff is never valid UTF-8
+    assert!(matches!(
+        trace_io::decode_conv_trace(&blob),
+        Err(DecodeTraceError::BadUtf8)
+    ));
+}
+
+#[test]
+fn wrong_magic_rejected() {
+    let mut blob = trace_io::encode_rnn_trace(&rnn_traces()[0]);
+    blob[0] ^= 0x5a;
+    assert!(matches!(
+        trace_io::decode_rnn_trace(&blob),
+        Err(DecodeTraceError::BadMagic { .. })
+    ));
+}

@@ -123,6 +123,7 @@ impl Fixed16Tensor {
             data,
             scale: self.scale * TRUNC_SCALE,
             shape: self.shape.clone(),
+            bits: 4,
         }
     }
 
@@ -133,14 +134,20 @@ impl Fixed16Tensor {
     }
 }
 
-/// An INT4 tensor (stored one nibble per `i8`, values in [-8, 7]) with a
-/// single FP32 scale — the Speculator's number format.
+/// A narrow-integer tensor with a single FP32 scale — the Speculator's
+/// number format. The default width is INT4 (one nibble per `i8`, values
+/// in [-8, 7]); [`Int4Tensor::quantize_with_bits`] widens it up to INT8
+/// for the Fig. 13(b) precision sweep. Every element is kept inside the
+/// symmetric two's-complement range of `bits`, and
+/// [`Int4Tensor::payload_bytes`] accounts storage at the actual width
+/// (two nibbles per byte at ≤4 bits, one byte per element above).
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Int4Tensor {
     data: Vec<i8>,
     scale: f32,
     shape: Shape,
+    bits: u32,
 }
 
 impl Int4Tensor {
@@ -162,12 +169,14 @@ impl Int4Tensor {
             data,
             scale,
             shape: t.shape().clone(),
+            bits: 4,
         }
     }
 
     /// Quantizes to an arbitrary bit width `bits` ∈ [2, 8] (used by the
     /// Fig. 13(b) precision sweep). The value range is the symmetric
-    /// two's-complement range of that width.
+    /// two's-complement range of that width, and the width is recorded on
+    /// the tensor so [`Int4Tensor::payload_bytes`] stays honest.
     ///
     /// # Panics
     ///
@@ -194,23 +203,49 @@ impl Int4Tensor {
             data,
             scale,
             shape: t.shape().clone(),
+            bits,
         }
     }
 
-    /// Constructs from raw nibbles and a scale.
+    /// Constructs a 4-bit tensor from raw nibbles and a scale.
     ///
     /// # Panics
     ///
     /// Panics if the length mismatches the shape or any value is outside
-    /// [-8, 7].
+    /// [-8, 7]. Data produced at a wider precision (e.g. by
+    /// [`Int4Tensor::quantize_with_bits`] with `bits > 4`) must go through
+    /// [`Int4Tensor::from_raw_with_bits`] instead — the range check is the
+    /// same one every constructor enforces for its width.
     pub fn from_raw(data: Vec<i8>, scale: f32, dims: &[usize]) -> Self {
+        Self::from_raw_with_bits(data, scale, dims, 4)
+    }
+
+    /// Constructs from raw values at an explicit width `bits` ∈ [2, 8].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside [2, 8], the length mismatches the
+    /// shape, or any value is outside the symmetric two's-complement range
+    /// of `bits`.
+    pub fn from_raw_with_bits(data: Vec<i8>, scale: f32, dims: &[usize], bits: u32) -> Self {
+        assert!(
+            (2..=8).contains(&bits),
+            "bits must be in [2, 8], got {bits}"
+        );
         let shape = Shape::new(dims);
         assert_eq!(data.len(), shape.len(), "raw data length mismatch");
+        let qmax = ((1i32 << (bits - 1)) - 1) as i8;
+        let qmin = (-(1i32 << (bits - 1))) as i8;
         assert!(
-            data.iter().all(|&x| (INT4_MIN..=INT4_MAX).contains(&x)),
-            "int4 value out of [-8,7] range"
+            data.iter().all(|&x| (qmin..=qmax).contains(&x)),
+            "int{bits} value out of [{qmin},{qmax}] range"
         );
-        Self { data, scale, shape }
+        Self {
+            data,
+            scale,
+            shape,
+            bits,
+        }
     }
 
     /// The nibble payload.
@@ -221,6 +256,12 @@ impl Int4Tensor {
     /// The FP32 scale shared by all elements.
     pub fn scale(&self) -> f32 {
         self.scale
+    }
+
+    /// The bit width of the stored values (4 unless constructed by a
+    /// `*_with_bits` method).
+    pub fn bits(&self) -> u32 {
+        self.bits
     }
 
     /// The tensor shape.
@@ -246,10 +287,15 @@ impl Int4Tensor {
         )
     }
 
-    /// Bytes occupied by the packed payload (two nibbles per byte, rounded
-    /// up), used by the memory access accounting.
+    /// Bytes occupied by the packed payload at the tensor's bit width (two
+    /// nibbles per byte rounded up at ≤4 bits, one byte per element at 5–8
+    /// bits), used by the memory access accounting.
     pub fn payload_bytes(&self) -> usize {
-        self.data.len().div_ceil(2)
+        if self.bits <= 4 {
+            self.data.len().div_ceil(2)
+        } else {
+            self.data.len()
+        }
     }
 
     /// Integer inner product with another INT4 tensor; result carries the
@@ -338,10 +384,48 @@ mod tests {
         let t = Tensor::from_vec(vec![1.0, -1.0, 0.5], &[3]);
         let q2 = Int4Tensor::quantize_with_bits(&t, 2);
         assert_eq!(q2.data(), &[1, -1, 1]); // qmax = 1
+        assert_eq!(q2.bits(), 2);
         let q8 = Int4Tensor::quantize_with_bits(&t, 8);
-        // at 8 bits qmax = 127 but storage is i8 so quantize_with_bits for
-        // 8 bits maps max to 127 which overflows i8? No: 127 fits.
-        assert_eq!(q8.data()[0], 127);
+        assert_eq!(q8.data()[0], 127); // qmax = 127 fits i8 exactly
+        assert_eq!(q8.bits(), 8);
+    }
+
+    #[test]
+    fn payload_bytes_is_width_aware() {
+        // Regression: quantize_with_bits(8) used to report nibble-packed
+        // bytes, undercounting the Fig. 13(b) memory traffic by 2x.
+        let t = Tensor::from_vec(vec![1.0, -1.0, 0.5, 0.25, -0.125], &[5]);
+        for bits in [2u32, 3, 4] {
+            assert_eq!(Int4Tensor::quantize_with_bits(&t, bits).payload_bytes(), 3);
+        }
+        for bits in [5u32, 6, 8] {
+            assert_eq!(Int4Tensor::quantize_with_bits(&t, bits).payload_bytes(), 5);
+        }
+    }
+
+    #[test]
+    fn from_raw_with_bits_roundtrips_wide_data() {
+        // Regression: data produced at 8 bits has a constructor that
+        // accepts it; the 4-bit from_raw consistently rejects it.
+        let t = Tensor::from_vec(vec![1.0, -1.0, 0.5], &[3]);
+        let q8 = Int4Tensor::quantize_with_bits(&t, 8);
+        let back = Int4Tensor::from_raw_with_bits(q8.data().to_vec(), q8.scale(), &[3], 8);
+        assert_eq!(back, q8);
+        assert_eq!(back.payload_bytes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [-8,7]")]
+    fn from_raw_rejects_wide_data_consistently() {
+        let t = Tensor::from_vec(vec![1.0, -1.0, 0.5], &[3]);
+        let q8 = Int4Tensor::quantize_with_bits(&t, 8);
+        Int4Tensor::from_raw(q8.data().to_vec(), q8.scale(), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [-2,1]")]
+    fn from_raw_with_bits_enforces_narrow_range() {
+        Int4Tensor::from_raw_with_bits(vec![2], 1.0, &[1], 2);
     }
 
     #[test]

@@ -2,13 +2,17 @@
 //! systolic-array size and watch the performance saturate at the paper's
 //! chosen 16x32 point.
 //!
+//! The whole (size × model) grid runs as one parallel sweep through
+//! `duet::sim::sweep` — cells are independent simulations, so they fan
+//! out over all available cores with bitwise-deterministic results.
+//!
 //! ```text
 //! cargo run --release --example design_space
 //! ```
 
-use duet::sim::cnn::run_cnn;
 use duet::sim::config::{ArchConfig, ExecutorFeatures};
 use duet::sim::energy::EnergyTable;
+use duet::sim::sweep::{SweepGrid, SweepPoint, SweepWorkload};
 use duet::sim::{AreaModel, AreaReport};
 use duet::tensor::rng;
 use duet::workloads::models::ModelZoo;
@@ -16,32 +20,55 @@ use duet::workloads::sparsity;
 
 fn main() {
     let energy = EnergyTable::default();
+    let sizes = [(8, 8), (8, 16), (16, 16), (16, 32), (32, 32), (32, 64)];
+    let models = [ModelZoo::AlexNet, ModelZoo::ResNet18];
+
+    // Grid: a shared BASE point (Speculator-size independent) plus one
+    // DUET point per systolic-array size.
+    let mut points = vec![SweepPoint::new(
+        "base",
+        ArchConfig::duet().with_features(ExecutorFeatures::base()),
+    )];
+    for (rows, cols) in sizes {
+        let mut cfg = ArchConfig::duet();
+        cfg.speculator.systolic_rows = rows;
+        cfg.speculator.systolic_cols = cols;
+        points.push(SweepPoint::new(format!("{rows}x{cols}"), cfg));
+    }
+    let workloads = models
+        .iter()
+        .map(|&model| {
+            let mut r = rng::seeded(2024 ^ model.name().len() as u64);
+            SweepWorkload::Cnn {
+                name: model.name().to_string(),
+                traces: sparsity::cnn_traces(model, &mut r),
+            }
+        })
+        .collect();
+    let grid = SweepGrid::new(points, workloads);
+    let cells = grid.run(&energy);
+
     println!(
         "{:>10} | {:>16} | {:>17} | {:>16}",
         "systolic", "AlexNet speedup", "ResNet18 speedup", "speculator area"
     );
-    for (rows, cols) in [(8, 8), (8, 16), (16, 16), (16, 32), (32, 32), (32, 64)] {
+    for (rows, cols) in sizes {
+        let label = format!("{rows}x{cols}");
+        let speedups: Vec<f64> = models
+            .iter()
+            .map(|&m| {
+                let base = grid.cell(&cells, "base", m.name()).expect("base cell");
+                let duet = grid.cell(&cells, &label, m.name()).expect("sized cell");
+                duet.perf.speedup_over(&base.perf)
+            })
+            .collect();
         let mut cfg = ArchConfig::duet();
         cfg.speculator.systolic_rows = rows;
         cfg.speculator.systolic_cols = cols;
-
-        let mut speedups = Vec::new();
-        for model in [ModelZoo::AlexNet, ModelZoo::ResNet18] {
-            let mut r = rng::seeded(2024 ^ model.name().len() as u64);
-            let traces = sparsity::cnn_traces(model, &mut r);
-            let duet = run_cnn(model.name(), &traces, &cfg, &energy);
-            let base = run_cnn(
-                model.name(),
-                &traces,
-                &cfg.with_features(ExecutorFeatures::base()),
-                &energy,
-            );
-            speedups.push(duet.speedup_over(&base));
-        }
         let area = AreaReport::for_config(&cfg, &AreaModel::default());
         println!(
             "{:>10} | {:>15.2}x | {:>16.2}x | {:>9.2} mm^2 ({:.1}%)",
-            format!("{rows}x{cols}"),
+            label,
             speedups[0],
             speedups[1],
             area.speculator_mm2,

@@ -11,6 +11,11 @@ cargo build --workspace --release --offline
 echo "== cargo test --offline =="
 cargo test -q --workspace --offline
 
+echo "== cargo test (DUET_NUM_THREADS=4) =="
+# Simulator results must be bitwise thread-count invariant; re-run the
+# sim suite with a pinned 4-thread fan-out to catch divergence.
+DUET_NUM_THREADS=4 cargo test -q -p duet-sim --offline
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
