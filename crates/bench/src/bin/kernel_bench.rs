@@ -172,4 +172,15 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("wrote results/BENCH_kernels.json");
+
+    if duet_obs::metrics_enabled() {
+        let snap = duet_obs::export::snapshot();
+        println!("\n{}", snap.to_text());
+        if duet_obs::export::write_snapshot("results/METRICS_kernels.json").is_ok() {
+            println!("wrote results/METRICS_kernels.json");
+        }
+    }
+    if let Some((path, n)) = duet_obs::finalize() {
+        println!("wrote {n} trace events to {path}");
+    }
 }

@@ -1,6 +1,18 @@
-//! Runs every experiment binary in-process order and tells the user
-//! where each exhibit's regeneration command lives. Useful as a smoke
-//! test that the whole evaluation harness stays runnable.
+//! Runs every experiment binary and records a machine-readable manifest.
+//!
+//! Each exhibit binary is located next to this one (same target
+//! directory), executed with its stdout captured to
+//! `results/<bin>.txt`, and timed with a [`duet_obs`] span; the run list
+//! — wall time, exit status, output path — lands in
+//! `results/MANIFEST.json`. Missing binaries (not yet built) are recorded
+//! as `"missing"` rather than failing the whole run.
+//!
+//! Run with: `cargo run --release -p duet-bench --bin run_all`
+//! (`--index` prints the exhibit table without executing anything).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
 
 const EXHIBITS: &[(&str, &str)] = &[
     ("Fig. 1", "fig01_sensitivity"),
@@ -19,20 +31,168 @@ const EXHIBITS: &[(&str, &str)] = &[
     ("Sensitivity", "sensitivity_analysis"),
 ];
 
-fn main() {
+/// Outcome of one exhibit binary.
+struct RunRecord {
+    exhibit: &'static str,
+    bin: &'static str,
+    status: String,
+    exit_code: Option<i32>,
+    wall_ms: f64,
+    output: Option<String>,
+}
+
+fn print_index() {
     println!("DUET reproduction — experiment index\n");
     println!("{:<14} command", "exhibit");
     for (exhibit, bin) in EXHIBITS {
         println!("{exhibit:<14} cargo run --release -p duet-bench --bin {bin}");
     }
-    println!("\nRun them all and capture outputs:");
+}
+
+/// Directory holding the sibling exhibit binaries (the directory this
+/// binary was launched from), so no cargo/network round trip is needed.
+fn bin_dir() -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn run_exhibit(exhibit: &'static str, bin: &'static str, dir: &Path) -> RunRecord {
+    let exe = dir.join(bin);
+    let exe = if exe.exists() {
+        exe
+    } else {
+        let with_ext = dir.join(format!("{bin}.exe"));
+        if with_ext.exists() {
+            with_ext
+        } else {
+            return RunRecord {
+                exhibit,
+                bin,
+                status: "missing".to_string(),
+                exit_code: None,
+                wall_ms: 0.0,
+                output: None,
+            };
+        }
+    };
+
+    let span = duet_obs::span_labeled("bench.run_all.exhibit", bin);
+    let start = duet_obs::span::monotonic_ns();
+    let result = Command::new(&exe).output();
+    let wall_ms = (duet_obs::span::monotonic_ns() - start) as f64 / 1e6;
+    drop(span);
+
+    match result {
+        Ok(out) => {
+            let txt_path = format!("results/{bin}.txt");
+            let mut captured = out.stdout;
+            if !out.stderr.is_empty() {
+                captured.extend_from_slice(b"\n--- stderr ---\n");
+                captured.extend_from_slice(&out.stderr);
+            }
+            let output = match std::fs::write(&txt_path, &captured) {
+                Ok(()) => Some(txt_path),
+                Err(_) => None,
+            };
+            RunRecord {
+                exhibit,
+                bin,
+                status: if out.status.success() {
+                    "ok".to_string()
+                } else {
+                    "failed".to_string()
+                },
+                exit_code: out.status.code(),
+                wall_ms,
+                output,
+            }
+        }
+        Err(e) => RunRecord {
+            exhibit,
+            bin,
+            status: format!("spawn_error: {e}"),
+            exit_code: None,
+            wall_ms,
+            output: None,
+        },
+    }
+}
+
+fn manifest_json(records: &[RunRecord], total_ms: f64) -> String {
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"manifest\": \"duet-bench run_all\",");
+    let _ = writeln!(json, "  \"total_wall_ms\": {total_ms:.1},");
+    let ok = records.iter().filter(|r| r.status == "ok").count();
+    let _ = writeln!(json, "  \"ok\": {ok},");
+    let _ = writeln!(json, "  \"total\": {},", records.len());
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        let exit = r.exit_code.map_or("null".to_string(), |c| c.to_string());
+        let output = r
+            .output
+            .as_deref()
+            .map_or("null".to_string(), |p| format!("\"{p}\""));
+        let _ = writeln!(
+            json,
+            "    {{\"exhibit\": \"{}\", \"bin\": \"{}\", \"status\": \"{}\", \
+             \"exit_code\": {exit}, \"wall_ms\": {:.1}, \"output\": {output}}}{sep}",
+            r.exhibit, r.bin, r.status, r.wall_ms
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--index" || a == "-i") {
+        print_index();
+        return;
+    }
+
+    let dir = bin_dir();
     println!(
-        "  for b in {}; do",
-        EXHIBITS
-            .iter()
-            .map(|(_, b)| *b)
-            .collect::<Vec<_>>()
-            .join(" ")
+        "run_all: executing {} exhibit binaries from {}\n",
+        EXHIBITS.len(),
+        dir.display()
     );
-    println!("    cargo run --release -q -p duet-bench --bin $b > results/$b.txt; done");
+    std::fs::create_dir_all("results").expect("create results dir");
+
+    let total_start = duet_obs::span::monotonic_ns();
+    let mut records = Vec::with_capacity(EXHIBITS.len());
+    for &(exhibit, bin) in EXHIBITS {
+        let rec = run_exhibit(exhibit, bin, &dir);
+        match rec.status.as_str() {
+            "ok" => println!("{:<14} {bin:<28} ok      {:>9.1} ms", exhibit, rec.wall_ms),
+            "missing" => println!("{exhibit:<14} {bin:<28} missing (build with --release first)"),
+            s => println!("{exhibit:<14} {bin:<28} {s} {:>9.1} ms", rec.wall_ms),
+        }
+        records.push(rec);
+    }
+    let total_ms = (duet_obs::span::monotonic_ns() - total_start) as f64 / 1e6;
+
+    let json = manifest_json(&records, total_ms);
+    std::fs::write("results/MANIFEST.json", &json).expect("write MANIFEST.json");
+    let ok = records.iter().filter(|r| r.status == "ok").count();
+    println!("\n{ok}/{} exhibits ok in {total_ms:.1} ms", records.len());
+    println!("wrote results/MANIFEST.json");
+
+    if duet_obs::metrics_enabled()
+        && duet_obs::export::write_snapshot("results/METRICS_run_all.json").is_ok()
+    {
+        println!("wrote results/METRICS_run_all.json");
+    }
+    if let Some((path, n)) = duet_obs::finalize() {
+        println!("wrote {n} trace events to {path}");
+    }
+
+    let failed = records
+        .iter()
+        .any(|r| r.status != "ok" && r.status != "missing");
+    if failed {
+        std::process::exit(1);
+    }
 }

@@ -10,6 +10,9 @@
 //! independent.
 //!
 //! Run with: `cargo run --release -p duet-bench --bin sim_bench`
+//! (`--smoke` shrinks the grid and repetitions for a seconds-scale CI
+//! run, e.g. under `DUET_TRACE=trace.json` to exercise the telemetry
+//! export end to end).
 
 use duet_bench::Suite;
 use duet_sim::config::ExecutorFeatures;
@@ -24,12 +27,17 @@ use std::time::Instant;
 /// enough that batching à la `duet_bench::timing` would be overkill).
 const REPS: usize = 3;
 
-fn grid(suite: &Suite) -> SweepGrid {
+fn grid(suite: &Suite, smoke: bool) -> SweepGrid {
     let mut points = vec![SweepPoint::new(
         "base",
         suite.config.with_features(ExecutorFeatures::base()),
     )];
-    for (rows, cols) in [(8, 8), (8, 16), (16, 16), (16, 32), (32, 32)] {
+    let ladder: &[(usize, usize)] = if smoke {
+        &[(16, 16)]
+    } else {
+        &[(8, 8), (8, 16), (16, 16), (16, 32), (32, 32)]
+    };
+    for &(rows, cols) in ladder {
         let mut cfg = suite.config;
         cfg.speculator.systolic_rows = rows;
         cfg.speculator.systolic_cols = cols;
@@ -37,7 +45,12 @@ fn grid(suite: &Suite) -> SweepGrid {
     }
 
     let mut workloads = Vec::new();
-    for model in [ModelZoo::AlexNet, ModelZoo::ResNet18] {
+    let cnn_models: &[ModelZoo] = if smoke {
+        &[ModelZoo::AlexNet]
+    } else {
+        &[ModelZoo::AlexNet, ModelZoo::ResNet18]
+    };
+    for &model in cnn_models {
         workloads.push(SweepWorkload::Cnn {
             name: model.name().to_string(),
             traces: suite.cnn_traces(model),
@@ -51,10 +64,10 @@ fn grid(suite: &Suite) -> SweepGrid {
     SweepGrid::new(points, workloads)
 }
 
-fn time_sweep(grid: &SweepGrid, suite: &Suite, threads: usize) -> (f64, u64) {
+fn time_sweep(grid: &SweepGrid, suite: &Suite, threads: usize, reps: usize) -> (f64, u64) {
     let mut best_ms = f64::INFINITY;
     let mut checksum = 0u64;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let start = Instant::now();
         let cells = grid.run_with_threads(&suite.energy, threads);
         let ms = start.elapsed().as_secs_f64() * 1e3;
@@ -65,10 +78,15 @@ fn time_sweep(grid: &SweepGrid, suite: &Suite, threads: usize) -> (f64, u64) {
 }
 
 fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let reps = if smoke { 1 } else { REPS };
     let threads = parallel::num_threads();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let suite = Suite::paper();
-    let grid = grid(&suite);
+    let grid = grid(&suite, smoke);
+    if smoke {
+        println!("sim_bench: --smoke (reduced grid, 1 rep)");
+    }
     println!(
         "sim_bench: {} cells ({} points x {} workloads), {threads} threads on {cores} cores",
         grid.cells(),
@@ -76,9 +94,9 @@ fn main() {
         grid.workloads.len()
     );
 
-    let (serial_ms, serial_sum) = time_sweep(&grid, &suite, 1);
+    let (serial_ms, serial_sum) = time_sweep(&grid, &suite, 1, reps);
     println!("serial sweep   (1 thread):  {serial_ms:>9.1} ms  checksum {serial_sum:#018x}");
-    let (parallel_ms, parallel_sum) = time_sweep(&grid, &suite, threads);
+    let (parallel_ms, parallel_sum) = time_sweep(&grid, &suite, threads, reps);
     println!(
         "parallel sweep ({threads} threads): {parallel_ms:>9.1} ms  checksum {parallel_sum:#018x}"
     );
@@ -111,4 +129,15 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_sim.json", &json).expect("write BENCH_sim.json");
     println!("wrote results/BENCH_sim.json");
+
+    if duet_obs::metrics_enabled() {
+        let snap = duet_obs::export::snapshot();
+        println!("\n{}", snap.to_text());
+        if duet_obs::export::write_snapshot("results/METRICS_sim.json").is_ok() {
+            println!("wrote results/METRICS_sim.json");
+        }
+    }
+    if let Some((path, n)) = duet_obs::finalize() {
+        println!("wrote {n} trace events to {path}");
+    }
 }

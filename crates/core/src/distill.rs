@@ -140,6 +140,9 @@ pub fn distill_linear_with_sampler(
     assert_eq!(w.shape().rank(), 2, "teacher weight must be [n, d]");
     let (n, d) = (w.shape().dim(0), w.shape().dim(1));
     assert_eq!(b.len(), n, "teacher bias length mismatch");
+    let _distill_span = duet_obs::span("core.distill.linear");
+    duet_obs::counter!("core.distill.calls").inc();
+    duet_obs::counter!("core.distill.samples").add(samples as u64);
 
     let projection = TernaryProjection::sample(d, config.reduced_dim, rng);
     let k = config.reduced_dim;

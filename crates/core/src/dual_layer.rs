@@ -140,6 +140,8 @@ impl DualModuleLayer {
     pub fn forward(&self, x: &Tensor, policy: &SwitchingPolicy) -> DualOutput {
         let (n, d) = (self.output_dim(), self.input_dim());
         assert_eq!(x.len(), d, "input length mismatch");
+        let _fwd = duet_obs::span("core.dual.forward");
+        duet_obs::counter!("core.dual.forward_calls").inc();
 
         // 1. Speculator: approximate module.
         let y_approx = self.approx.forward(x);
@@ -187,6 +189,15 @@ impl DualModuleLayer {
             outputs_total: n as u64,
             outputs_exact: exact,
         };
+
+        duet_obs::counter!("core.dual.outputs_total").add(report.outputs_total);
+        duet_obs::counter!("core.dual.outputs_exact").add(report.outputs_exact);
+        duet_obs::counter!("core.dual.executor_macs").add(report.executor_macs);
+        duet_obs::counter!("core.dual.speculator_macs").add(report.speculator_macs);
+        // switch rate in basis points (0..=10000): share of outputs that
+        // kept the Speculator's approximate value
+        duet_obs::histogram!("core.dual.switch_rate_bp")
+            .record((report.approximate_fraction() * 10_000.0) as u64);
 
         DualOutput {
             output,

@@ -100,6 +100,8 @@ impl DualConvNet {
         for stage in &self.stages {
             match stage {
                 Stage::Conv(layer) => {
+                    let _layer_span =
+                        duet_obs::span_lazy("core.dual.conv_layer", || format!("conv{conv_idx}"));
                     let out = layer.forward(&cur, policy, imap.as_ref());
                     layers.push(ChainLayerRecord {
                         layer: conv_idx,

@@ -49,7 +49,14 @@ impl SavingsReport {
             + self.speculator_macs as f64 / 16.0
             + self.speculator_adds as f64 / 32.0;
         if effective == 0.0 {
-            return f64::INFINITY;
+            // An empty report reduces nothing — a neutral 1.0, never
+            // 0/0. Real work done entirely by free speculation is a
+            // genuinely unbounded reduction.
+            return if self.dense_macs == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.dense_macs as f64 / effective
     }
@@ -59,7 +66,13 @@ impl SavingsReport {
     pub fn weight_access_reduction(&self) -> f64 {
         let fetched = self.executor_weight_bytes + self.speculator_weight_bytes;
         if fetched == 0 {
-            return f64::INFINITY;
+            // Same guard as [`Self::flops_reduction`]: no dense traffic
+            // and no fetches is a no-op layer, not an infinite saving.
+            return if self.dense_weight_bytes == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.dense_weight_bytes as f64 / fetched as f64
     }
@@ -145,9 +158,28 @@ mod tests {
 
     #[test]
     fn empty_report_edge_cases() {
+        // A fresh report is a no-op, not an infinite (or NaN) saving:
+        // every ratio helper must return a finite neutral value.
         let r = SavingsReport::new();
         assert_eq!(r.approximate_fraction(), 0.0);
         assert_eq!(r.mac_skip_fraction(), 0.0);
+        assert_eq!(r.flops_reduction(), 1.0);
+        assert_eq!(r.weight_access_reduction(), 1.0);
+        assert!(r.flops_reduction().is_finite());
+        assert!(r.weight_access_reduction().is_finite());
+    }
+
+    #[test]
+    fn fully_speculative_real_work_is_unbounded() {
+        // dense work done with zero executor cost is a true ∞ reduction
+        let r = SavingsReport {
+            dense_macs: 1000,
+            dense_weight_bytes: 2000,
+            outputs_total: 10,
+            ..SavingsReport::new()
+        };
         assert!(r.flops_reduction().is_infinite());
+        assert!(r.weight_access_reduction().is_infinite());
+        assert_eq!(r.approximate_fraction(), 1.0);
     }
 }

@@ -1,0 +1,194 @@
+//! Metrics snapshot exporters: plain text for terminals, JSON for files.
+//!
+//! A [`MetricsSnapshot`] is a point-in-time copy of every registered
+//! counter, gauge and histogram summary, sorted by name. Binaries call
+//! [`write_snapshot`] at the end of a run (typically next to their
+//! `results/BENCH_*.json` artifacts) when `DUET_METRICS` is on, and the
+//! text form via [`MetricsSnapshot::to_text`] for a human-readable dump.
+
+use crate::registry::{self, HistogramSummary};
+use crate::trace::escape_json;
+use std::io::Write as _;
+
+/// A point-in-time copy of the whole metrics registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every registered counter, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` for every registered gauge, sorted by name.
+    pub gauges: Vec<(&'static str, i64)>,
+    /// `(name, summary)` for every registered histogram, sorted by name.
+    pub histograms: Vec<(&'static str, HistogramSummary)>,
+}
+
+/// Copies the current state of the registry.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: registry::counters(),
+        gauges: registry::gauges(),
+        histograms: registry::histograms(),
+    }
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// `true` when no metric of any kind is registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot as aligned plain text, one metric per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("(no metrics registered — set DUET_METRICS=1)\n");
+            return out;
+        }
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name:<width$}  counter  {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name:<width$}  gauge    {v}\n"));
+        }
+        for (name, s) in &self.histograms {
+            out.push_str(&format!(
+                "{name:<width$}  hist     count={} mean={:.1} p50={} p90={} p99={} max={}\n",
+                s.count,
+                s.mean(),
+                s.p50,
+                s.p90,
+                s.p99,
+                s.max
+            ));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON document:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {v}", escape_json(name)));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {v}", escape_json(name)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, s)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {:.3}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                escape_json(name),
+                s.count,
+                s.sum,
+                s.min,
+                s.max,
+                s.mean(),
+                s.p50,
+                s.p90,
+                s.p99
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Snapshots the registry and writes the JSON form to `path`.
+pub fn write_snapshot(path: &str) -> std::io::Result<()> {
+    let json = snapshot().to_json();
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    #[test]
+    fn snapshot_lookup_and_text() {
+        let _g = crate::test_guard();
+        crate::set_metrics_enabled(true);
+        crate::registry::counter("obs.test.export_counter").add(7);
+        crate::registry::gauge("obs.test.export_gauge").set(-3);
+        crate::registry::histogram("obs.test.export_hist").record(10);
+        crate::set_metrics_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.counter("obs.test.export_counter"), Some(7));
+        assert_eq!(snap.gauge("obs.test.export_gauge"), Some(-3));
+        assert_eq!(snap.histogram("obs.test.export_hist").unwrap().count, 1);
+        assert_eq!(snap.counter("obs.test.nonexistent"), None);
+        let text = snap.to_text();
+        assert!(text.contains("obs.test.export_counter"));
+        assert!(text.contains("counter  7"));
+    }
+
+    #[test]
+    fn json_form_parses_and_roundtrips_values() {
+        let _g = crate::test_guard();
+        crate::set_metrics_enabled(true);
+        crate::registry::counter("obs.test.export_json").add(42);
+        crate::set_metrics_enabled(false);
+        let doc = snapshot().to_json();
+        let v = parse(&doc).expect("snapshot JSON parses");
+        let counters = v.get("counters").expect("counters object");
+        assert_eq!(
+            counters.get("obs.test.export_json").and_then(Value::as_f64),
+            Some(42.0)
+        );
+        assert!(v.get("gauges").is_some());
+        assert!(v.get("histograms").is_some());
+    }
+
+    #[test]
+    fn empty_snapshot_text_mentions_env_var() {
+        let empty = MetricsSnapshot::default();
+        assert!(empty.is_empty());
+        assert!(empty.to_text().contains("DUET_METRICS"));
+        // empty JSON still parses
+        assert!(parse(&empty.to_json()).is_ok());
+    }
+}

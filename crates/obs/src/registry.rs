@@ -1,0 +1,390 @@
+//! The global metrics registry: counters, gauges, and fixed-bucket
+//! histograms keyed by `&'static str` names.
+//!
+//! Metrics are created on first use and live for the life of the process
+//! (interned via `Box::leak`, so call sites hold plain `&'static`
+//! references with no reference counting on the hot path). The
+//! [`counter!`](crate::counter!)/[`gauge!`](crate::gauge!)/
+//! [`histogram!`](crate::histogram!) macros cache the registry lookup in
+//! a per-call-site `OnceLock`, so after the first hit an instrumentation
+//! site costs one `OnceLock` load plus one relaxed atomic op — and when
+//! telemetry is disabled the atomic op is skipped after a single relaxed
+//! flag load.
+//!
+//! Naming convention: dotted lowercase paths, coarse-to-fine
+//! (`tensor.gemm.flops`, `sim.dram.bytes`). Histograms record raw `u64`
+//! samples (usually nanoseconds) into power-of-two buckets.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of power-of-two histogram buckets. Bucket `i` (for `i >= 1`)
+/// counts samples `v` with `2^(i-1) <= v < 2^i`; bucket 0 counts `v == 0`
+/// and the last bucket absorbs everything `>= 2^(BUCKETS-2)`.
+pub const BUCKETS: usize = 64;
+
+/// A monotonically increasing event counter.
+///
+/// All mutation is gated on [`crate::metrics_enabled`], so a disabled
+/// process pays one relaxed load per call.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a detached counter (registry metrics come from
+    /// [`counter`]).
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` when metrics are enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::metrics_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 when metrics are enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins signed gauge with a monotonic-max companion.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a detached gauge.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Stores `v` when metrics are enabled.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::metrics_enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (when metrics are
+    /// enabled).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        if crate::metrics_enabled() {
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free fixed-bucket histogram of `u64` samples (power-of-two
+/// buckets), tracking count, sum, min and max.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Summary statistics extracted from a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Approximate median (upper bound of the bucket holding it).
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates a detached histogram (registry metrics come from
+    /// [`histogram`]).
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a sample: 0 for 0, else `floor(log2(v)) + 1`
+    /// clamped to the last bucket.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample when metrics are enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::metrics_enabled() {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]`: the upper bound of
+    /// the power-of-two bucket containing that rank (exact for min/max
+    /// tails via the tracked extremes).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { 1u64 << i.min(63) };
+                // clamp the synthetic bucket bound into the observed range
+                return upper
+                    .min(self.max.load(Ordering::Relaxed))
+                    .max(self.min.load(Ordering::Relaxed).min(upper));
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Extracts summary statistics.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        HistogramSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// The three per-kind name → metric maps. `&'static str` keys and leaked
+/// values: a metric, once created, is immortal and lock-free to update.
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static R: OnceLock<Registry> = OnceLock::new();
+    R.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Returns (creating on first use) the counter registered under `name`.
+/// Prefer the [`counter!`](crate::counter!) macro in hot code — it caches
+/// this lookup per call site.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut map = registry().counters.lock().expect("counter registry");
+    map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Returns (creating on first use) the gauge registered under `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut map = registry().gauges.lock().expect("gauge registry");
+    map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Returns (creating on first use) the histogram registered under `name`.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut map = registry().histograms.lock().expect("histogram registry");
+    map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Snapshots every registered counter as `(name, value)`, sorted by name.
+pub fn counters() -> Vec<(&'static str, u64)> {
+    let map = registry().counters.lock().expect("counter registry");
+    map.iter().map(|(&n, c)| (n, c.get())).collect()
+}
+
+/// Snapshots every registered gauge as `(name, value)`, sorted by name.
+pub fn gauges() -> Vec<(&'static str, i64)> {
+    let map = registry().gauges.lock().expect("gauge registry");
+    map.iter().map(|(&n, g)| (n, g.get())).collect()
+}
+
+/// Snapshots every registered histogram's summary, sorted by name.
+pub fn histograms() -> Vec<(&'static str, HistogramSummary)> {
+    let map = registry().histograms.lock().expect("histogram registry");
+    map.iter().map(|(&n, h)| (n, h.summary())).collect()
+}
+
+/// Counter lookup cached per call site: expands to
+/// `&'static Counter`.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::registry::Counter> =
+            ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry::counter($name))
+    }};
+}
+
+/// Gauge lookup cached per call site: expands to `&'static Gauge`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::registry::Gauge> =
+            ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry::gauge($name))
+    }};
+}
+
+/// Histogram lookup cached per call site: expands to
+/// `&'static Histogram`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::registry::Histogram> =
+            ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::registry::histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn same_name_same_metric() {
+        let a = counter("obs.test.same_name") as *const Counter;
+        let b = counter("obs.test.same_name") as *const Counter;
+        assert_eq!(a, b);
+        let h1 = histogram("obs.test.same_hist") as *const Histogram;
+        let h2 = histogram("obs.test.same_hist") as *const Histogram;
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn disabled_metrics_do_not_move() {
+        let _g = crate::test_guard();
+        crate::set_metrics_enabled(false);
+        let c = counter("obs.test.disabled_counter");
+        c.add(5);
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let h = histogram("obs.test.disabled_hist");
+        h.record(123);
+        assert_eq!(h.count(), 0);
+        let g = gauge("obs.test.disabled_gauge");
+        g.set(7);
+        g.set_max(9);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_summary_quantiles_bracket_samples() {
+        let _g = crate::test_guard();
+        crate::set_metrics_enabled(true);
+        let h = histogram("obs.test.hist_summary");
+        for v in [1u64, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        crate::set_metrics_enabled(false);
+        let s = h.summary();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1110);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert!(s.p50 >= 1 && s.p50 <= 1000);
+        assert!(s.p99 >= s.p50);
+        assert!((s.mean() - 185.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn macros_cache_the_lookup() {
+        let first = counter!("obs.test.macro_counter") as *const Counter;
+        let second = counter!("obs.test.macro_counter") as *const Counter;
+        assert_eq!(first, second);
+        let g = gauge!("obs.test.macro_gauge") as *const Gauge;
+        assert_eq!(g, gauge("obs.test.macro_gauge") as *const Gauge);
+        let h = histogram!("obs.test.macro_hist") as *const Histogram;
+        assert_eq!(h, histogram("obs.test.macro_hist") as *const Histogram);
+    }
+}

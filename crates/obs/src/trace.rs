@@ -1,0 +1,210 @@
+//! The trace-event buffer and Chrome trace-event JSON exporter.
+//!
+//! Spans push paired begin/end events here while tracing is enabled;
+//! [`write_chrome_trace`] (or [`crate::finalize`]) serializes them in the
+//! [Chrome trace-event format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! — a `{"traceEvents": [...]}` object of `ph: "B"`/`ph: "E"` records —
+//! which loads directly in `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev). Thread ordinals become `tid`
+//! tracks, so per-thread GEMM stripes and per-layer simulator spans show
+//! up as nested slices per worker.
+//!
+//! The buffer is a mutex-protected vector: events are only pushed while
+//! tracing is on, and span granularity in this workspace (stripes,
+//! layers, sweep cells, epochs) keeps the push rate far below contention
+//! levels. The buffer is bounded by [`MAX_EVENTS`]; overflowing events
+//! are dropped and counted in [`dropped_events`].
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on buffered events (~64 bytes each → ≤ ~256 MiB) so a
+/// forgotten long-running trace cannot exhaust memory.
+pub const MAX_EVENTS: usize = 4_000_000;
+
+/// One begin or end record of a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (the histogram key).
+    pub name: &'static str,
+    /// Optional instance label (layer name, bench id, …).
+    pub label: Option<String>,
+    /// `true` for the begin record, `false` for the end record.
+    pub begin: bool,
+    /// Monotonic nanoseconds since the process telemetry epoch.
+    pub ts_ns: u64,
+    /// Dense thread ordinal (trace track).
+    pub tid: u64,
+    /// Span nesting depth on its thread when opened.
+    pub depth: u32,
+}
+
+static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Appends an event to the buffer (drops it when the buffer is full).
+pub fn push_event(e: TraceEvent) {
+    let mut buf = EVENTS.lock().unwrap_or_else(|p| p.into_inner());
+    if buf.len() >= MAX_EVENTS {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    buf.push(e);
+}
+
+/// Number of events currently buffered.
+pub fn events_len() -> usize {
+    EVENTS.lock().unwrap_or_else(|p| p.into_inner()).len()
+}
+
+/// Events dropped because the buffer was full.
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Drains the buffer, returning every event recorded so far.
+pub fn take_events() -> Vec<TraceEvent> {
+    std::mem::take(&mut *EVENTS.lock().unwrap_or_else(|p| p.into_inner()))
+}
+
+/// Serializes `events` as a Chrome trace JSON document. Events are sorted
+/// by timestamp (stably, so same-timestamp begin/end order is preserved)
+/// and `ts` is emitted in microseconds with nanosecond decimals.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.ts_ns);
+    let mut out = String::with_capacity(64 + sorted.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    for (i, e) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let ph = if e.begin { 'B' } else { 'E' };
+        let us = e.ts_ns / 1_000;
+        let frac = e.ts_ns % 1_000;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"duet\",\"ph\":\"{ph}\",\"ts\":{us}.{frac:03},\"pid\":1,\"tid\":{}",
+            escape_json(e.name),
+            e.tid
+        ));
+        out.push_str(&format!(",\"args\":{{\"depth\":{}", e.depth));
+        if let Some(label) = &e.label {
+            out.push_str(&format!(",\"label\":\"{}\"", escape_json(label)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the given events to `path` in Chrome trace format.
+pub fn write_chrome_trace_events(path: &str, events: &[TraceEvent]) -> std::io::Result<()> {
+    let json = chrome_trace_json(events);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())
+}
+
+/// Drains the buffer and writes everything recorded so far to `path`;
+/// returns the number of events written.
+pub fn write_chrome_trace(path: &str) -> std::io::Result<usize> {
+    let events = take_events();
+    write_chrome_trace_events(path, &events)?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, begin: bool, ts_ns: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            label: None,
+            begin,
+            ts_ns,
+            tid: 0,
+            depth: 0,
+        }
+    }
+
+    #[test]
+    fn json_is_sorted_and_balanced() {
+        let events = vec![
+            ev("b", false, 300),
+            ev("a", true, 100),
+            ev("b", true, 200),
+            ev("a", false, 400),
+        ];
+        let json = chrome_trace_json(&events);
+        let parsed = crate::json::parse(&json).expect("valid JSON");
+        let list = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert_eq!(list.len(), 4);
+        let ts: Vec<f64> = list
+            .iter()
+            .map(|e| e.get("ts").and_then(|t| t.as_f64()).expect("ts"))
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "sorted by ts: {ts:?}");
+    }
+
+    #[test]
+    fn escaping_handles_controls_and_quotes() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn label_appears_in_args() {
+        let e = TraceEvent {
+            name: "x",
+            label: Some("conv1".into()),
+            begin: true,
+            ts_ns: 1_234_567,
+            tid: 3,
+            depth: 2,
+        };
+        let json = chrome_trace_json(&[e]);
+        let parsed = crate::json::parse(&json).expect("valid");
+        let first = &parsed.get("traceEvents").unwrap().as_array().unwrap()[0];
+        let args = first.get("args").expect("args");
+        assert_eq!(args.get("label").and_then(|l| l.as_str()), Some("conv1"));
+        assert_eq!(args.get("depth").and_then(|d| d.as_f64()), Some(2.0));
+        assert_eq!(first.get("tid").and_then(|t| t.as_f64()), Some(3.0));
+        // 1_234_567 ns = 1234.567 µs
+        let ts = first.get("ts").and_then(|t| t.as_f64()).unwrap();
+        assert!((ts - 1234.567).abs() < 1e-9);
+    }
+
+    #[test]
+    fn take_events_drains() {
+        let _g = crate::test_guard();
+        let pre = take_events(); // clear anything left by other tests
+        drop(pre);
+        push_event(ev("t", true, 1));
+        push_event(ev("t", false, 2));
+        assert_eq!(events_len(), 2);
+        let drained = take_events();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(events_len(), 0);
+    }
+}

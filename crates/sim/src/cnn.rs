@@ -34,6 +34,7 @@ struct LayerSim {
 }
 
 fn simulate_layer(trace: &ConvLayerTrace, config: &ArchConfig, energy: &EnergyTable) -> LayerSim {
+    let _layer_span = duet_obs::span_lazy("sim.cnn.layer", || trace.name.clone());
     // Channel order: Reorder Unit output under adaptive mapping.
     let order = if config.features.adaptive_mapping {
         ReorderUnit::new(config.pe_rows)
@@ -97,6 +98,8 @@ pub fn run_cnn_with_threads(
     // Phase 2 (serial): apply the speculation-hiding recurrence — this
     // layer's speculation hides under the previous layer's execution; any
     // excess is exposed.
+    let _compose_span = duet_obs::span("sim.cnn.compose");
+    duet_obs::counter!("sim.cnn.layers_simulated").add(traces.len() as u64);
     let mut layers = Vec::with_capacity(traces.len());
     let mut total_latency = 0u64;
     let mut prev_exec_latency = 0u64;
@@ -105,6 +108,8 @@ pub fn run_cnn_with_threads(
         let layer_latency = sim.exec_latency + exposed_spec;
         total_latency += layer_latency;
         prev_exec_latency = sim.exec_latency;
+        duet_obs::counter!("sim.dram.bytes").add(sim.exec.dram_bytes);
+        duet_obs::counter!("sim.spec.exposed_cycles").add(exposed_spec);
 
         let mut e = sim.exec.energy;
         e += sim.spec_energy;

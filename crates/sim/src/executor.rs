@@ -148,6 +148,11 @@ pub fn run_conv_layer(
     // DRAM traffic: ifmap + weights in, ofmap + map out.
     let dram_bytes = 2 * (input_words + weight_words + output_words) + map_words * 2;
 
+    duet_obs::counter!("sim.glb.words").add(glb_words);
+    // the NoC carries every GLB word to/from the PE array in this model
+    duet_obs::counter!("sim.noc.words").add(glb_words);
+    duet_obs::counter!("sim.executor.macs").add(executed_macs);
+
     // Energy. Two-level hierarchy: MACs hit the local RF (~1.5 accesses
     // per MAC amortized by Eyeriss-style reuse), GLB pays per streamed
     // word.

@@ -247,6 +247,7 @@ pub fn run_rnn_layer_with_threads(
     options: RnnOptions,
     threads: usize,
 ) -> RnnRunResult {
+    let _layer_span = duet_obs::span_lazy("sim.rnn.layer", || trace.name.clone());
     let rows_per_gate = trace.hidden as u64;
     let row_macs = trace.row_macs();
     let row_bytes = trace.row_weight_bytes();
@@ -289,6 +290,10 @@ pub fn run_rnn_layer_with_threads(
         executor_cycles_total += p.executor_cycles;
         dram_cycles_total += p.dram_cycles;
     }
+
+    duet_obs::counter!("sim.rnn.steps_simulated").add(trace.steps as u64);
+    duet_obs::counter!("sim.dram.bytes").add(weight_bytes_fetched);
+    duet_obs::counter!("sim.spec.exposed_cycles").add(split.speculation_cycles);
 
     let latency = split.total();
     let dense_macs = (trace.steps * trace.gates) as u64 * rows_per_gate * row_macs;

@@ -117,6 +117,10 @@ impl SweepGrid {
         parallel::map_indexed(self.cells(), threads, |idx| {
             let point = &self.points[idx / inner];
             let workload = &self.workloads[idx % inner];
+            let _cell_span = duet_obs::span_lazy("sim.sweep.cell", || {
+                format!("{}/{}", point.label, workload.name())
+            });
+            duet_obs::counter!("sim.sweep.cells").inc();
             // Serial simulation inside a cell: the sweep already owns the
             // thread budget, and nesting scoped fan-outs would
             // oversubscribe the machine without changing any result bits.

@@ -1,0 +1,70 @@
+//! A simulator run under tracing must emit balanced begin/end events
+//! that serialize to valid Chrome trace JSON — the per-layer spans the
+//! trace viewer shows come from [`duet_sim::cnn`] / [`duet_sim::rnn`].
+
+use duet_obs::json::{parse, Value};
+use duet_sim::config::ArchConfig;
+use duet_sim::energy::EnergyTable;
+use duet_sim::trace::{ConvLayerTrace, RnnLayerTrace};
+use duet_tensor::rng::seeded;
+
+#[test]
+fn simulator_trace_is_balanced_and_labeled() {
+    // Sole test in this file: it owns the process-global trace buffer.
+    duet_obs::set_trace_enabled(true);
+    let _ = duet_obs::trace::take_events();
+
+    let mut r = seeded(11);
+    let conv: Vec<ConvLayerTrace> = (0..3)
+        .map(|i| {
+            ConvLayerTrace::synthetic(
+                format!("conv{i}"),
+                32,
+                49,
+                144,
+                32 * 49,
+                0.45,
+                0.3,
+                0.55,
+                16,
+                &mut r,
+            )
+        })
+        .collect();
+    let cfg = ArchConfig::duet();
+    let energy = EnergyTable::default();
+    let _cnn = duet_sim::cnn::run_cnn_with_threads("test", &conv, &cfg, &energy, 4);
+
+    let rnn = RnnLayerTrace::synthetic("lstm", 4, 128, 128, 4, 0.46, &mut r);
+    let _rnn = duet_sim::rnn::run_rnn_layer(&rnn, &cfg, &energy, true);
+
+    duet_obs::set_trace_enabled(false);
+    let events = duet_obs::trace::take_events();
+    assert!(!events.is_empty(), "simulation must emit trace events");
+
+    let begins = events.iter().filter(|e| e.begin).count();
+    let ends = events.len() - begins;
+    assert_eq!(begins, ends, "every span begin needs a matching end");
+
+    // 3 cnn layer spans + 1 compose span + 1 rnn layer span
+    let layer_spans = events
+        .iter()
+        .filter(|e| e.begin && e.name == "sim.cnn.layer")
+        .count();
+    assert_eq!(layer_spans, 3, "one sim.cnn.layer span per conv layer");
+    assert!(events.iter().any(|e| e.name == "sim.cnn.compose"));
+    assert!(events.iter().any(|e| e.name == "sim.rnn.layer"));
+    // layer spans carry the trace name as their label
+    assert!(events
+        .iter()
+        .any(|e| e.name == "sim.cnn.layer" && e.label.as_deref() == Some("conv1")));
+
+    // and the whole thing serializes to valid Chrome trace JSON
+    let json = duet_obs::trace::chrome_trace_json(&events);
+    let parsed = parse(&json).expect("valid trace JSON");
+    let list = parsed
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents");
+    assert_eq!(list.len(), events.len());
+}

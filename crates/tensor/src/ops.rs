@@ -107,7 +107,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     let (m, k, n) = assert_matmul_shapes(a, b);
     let flops = m * k * n;
+    duet_obs::counter!("tensor.gemm.calls").inc();
+    duet_obs::counter!("tensor.gemm.flops").add(2 * flops as u64);
     if flops < BLOCKED_MIN_FLOPS {
+        duet_obs::counter!("tensor.gemm.serial_fallback").inc();
         return matmul_naive(a, b);
     }
     let threads = if flops >= PAR_MIN_FLOPS {
@@ -115,11 +118,17 @@ pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     } else {
         1
     };
+    duet_obs::gauge!("tensor.gemm.max_threads").set_max(threads as i64);
 
+    let _call = duet_obs::span("tensor.gemm");
     let mut c = Tensor::zeros(&[m, n]);
     let ad = a.data();
     let bd = b.data();
     parallel::for_each_row_chunk(c.data_mut(), m, n, threads, |rows, chunk| {
+        // One stripe span per worker chunk: the histogram of these
+        // durations exposes load imbalance (max vs. p50), and in a trace
+        // the stripes render as parallel slices on per-thread tracks.
+        let _stripe = duet_obs::span("tensor.gemm.stripe");
         gemm_rows(ad, bd, chunk, rows.start, rows.len(), k, n);
     });
     c
@@ -231,6 +240,11 @@ pub fn gemv_with_threads(w: &Tensor, x: &Tensor, threads: usize) -> Tensor {
     } else {
         1
     };
+    duet_obs::counter!("tensor.gemv.calls").inc();
+    duet_obs::counter!("tensor.gemv.flops").add(2 * (n * d) as u64);
+    if threads == 1 {
+        duet_obs::counter!("tensor.gemv.serial_fallback").inc();
+    }
     let mut y = Tensor::zeros(&[n]);
     let wd = w.data();
     let xd = x.data();
@@ -285,6 +299,8 @@ pub fn affine_with_threads(w: &Tensor, x: &Tensor, b: &Tensor, threads: usize) -
     } else {
         1
     };
+    duet_obs::counter!("tensor.affine.calls").inc();
+    duet_obs::counter!("tensor.affine.flops").add((2 * n * d + n) as u64);
     let mut y = Tensor::zeros(&[n]);
     let wd = w.data();
     let xd = x.data();

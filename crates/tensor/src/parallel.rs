@@ -36,6 +36,16 @@ pub fn num_threads() -> usize {
     })
 }
 
+/// Records one multi-threaded region (`workers` = ranges in the
+/// partition, of which `workers - 1` are spawned threads; the first range
+/// runs on the caller). Serial degradations are deliberately not counted,
+/// so `tensor.parallel.regions` measures actual fan-outs.
+#[inline]
+fn note_fan_out(workers: usize) {
+    duet_obs::counter!("tensor.parallel.regions").inc();
+    duet_obs::counter!("tensor.parallel.workers_spawned").add(workers as u64 - 1);
+}
+
 /// Splits `0..n` into at most `parts` contiguous, balanced, non-empty
 /// ranges (fewer when `n < parts`).
 pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
@@ -73,6 +83,7 @@ where
         f(0..n);
         return;
     }
+    note_fan_out(ranges.len());
     thread::scope(|scope| {
         for r in &ranges[1..] {
             let r = r.clone();
@@ -101,6 +112,7 @@ where
     if ranges.len() == 1 {
         return (0..n).map(f).collect();
     }
+    note_fan_out(ranges.len());
     let mut out = Vec::with_capacity(n);
     thread::scope(|scope| {
         let handles: Vec<_> = ranges[1..]
@@ -148,6 +160,7 @@ where
         f(0..rows, data);
         return;
     }
+    note_fan_out(ranges.len());
     thread::scope(|scope| {
         let mut rest = data;
         let mut iter = ranges.into_iter();

@@ -28,7 +28,9 @@ pub fn train_mlp(data: &Classification, hidden: usize, epochs: usize, r: &mut Rn
     let n = data.len();
     let batch = 32.min(n);
     let mut order: Vec<usize> = (0..n).collect();
-    for _ in 0..epochs {
+    for epoch in 0..epochs {
+        let _epoch_span =
+            duet_obs::span_lazy("workloads.train.epoch", || format!("mlp/epoch{epoch}"));
         r.shuffle(&mut order);
         for chunk in order.chunks(batch) {
             let mut x = Tensor::zeros(&[chunk.len(), d]);
@@ -71,7 +73,9 @@ pub fn train_cnn(data: &Classification, channels: usize, epochs: usize, r: &mut 
     let img = c * s * s;
     let batch = 16.min(n);
     let mut order: Vec<usize> = (0..n).collect();
-    for _ in 0..epochs {
+    for epoch in 0..epochs {
+        let _epoch_span =
+            duet_obs::span_lazy("workloads.train.epoch", || format!("cnn/epoch{epoch}"));
         r.shuffle(&mut order);
         for chunk in order.chunks(batch) {
             let mut x = Tensor::zeros(&[chunk.len(), c, s, s]);
@@ -322,7 +326,9 @@ pub fn train_char_lm(
 ) -> CharLm {
     let mut lm = CharLm::new(source.vocab, emb, hidden, lstm, r);
     let mut opt = Optimizer::adam(0.005);
-    for _ in 0..windows {
+    for window in 0..windows {
+        let _window_span =
+            duet_obs::span_lazy("workloads.train.window", || format!("char_lm/win{window}"));
         let seq = source.sample(window_len, r);
         lm.train_step(&seq, &mut opt);
     }
@@ -373,7 +379,9 @@ pub fn train_deep_cnn(
     let img = c * s * s;
     let batch = 16.min(n);
     let mut order: Vec<usize> = (0..n).collect();
-    for _ in 0..epochs {
+    for epoch in 0..epochs {
+        let _epoch_span =
+            duet_obs::span_lazy("workloads.train.epoch", || format!("deep_cnn/epoch{epoch}"));
         r.shuffle(&mut order);
         for chunk in order.chunks(batch) {
             let mut x = Tensor::zeros(&[chunk.len(), c, s, s]);

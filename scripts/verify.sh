@@ -16,6 +16,15 @@ echo "== cargo test (DUET_NUM_THREADS=4) =="
 # sim suite with a pinned 4-thread fan-out to catch divergence.
 DUET_NUM_THREADS=4 cargo test -q -p duet-sim --offline
 
+echo "== telemetry smoke (sim_bench --smoke under DUET_TRACE) =="
+# End-to-end telemetry check: a reduced sweep with metrics + tracing on
+# must produce a parseable, balanced Chrome trace (trace_check uses the
+# in-tree duet_obs::json parser). duet-obs itself is linted/tested by the
+# workspace-wide sweeps above.
+rm -f results/trace_verify.json
+DUET_METRICS=1 DUET_TRACE=results/trace_verify.json ./target/release/sim_bench --smoke
+./target/release/trace_check results/trace_verify.json
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 

@@ -18,7 +18,10 @@
 //!   Speculator, Reorder Unit, GLB/NoC/DRAM) plus baseline accelerators
 //!   ([`duet_sim`]),
 //! * [`workloads`] — the benchmark model zoo and synthetic dataset
-//!   generators ([`duet_workloads`]).
+//!   generators ([`duet_workloads`]),
+//! * [`obs`] — zero-dependency runtime telemetry: metrics registry, RAII
+//!   span timers, Chrome-trace export, enabled via `DUET_METRICS=1` /
+//!   `DUET_TRACE=out.json` ([`duet_obs`]).
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@
 
 pub use duet_core as core;
 pub use duet_nn as nn;
+pub use duet_obs as obs;
 pub use duet_sim as sim;
 pub use duet_tensor as tensor;
 pub use duet_workloads as workloads;
