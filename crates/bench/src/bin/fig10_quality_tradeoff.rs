@@ -71,7 +71,11 @@ fn classifier_tradeoff() {
     // --- CNN (conv-dominated stand-in) ---
     let all_imgs = datasets::shape_images(600, 11, 0.20, &mut r);
     let (imgs, test_imgs) = all_imgs.split_at(400);
-    let mut cnn = trainer::train_cnn(&imgs, 8, 15, &mut r);
+    // 30 epochs: accuracy saturates by ~15, but the extra epochs keep
+    // growing pre-activation margins, and threshold speculation lives on
+    // those margins — an under-margined model makes the θ sweep measure
+    // training noise instead of the dual-module trade-off.
+    let mut cnn = trainer::train_cnn(&imgs, 8, 30, &mut r);
     let dense_acc = trainer::evaluate_classifier(&mut cnn, &test_imgs);
     let dual_cnn = DualCnn::from_sequential(&cnn, &imgs, 0.5, &mut r);
 

@@ -80,7 +80,13 @@ fn run_exhibit(exhibit: &'static str, bin: &'static str, dir: &Path) -> RunRecor
 
     let span = duet_obs::span_labeled("bench.run_all.exhibit", bin);
     let start = duet_obs::span::monotonic_ns();
-    let result = Command::new(&exe).output();
+    // Children must not inherit the telemetry env: each would overwrite
+    // the same DUET_TRACE file (run_all's own finalize() writes it last)
+    // and the same DUET_METRICS snapshot paths, silently losing data.
+    let result = Command::new(&exe)
+        .env_remove("DUET_TRACE")
+        .env_remove("DUET_METRICS")
+        .output();
     let wall_ms = (duet_obs::span::monotonic_ns() - start) as f64 / 1e6;
     drop(span);
 
@@ -121,6 +127,7 @@ fn run_exhibit(exhibit: &'static str, bin: &'static str, dir: &Path) -> RunRecor
 }
 
 fn manifest_json(records: &[RunRecord], total_ms: f64) -> String {
+    use duet_obs::trace::escape_json;
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"manifest\": \"duet-bench run_all\",");
     let _ = writeln!(json, "  \"total_wall_ms\": {total_ms:.1},");
@@ -134,12 +141,18 @@ fn manifest_json(records: &[RunRecord], total_ms: f64) -> String {
         let output = r
             .output
             .as_deref()
-            .map_or("null".to_string(), |p| format!("\"{p}\""));
+            .map_or("null".to_string(), |p| format!("\"{}\"", escape_json(p)));
+        // status can embed an OS error message (spawn_error: ...), which
+        // may contain quotes/backslashes — escape everything interpolated
+        // into a JSON string position.
         let _ = writeln!(
             json,
             "    {{\"exhibit\": \"{}\", \"bin\": \"{}\", \"status\": \"{}\", \
              \"exit_code\": {exit}, \"wall_ms\": {:.1}, \"output\": {output}}}{sep}",
-            r.exhibit, r.bin, r.status, r.wall_ms
+            escape_json(r.exhibit),
+            escape_json(r.bin),
+            escape_json(&r.status),
+            r.wall_ms
         );
     }
     json.push_str("  ]\n}\n");

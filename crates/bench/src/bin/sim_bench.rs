@@ -12,7 +12,8 @@
 //! Run with: `cargo run --release -p duet-bench --bin sim_bench`
 //! (`--smoke` shrinks the grid and repetitions for a seconds-scale CI
 //! run, e.g. under `DUET_TRACE=trace.json` to exercise the telemetry
-//! export end to end).
+//! export end to end; smoke results go to `results/BENCH_sim_smoke.json`
+//! so CI never clobbers the committed full-sweep `BENCH_sim.json`).
 
 use duet_bench::Suite;
 use duet_sim::config::ExecutorFeatures;
@@ -110,6 +111,11 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"sim_sweep\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"available_cores\": {cores},");
     let _ = writeln!(json, "  \"grid_points\": {},", grid.points.len());
@@ -126,15 +132,25 @@ fn main() {
     );
     json.push_str("}\n");
 
+    // Smoke runs (CI / verify.sh) write to *_smoke paths so they can
+    // never overwrite the committed full-sweep artifacts.
+    let (bench_path, metrics_path) = if smoke {
+        (
+            "results/BENCH_sim_smoke.json",
+            "results/METRICS_sim_smoke.json",
+        )
+    } else {
+        ("results/BENCH_sim.json", "results/METRICS_sim.json")
+    };
     std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/BENCH_sim.json", &json).expect("write BENCH_sim.json");
-    println!("wrote results/BENCH_sim.json");
+    std::fs::write(bench_path, &json).unwrap_or_else(|e| panic!("write {bench_path}: {e}"));
+    println!("wrote {bench_path}");
 
     if duet_obs::metrics_enabled() {
         let snap = duet_obs::export::snapshot();
         println!("\n{}", snap.to_text());
-        if duet_obs::export::write_snapshot("results/METRICS_sim.json").is_ok() {
-            println!("wrote results/METRICS_sim.json");
+        if duet_obs::export::write_snapshot(metrics_path).is_ok() {
+            println!("wrote {metrics_path}");
         }
     }
     if let Some((path, n)) = duet_obs::finalize() {

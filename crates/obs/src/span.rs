@@ -70,6 +70,10 @@ struct SpanData {
     start_ns: u64,
     to_metrics: bool,
     to_trace: bool,
+    /// Thread ordinal captured at open. `Span` is `Send`, so the end
+    /// event must reuse this tid — emitting it from the dropping thread
+    /// would split the B/E pair across trace tracks and unbalance them.
+    tid: u64,
     depth: u32,
 }
 
@@ -112,6 +116,7 @@ fn open(name: &'static str, label: Option<String>) -> Span {
         d.set(v + 1);
         v
     });
+    let tid = thread_ordinal();
     let start_ns = monotonic_ns();
     if to_trace {
         trace::push_event(trace::TraceEvent {
@@ -119,7 +124,7 @@ fn open(name: &'static str, label: Option<String>) -> Span {
             label: label.clone(),
             begin: true,
             ts_ns: start_ns,
-            tid: thread_ordinal(),
+            tid,
             depth,
         });
     }
@@ -130,6 +135,7 @@ fn open(name: &'static str, label: Option<String>) -> Span {
             start_ns,
             to_metrics,
             to_trace,
+            tid,
             depth,
         }),
     }
@@ -155,6 +161,10 @@ impl Drop for Span {
             return;
         };
         let end_ns = monotonic_ns();
+        // Depth is a per-thread cosmetic hint; for the rare span dropped
+        // on a different thread than it opened on, this decrements the
+        // dropping thread's counter (saturating), which keeps every
+        // counter bounded without cross-thread bookkeeping.
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         if data.to_metrics {
             crate::registry::histogram(data.name).record(end_ns.saturating_sub(data.start_ns));
@@ -165,7 +175,7 @@ impl Drop for Span {
                 label: data.label,
                 begin: false,
                 ts_ns: end_ns,
-                tid: thread_ordinal(),
+                tid: data.tid,
                 depth: data.depth,
             });
         }
@@ -241,6 +251,29 @@ mod tests {
         assert!(s.is_armed());
         drop(s);
         crate::set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn span_moved_across_threads_keeps_opening_tid() {
+        let _g = crate::test_guard();
+        crate::set_metrics_enabled(false);
+        crate::set_trace_enabled(true);
+        drop(trace::take_events()); // clear residue from other tests
+        let s = span("obs.test.moved_span");
+        let opened_on = thread_ordinal();
+        std::thread::spawn(move || drop(s)).join().expect("join");
+        crate::set_trace_enabled(false);
+        let events = trace::take_events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].begin && !events[1].begin);
+        assert_eq!(
+            events[0].tid, opened_on,
+            "begin event carries the opening thread's tid"
+        );
+        assert_eq!(
+            events[1].tid, opened_on,
+            "end event must reuse the opening tid, not the dropping thread's"
+        );
     }
 
     #[test]

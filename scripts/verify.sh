@@ -20,10 +20,15 @@ echo "== telemetry smoke (sim_bench --smoke under DUET_TRACE) =="
 # End-to-end telemetry check: a reduced sweep with metrics + tracing on
 # must produce a parseable, balanced Chrome trace (trace_check uses the
 # in-tree duet_obs::json parser). duet-obs itself is linted/tested by the
-# workspace-wide sweeps above.
-rm -f results/trace_verify.json
+# workspace-wide sweeps above. Smoke mode writes BENCH_sim_smoke.json /
+# METRICS_sim_smoke.json, never the committed full-sweep BENCH_sim.json;
+# all smoke outputs are scratch and removed after validation.
+rm -f results/trace_verify.json results/BENCH_sim_smoke.json results/METRICS_sim_smoke.json
 DUET_METRICS=1 DUET_TRACE=results/trace_verify.json ./target/release/sim_bench --smoke
+test -s results/trace_verify.json
+test -s results/BENCH_sim_smoke.json
 ./target/release/trace_check results/trace_verify.json
+rm -f results/trace_verify.json results/BENCH_sim_smoke.json results/METRICS_sim_smoke.json
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
