@@ -59,13 +59,11 @@ pub fn forward_batch(
     report.speculator_weight_bytes /= b as u64;
     // likewise the executor's weight rows are reused across the batch in
     // a weight-stationary schedule: count the union of touched rows
-    let mut touched = vec![false; n];
+    let mut touched = SwitchingMap::all_insensitive(n);
     for m in &maps {
-        for i in m.sensitive_indices() {
-            touched[i] = true;
-        }
+        touched.union_in_place(m);
     }
-    let touched_rows = touched.iter().filter(|&&t| t).count() as u64;
+    let touched_rows = touched.sensitive_count() as u64;
     report.executor_weight_bytes = touched_rows * d as u64 * 2;
     report.dense_weight_bytes = (n * d * 2) as u64;
 

@@ -8,6 +8,7 @@
 
 use crate::approx::{ApproxConfig, ApproxLinear};
 use crate::distill;
+use crate::engine::{EngineCosts, ExecutorWeightBytes, Gather, MacMode, SpeculationEngine};
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
 use duet_tensor::im2col::{im2col, ConvGeometry};
@@ -145,44 +146,37 @@ impl DualConvLayer {
             );
         }
 
+        let mut engine = SpeculationEngine::new();
+
         // Speculator: approximate the whole output map.
         let cols = im2col(input, &self.geom);
         let mut y_approx = self.approx.forward_columns(&cols); // [K, positions]
 
         // Switching map over all output elements.
-        let map = policy.map(&y_approx.reshaped(&[k * positions]));
+        let map = engine.speculate(policy, &y_approx.reshaped(&[k * positions]));
 
-        // Executor: recompute sensitive elements exactly; count MACs,
-        // skipping zero inputs when an IMap is present (input-sparsity
+        // Executor + Eq. (2) mix: recompute sensitive elements exactly,
+        // in place over the approximate map; skip zero inputs in the MAC
+        // accounting only when an IMap is present (input-sparsity
         // skipping costs nothing extra because ineffectual values are
-        // exact zeros).
+        // exact zeros — without an IMap the PE still issues them).
         let cd = cols.data();
         let fd = self.filters.data();
-        let mut executor_macs = 0u64;
-        let mut exact = 0u64;
-        for kk in 0..k {
-            let frow = &fd[kk * d..(kk + 1) * d];
-            for p in 0..positions {
-                let idx = kk * positions + p;
-                if !map.is_sensitive(idx) {
-                    continue;
-                }
-                exact += 1;
-                let mut acc = self.bias.data()[kk];
-                let mut macs = 0u64;
-                for (j, &w) in frow.iter().enumerate() {
-                    let v = cd[j * positions + p];
-                    if v != 0.0 {
-                        macs += 1;
-                        acc += w * v;
-                    } else if imap.is_none() {
-                        macs += 1; // without an IMap the PE still issues it
-                    }
-                }
-                executor_macs += macs;
-                y_approx.data_mut()[idx] = acc;
-            }
-        }
+        let bd = self.bias.data();
+        let count_skipped = imap.is_none();
+        engine.execute_into(&map, y_approx.data_mut(), |idx, kernel| {
+            let (kk, p) = (idx / positions, idx % positions);
+            kernel.dot(
+                bd[kk],
+                &fd[kk * d..(kk + 1) * d],
+                Gather::Column {
+                    data: cd,
+                    stride: positions,
+                    col: p,
+                },
+                MacMode::SkipZeroInputs { count_skipped },
+            )
+        });
 
         // ReLU + §III-C correction step: predicted-effectual neurons that
         // die in ReLU flip to insensitive in the stored OMap.
@@ -204,28 +198,21 @@ impl DualConvLayer {
         }
 
         let channel_workloads: Vec<usize> = (0..k)
-            .map(|kk| {
-                (0..positions)
-                    .filter(|&p| map.is_sensitive(kk * positions + p))
-                    .count()
-            })
+            .map(|kk| map.sensitive_count_in(kk * positions, (kk + 1) * positions))
             .collect();
 
         let kcfg = self.approx.config().reduced_dim;
-        let report = SavingsReport {
+        let report = engine.finish(EngineCosts {
             dense_macs: (k * positions * d) as u64,
-            executor_macs,
+            dense_weight_bytes: (k * d * 2) as u64,
             speculator_macs: (k * kcfg * positions) as u64,
             speculator_adds: (self.approx.projection().additions_per_projection() * positions)
                 as u64,
-            dense_weight_bytes: (k * d * 2) as u64,
+            speculator_weight_bytes: self.approx.weight_bytes() as u64,
             // CONV weights are reused across positions; a compute-bound
             // layer always loads the full (small) filter bank once.
-            executor_weight_bytes: (k * d * 2) as u64,
-            speculator_weight_bytes: self.approx.weight_bytes() as u64,
-            outputs_total: (k * positions) as u64,
-            outputs_exact: exact,
-        };
+            executor_weight_bytes: ExecutorWeightBytes::Fixed((k * d * 2) as u64),
+        });
 
         DualConvOutput {
             output: output.reshaped(&[k, oh, ow]),

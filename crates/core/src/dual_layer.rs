@@ -5,6 +5,7 @@
 
 use crate::approx::{ApproxConfig, ApproxLinear};
 use crate::distill;
+use crate::engine::{EngineCosts, ExecutorWeightBytes, Gather, MacMode, SpeculationEngine};
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
 use duet_nn::Activation;
@@ -140,64 +141,41 @@ impl DualModuleLayer {
     pub fn forward(&self, x: &Tensor, policy: &SwitchingPolicy) -> DualOutput {
         let (n, d) = (self.output_dim(), self.input_dim());
         assert_eq!(x.len(), d, "input length mismatch");
-        let _fwd = duet_obs::span("core.dual.forward");
-        duet_obs::counter!("core.dual.forward_calls").inc();
+        let mut engine = SpeculationEngine::new();
 
         // 1. Speculator: approximate module.
         let y_approx = self.approx.forward(x);
 
         // 2. Switching map.
-        let map = policy.map(&y_approx);
+        let map = engine.speculate(policy, &y_approx);
 
-        // 3. Executor: accurate rows for sensitive neurons only. Zero
-        // weights (from a pruned accurate module, §VI) are statically
-        // removed from the MAC-instruction LUT, so they cost neither a
-        // MAC nor a weight fetch — dual-module processing composes with
-        // static compression for free.
-        let mut pre = y_approx.clone();
+        // 3. Executor + Eq. (2) mix: accurate rows for sensitive neurons
+        // overwrite the approximate buffer in place. Zero weights (from a
+        // pruned accurate module, §VI) are statically removed from the
+        // MAC-instruction LUT, so they cost neither a MAC nor a weight
+        // fetch — dual-module processing composes with static compression
+        // for free.
+        let mut pre = y_approx;
         let xd = x.data();
         let wd = self.weight.data();
-        let mut exact = 0u64;
-        let mut executor_macs = 0u64;
-        let mut weight_words = 0u64;
-        for i in map.sensitive_indices() {
+        let bd = self.bias.data();
+        engine.execute_into(&map, pre.data_mut(), |i, kernel| {
             let row = &wd[i * d..(i + 1) * d];
-            let mut acc = self.bias.data()[i];
-            for (&w, &v) in row.iter().zip(xd) {
-                if w != 0.0 {
-                    acc += w * v;
-                    executor_macs += 1;
-                    weight_words += 1;
-                }
-            }
-            pre.data_mut()[i] = acc;
-            exact += 1;
-        }
+            kernel.dot(bd[i], row, Gather::Dense(xd), MacMode::SkipZeroWeights)
+        });
 
         // 4. Activation on the mixed pre-activations.
         let output = self.activation.apply(&pre);
 
         let k = self.approx.config().reduced_dim;
-        let report = SavingsReport {
+        let report = engine.finish(EngineCosts {
             dense_macs: (n * d) as u64,
-            executor_macs,
+            dense_weight_bytes: (n * d * 2) as u64, // INT16 weights
             speculator_macs: (n * k) as u64,
             speculator_adds: self.approx.projection().additions_per_projection() as u64,
-            dense_weight_bytes: (n * d * 2) as u64, // INT16 weights
-            executor_weight_bytes: weight_words * 2,
             speculator_weight_bytes: self.approx.weight_bytes() as u64,
-            outputs_total: n as u64,
-            outputs_exact: exact,
-        };
-
-        duet_obs::counter!("core.dual.outputs_total").add(report.outputs_total);
-        duet_obs::counter!("core.dual.outputs_exact").add(report.outputs_exact);
-        duet_obs::counter!("core.dual.executor_macs").add(report.executor_macs);
-        duet_obs::counter!("core.dual.speculator_macs").add(report.speculator_macs);
-        // switch rate in basis points (0..=10000): share of outputs that
-        // kept the Speculator's approximate value
-        duet_obs::histogram!("core.dual.switch_rate_bp")
-            .record((report.approximate_fraction() * 10_000.0) as u64);
+            executor_weight_bytes: ExecutorWeightBytes::CountedWords,
+        });
 
         DualOutput {
             output,

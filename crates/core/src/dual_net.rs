@@ -139,7 +139,9 @@ fn pool_with_map(
     assert!(h >= win && w >= win, "input smaller than pool window");
     let (oh, ow) = (h / win, w / win);
     let mut out = Tensor::zeros(&[c, oh, ow]);
-    let mut out_flags = map.map(|_| vec![false; c * oh * ow]);
+    // pooled positions are visited in flat index order, so the packed map
+    // is built bit by bit with no intermediate flag buffer
+    let mut out_map = map.map(|_| SwitchingMap::empty());
     for ci in 0..c {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -156,13 +158,13 @@ fn pool_with_map(
                     }
                 }
                 out.set(&[ci, oy, ox], best);
-                if let Some(flags) = out_flags.as_mut() {
-                    flags[(ci * oh + oy) * ow + ox] = any;
+                if let Some(om) = out_map.as_mut() {
+                    om.push(any);
                 }
             }
         }
     }
-    (out, out_flags.map(SwitchingMap::from_flags))
+    (out, out_map)
 }
 
 #[cfg(test)]

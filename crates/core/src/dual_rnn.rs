@@ -11,6 +11,7 @@
 
 use crate::approx::{ApproxConfig, ApproxLinear};
 use crate::distill;
+use crate::engine::{EngineCosts, ExecutorWeightBytes, Gather, MacMode, SpeculationEngine};
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
 use duet_nn::lstm::LstmState;
@@ -156,6 +157,7 @@ impl DualLstmCell {
         let h = self.hidden;
         let d = self.input;
 
+        let mut engine = SpeculationEngine::new();
         let mut a = self.approx_preactivations(x, &state.h);
 
         // Gate policies in i, f, g, o order.
@@ -166,25 +168,31 @@ impl DualLstmCell {
             SwitchingPolicy::sigmoid(thresholds.theta_sigmoid),
         ];
 
+        let xd = x.data();
+        let hd = state.h.data();
         let mut gate_maps = Vec::with_capacity(4);
-        let mut exact = 0u64;
         for (gi, policy) in policies.iter().enumerate() {
             let slice = Tensor::from_vec(a.data()[gi * h..(gi + 1) * h].to_vec(), &[h]);
-            let map = policy.map(&slice);
-            for r in map.sensitive_indices() {
-                let row = gi * h + r;
-                let wrow_ih = &self.w_ih.data()[row * d..(row + 1) * d];
-                let wrow_hh = &self.w_hh.data()[row * h..(row + 1) * h];
-                let mut acc = self.bias.data()[row];
-                for (&w, &v) in wrow_ih.iter().zip(x.data()) {
-                    acc += w * v;
-                }
-                for (&w, &v) in wrow_hh.iter().zip(state.h.data()) {
-                    acc += w * v;
-                }
-                a.data_mut()[row] = acc;
-                exact += 1;
-            }
+            let map = engine.speculate(policy, &slice);
+            // The rows are dense (no static pruning in the recurrent
+            // teachers), so the §IV-B saving is whole skipped rows: a
+            // weight row is fetched only when its gate lane is sensitive.
+            engine.execute_into(
+                &map,
+                &mut a.data_mut()[gi * h..(gi + 1) * h],
+                |r, kernel| {
+                    let row = gi * h + r;
+                    let wrow_ih = &self.w_ih.data()[row * d..(row + 1) * d];
+                    let wrow_hh = &self.w_hh.data()[row * h..(row + 1) * h];
+                    let acc = kernel.dot(
+                        self.bias.data()[row],
+                        wrow_ih,
+                        Gather::Dense(xd),
+                        MacMode::Dense,
+                    );
+                    kernel.dot(acc, wrow_hh, Gather::Dense(hd), MacMode::Dense)
+                },
+            );
             gate_maps.push(map);
         }
 
@@ -194,20 +202,17 @@ impl DualLstmCell {
         let n = (4 * h) as u64;
         let k_ih = self.approx_ih.config().reduced_dim as u64;
         let k_hh = self.approx_hh.config().reduced_dim as u64;
-        let report = SavingsReport {
+        let report = engine.finish(EngineCosts {
             dense_macs: n * row_cost,
-            executor_macs: exact * row_cost,
+            dense_weight_bytes: n * row_cost * 2,
             speculator_macs: n * (k_ih + k_hh),
             speculator_adds: (self.approx_ih.projection().additions_per_projection()
                 + self.approx_hh.projection().additions_per_projection())
                 as u64,
-            dense_weight_bytes: n * row_cost * 2,
-            executor_weight_bytes: exact * row_cost * 2,
             speculator_weight_bytes: (self.approx_ih.weight_bytes() + self.approx_hh.weight_bytes())
                 as u64,
-            outputs_total: n,
-            outputs_exact: exact,
-        };
+            executor_weight_bytes: ExecutorWeightBytes::CountedWords,
+        });
 
         DualRnnStepOutput {
             h: next.h,
@@ -315,23 +320,16 @@ impl DualGruCell {
         let h = self.hidden;
         let d = self.input;
 
+        let mut engine = SpeculationEngine::new();
         let mut ax = self.approx_ih.forward(x);
         let mut ah = self.approx_hh.forward(h_prev);
 
-        let exact_row =
-            |t: &mut Tensor, w: &Tensor, b: &Tensor, v: &Tensor, row: usize, width: usize| {
-                let wrow = &w.data()[row * width..(row + 1) * width];
-                let mut acc = b.data()[row];
-                for (&wv, &xv) in wrow.iter().zip(v.data()) {
-                    acc += wv * xv;
-                }
-                t.data_mut()[row] = acc;
-            };
-
-        let mut exact = 0u64;
         let mut gate_maps = Vec::with_capacity(3);
 
         // r and z gates: switch on the summed approximate pre-activation.
+        // A sensitive lane recomputes *both* halves of the sum exactly
+        // (one row each of W_ih and W_hh); the engine counts the lane as
+        // one exact output.
         for gi in 0..2 {
             let policy = SwitchingPolicy::sigmoid(thresholds.theta_sigmoid);
             let slice = Tensor::from_vec(
@@ -340,13 +338,25 @@ impl DualGruCell {
                     .collect(),
                 &[h],
             );
-            let map = policy.map(&slice);
-            for rr in map.sensitive_indices() {
+            let map = engine.speculate(&policy, &slice);
+            let (axd, ahd) = (ax.data_mut(), ah.data_mut());
+            engine.execute(&map, |rr, kernel| {
                 let row = gi * h + rr;
-                exact_row(&mut ax, &self.w_ih, &self.b_ih, x, row, d);
-                exact_row(&mut ah, &self.w_hh, &self.b_hh, h_prev, row, h);
-                exact += 1;
-            }
+                let wrow_ih = &self.w_ih.data()[row * d..(row + 1) * d];
+                let wrow_hh = &self.w_hh.data()[row * h..(row + 1) * h];
+                axd[row] = kernel.dot(
+                    self.b_ih.data()[row],
+                    wrow_ih,
+                    Gather::Dense(x.data()),
+                    MacMode::Dense,
+                );
+                ahd[row] = kernel.dot(
+                    self.b_hh.data()[row],
+                    wrow_hh,
+                    Gather::Dense(h_prev.data()),
+                    MacMode::Dense,
+                );
+            });
             gate_maps.push(map);
         }
 
@@ -364,13 +374,25 @@ impl DualGruCell {
                 .collect(),
             &[h],
         );
-        let n_map = SwitchingPolicy::tanh(thresholds.theta_tanh).map(&n_pre_approx);
-        for rr in n_map.sensitive_indices() {
+        let n_map = engine.speculate(&SwitchingPolicy::tanh(thresholds.theta_tanh), &n_pre_approx);
+        let (axd, ahd) = (ax.data_mut(), ah.data_mut());
+        engine.execute(&n_map, |rr, kernel| {
             let row = 2 * h + rr;
-            exact_row(&mut ax, &self.w_ih, &self.b_ih, x, row, d);
-            exact_row(&mut ah, &self.w_hh, &self.b_hh, h_prev, row, h);
-            exact += 1;
-        }
+            let wrow_ih = &self.w_ih.data()[row * d..(row + 1) * d];
+            let wrow_hh = &self.w_hh.data()[row * h..(row + 1) * h];
+            axd[row] = kernel.dot(
+                self.b_ih.data()[row],
+                wrow_ih,
+                Gather::Dense(x.data()),
+                MacMode::Dense,
+            );
+            ahd[row] = kernel.dot(
+                self.b_hh.data()[row],
+                wrow_hh,
+                Gather::Dense(h_prev.data()),
+                MacMode::Dense,
+            );
+        });
         gate_maps.push(n_map);
 
         let h_new = self.combine(&ax, &ah, h_prev);
@@ -379,20 +401,17 @@ impl DualGruCell {
         let n_out = (3 * h) as u64;
         let k_ih = self.approx_ih.config().reduced_dim as u64;
         let k_hh = self.approx_hh.config().reduced_dim as u64;
-        let report = SavingsReport {
+        let report = engine.finish(EngineCosts {
             dense_macs: n_out * row_cost,
-            executor_macs: exact * row_cost,
+            dense_weight_bytes: n_out * row_cost * 2,
             speculator_macs: n_out * (k_ih + k_hh),
             speculator_adds: (self.approx_ih.projection().additions_per_projection()
                 + self.approx_hh.projection().additions_per_projection())
                 as u64,
-            dense_weight_bytes: n_out * row_cost * 2,
-            executor_weight_bytes: exact * row_cost * 2,
             speculator_weight_bytes: (self.approx_ih.weight_bytes() + self.approx_hh.weight_bytes())
                 as u64,
-            outputs_total: n_out,
-            outputs_exact: exact,
-        };
+            executor_weight_bytes: ExecutorWeightBytes::CountedWords,
+        });
 
         DualRnnStepOutput {
             h: h_new,

@@ -1,0 +1,385 @@
+//! The shared speculation engine behind every dual-module variant.
+//!
+//! All four execution variants — FF ([`crate::DualModuleLayer`]), CONV
+//! ([`crate::DualConvLayer`]), LSTM and GRU ([`crate::DualLstmCell`],
+//! [`crate::DualGruCell`]) — implement the same §II pattern: run the
+//! approximate module, derive a switching map (Eq. 3), recompute the
+//! sensitive outputs exactly with a row-sparse kernel, and keep the
+//! approximate value everywhere else (Eq. 2). [`SpeculationEngine`] owns
+//! that pattern once: the map construction, the single sparse-execute
+//! loop, the in-place mix into the approximate buffer, the op/byte
+//! accounting behind [`SavingsReport`], and the duet-obs counters — so a
+//! variant is only the layer-specific row arithmetic it hands to
+//! [`SpeculationEngine::execute_into`].
+//!
+//! An engine lives for one layer invocation (one `forward` / `step`): it
+//! opens the `core.dual.forward` span on creation, accumulates counts
+//! across any number of `speculate`/`execute` rounds (an RNN step runs
+//! one per gate), and emits every metric exactly once in
+//! [`SpeculationEngine::finish`].
+
+use crate::metrics::SavingsReport;
+use crate::switching::{SwitchingMap, SwitchingPolicy};
+use duet_tensor::Tensor;
+
+/// How the accurate row kernel gathers its input operand.
+#[derive(Debug, Clone, Copy)]
+pub enum Gather<'a> {
+    /// Contiguous input vector: element `j` is `x[j]` (FF rows, RNN
+    /// rows).
+    Dense(&'a [f32]),
+    /// One column of a row-major `[d, stride]` patch matrix: element `j`
+    /// is `data[j * stride + col]` (im2col CONV).
+    Column {
+        /// The patch matrix data.
+        data: &'a [f32],
+        /// Row stride (number of output positions).
+        stride: usize,
+        /// Column (output position) to gather.
+        col: usize,
+    },
+}
+
+/// MAC-issue semantics of one row: what is computed, skipped, and
+/// counted. Each variant mirrors a hardware behaviour from the paper.
+#[derive(Debug, Clone, Copy)]
+pub enum MacMode {
+    /// Skip zero *weights*: a pruned accurate module's zeros are
+    /// statically removed from the MAC-instruction LUT, costing neither a
+    /// MAC nor a weight fetch (§VI).
+    SkipZeroWeights,
+    /// Dense row: every element is computed and counted (RNN gates — the
+    /// rows are dense and the saving is whole rows, §IV-B).
+    Dense,
+    /// Skip zero *inputs* in the arithmetic (exact, since the skipped
+    /// products are zero). `count_skipped` controls whether skipped MACs
+    /// still occupy issue slots: without an IMap the PE issues them
+    /// anyway (Fig. 6 tag bits are only configured when a map exists).
+    SkipZeroInputs {
+        /// Count skipped MACs as issued (no IMap present).
+        count_skipped: bool,
+    },
+}
+
+/// The row-sparse accurate kernel — the one place a sensitive output's
+/// dot product is computed. Counts MACs and touched weight words as it
+/// goes.
+#[derive(Debug)]
+pub struct RowKernel {
+    macs: u64,
+    weight_words: u64,
+}
+
+impl RowKernel {
+    /// Accumulates `init + Σ weights[j] · gather(j)` under `mode`.
+    ///
+    /// The accumulation order is exactly the element order of `weights` —
+    /// every variant's historical per-row order — so results are bitwise
+    /// stable across the refactor.
+    pub fn dot(&mut self, init: f32, weights: &[f32], x: Gather<'_>, mode: MacMode) -> f32 {
+        let mut acc = init;
+        match (x, mode) {
+            (Gather::Dense(xd), MacMode::SkipZeroWeights) => {
+                for (&w, &v) in weights.iter().zip(xd) {
+                    if w != 0.0 {
+                        acc += w * v;
+                        self.macs += 1;
+                        self.weight_words += 1;
+                    }
+                }
+            }
+            (Gather::Dense(xd), MacMode::Dense) => {
+                for (&w, &v) in weights.iter().zip(xd) {
+                    acc += w * v;
+                }
+                self.macs += weights.len() as u64;
+                self.weight_words += weights.len() as u64;
+            }
+            (Gather::Column { data, stride, col }, MacMode::SkipZeroInputs { count_skipped }) => {
+                for (j, &w) in weights.iter().enumerate() {
+                    let v = data[j * stride + col];
+                    if v != 0.0 {
+                        acc += w * v;
+                        self.macs += 1;
+                    } else if count_skipped {
+                        self.macs += 1;
+                    }
+                }
+            }
+            // The remaining combinations are well-defined but unused;
+            // handle them generically so the kernel stays total.
+            (Gather::Column { data, stride, col }, MacMode::Dense) => {
+                for (j, &w) in weights.iter().enumerate() {
+                    acc += w * data[j * stride + col];
+                }
+                self.macs += weights.len() as u64;
+                self.weight_words += weights.len() as u64;
+            }
+            (Gather::Column { data, stride, col }, MacMode::SkipZeroWeights) => {
+                for (j, &w) in weights.iter().enumerate() {
+                    if w != 0.0 {
+                        acc += w * data[j * stride + col];
+                        self.macs += 1;
+                        self.weight_words += 1;
+                    }
+                }
+            }
+            (Gather::Dense(xd), MacMode::SkipZeroInputs { count_skipped }) => {
+                for (&w, &v) in weights.iter().zip(xd) {
+                    if v != 0.0 {
+                        acc += w * v;
+                        self.macs += 1;
+                    } else if count_skipped {
+                        self.macs += 1;
+                    }
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// How a variant's executor weight traffic is accounted.
+#[derive(Debug, Clone, Copy)]
+pub enum ExecutorWeightBytes {
+    /// Two bytes (INT16) per weight word the kernel actually touched —
+    /// the memory-bound row-fetch model of FF/RNN layers (§IV-B).
+    CountedWords,
+    /// A fixed byte count independent of the switching map — the
+    /// compute-bound CONV model, where the small filter bank is loaded
+    /// once and reused across positions.
+    Fixed(u64),
+}
+
+/// Speculator-side constants a variant reports for its approximate
+/// module(s); everything executor-side is measured by the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineCosts {
+    /// MACs a dense single-module execution would issue.
+    pub dense_macs: u64,
+    /// Weight bytes a dense execution would fetch.
+    pub dense_weight_bytes: u64,
+    /// Approximate-module MACs (INT4 over the projected input).
+    pub speculator_macs: u64,
+    /// Additions of the ternary projection.
+    pub speculator_adds: u64,
+    /// Approximate-module weight bytes.
+    pub speculator_weight_bytes: u64,
+    /// Executor weight-byte accounting mode.
+    pub executor_weight_bytes: ExecutorWeightBytes,
+}
+
+/// One dual-module layer invocation: speculate → execute sparsely → mix →
+/// account. See the module docs for the lifecycle.
+#[derive(Debug)]
+pub struct SpeculationEngine {
+    outputs_total: u64,
+    outputs_exact: u64,
+    kernel: RowKernel,
+    map_packed_bytes: u64,
+    _span: duet_obs::Span,
+}
+
+impl Default for SpeculationEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpeculationEngine {
+    /// Opens the engine (and its `core.dual.forward` span) for one layer
+    /// invocation.
+    pub fn new() -> Self {
+        Self {
+            outputs_total: 0,
+            outputs_exact: 0,
+            kernel: RowKernel {
+                macs: 0,
+                weight_words: 0,
+            },
+            map_packed_bytes: 0,
+            _span: duet_obs::span("core.dual.forward"),
+        }
+    }
+
+    /// Builds the switching map for a vector of approximate
+    /// pre-activations (Eq. 3) and accounts for its outputs and packed
+    /// GLB footprint.
+    pub fn speculate(&mut self, policy: &SwitchingPolicy, y_approx: &Tensor) -> SwitchingMap {
+        let map = policy.map(y_approx);
+        self.account_map(&map);
+        map
+    }
+
+    /// Accounts for an externally built switching map (e.g. the GRU
+    /// candidate gate, whose pre-activation mixes two approximate
+    /// streams before thresholding).
+    pub fn account_map(&mut self, map: &SwitchingMap) {
+        self.outputs_total += map.len() as u64;
+        self.map_packed_bytes += map.len().div_ceil(8) as u64;
+        duet_obs::histogram!("core.dual.map.insensitive_bp")
+            .record((map.insensitive_fraction() * 10_000.0) as u64);
+    }
+
+    /// The sparse-execute loop: runs `row` once per sensitive index, in
+    /// ascending order, counting one exact output each. `row` receives
+    /// the index and the shared [`RowKernel`].
+    pub fn execute(&mut self, map: &SwitchingMap, mut row: impl FnMut(usize, &mut RowKernel)) {
+        for i in map.sensitive_indices() {
+            row(i, &mut self.kernel);
+            self.outputs_exact += 1;
+        }
+    }
+
+    /// [`SpeculationEngine::execute`] fused with the Eq. (2) mix:
+    /// `out` holds the approximate values on entry; each sensitive index
+    /// is overwritten with the exact value `row` returns, leaving
+    /// insensitive outputs approximate.
+    pub fn execute_into(
+        &mut self,
+        map: &SwitchingMap,
+        out: &mut [f32],
+        mut row: impl FnMut(usize, &mut RowKernel) -> f32,
+    ) {
+        assert_eq!(out.len(), map.len(), "mix buffer length mismatch");
+        self.execute(map, |i, k| out[i] = row(i, k));
+    }
+
+    /// Closes the invocation: assembles the [`SavingsReport`] and emits
+    /// the consolidated duet-obs metrics (the single call site for all
+    /// `core.dual.*` counters).
+    pub fn finish(self, costs: EngineCosts) -> SavingsReport {
+        let report = SavingsReport {
+            dense_macs: costs.dense_macs,
+            executor_macs: self.kernel.macs,
+            speculator_macs: costs.speculator_macs,
+            speculator_adds: costs.speculator_adds,
+            dense_weight_bytes: costs.dense_weight_bytes,
+            executor_weight_bytes: match costs.executor_weight_bytes {
+                ExecutorWeightBytes::CountedWords => self.kernel.weight_words * 2,
+                ExecutorWeightBytes::Fixed(bytes) => bytes,
+            },
+            speculator_weight_bytes: costs.speculator_weight_bytes,
+            outputs_total: self.outputs_total,
+            outputs_exact: self.outputs_exact,
+        };
+
+        duet_obs::counter!("core.dual.forward_calls").inc();
+        duet_obs::counter!("core.dual.outputs_total").add(report.outputs_total);
+        duet_obs::counter!("core.dual.outputs_exact").add(report.outputs_exact);
+        duet_obs::counter!("core.dual.executor_macs").add(report.executor_macs);
+        duet_obs::counter!("core.dual.speculator_macs").add(report.speculator_macs);
+        duet_obs::counter!("core.dual.map.packed_bytes").add(self.map_packed_bytes);
+        // switch rate in basis points (0..=10000): share of outputs that
+        // kept the Speculator's approximate value
+        duet_obs::histogram!("core.dual.switch_rate_bp")
+            .record((report.approximate_fraction() * 10_000.0) as u64);
+
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_counts_follow_mode() {
+        let mut k = RowKernel {
+            macs: 0,
+            weight_words: 0,
+        };
+        let w = [1.0f32, 0.0, 2.0, 0.0];
+        let x = [1.0f32, 1.0, 1.0, 1.0];
+        let y = k.dot(0.5, &w, Gather::Dense(&x), MacMode::SkipZeroWeights);
+        assert_eq!(y, 3.5);
+        assert_eq!((k.macs, k.weight_words), (2, 2));
+
+        let y = k.dot(0.0, &w, Gather::Dense(&x), MacMode::Dense);
+        assert_eq!(y, 3.0);
+        assert_eq!((k.macs, k.weight_words), (6, 6));
+    }
+
+    #[test]
+    fn column_gather_strides() {
+        let mut k = RowKernel {
+            macs: 0,
+            weight_words: 0,
+        };
+        // 2×3 patch matrix, column 1 is [20, 0]
+        let data = [10.0f32, 20.0, 30.0, 40.0, 0.0, 60.0];
+        let w = [1.0f32, 1.0];
+        let g = Gather::Column {
+            data: &data,
+            stride: 3,
+            col: 1,
+        };
+        let y = k.dot(
+            0.0,
+            &w,
+            g,
+            MacMode::SkipZeroInputs {
+                count_skipped: true,
+            },
+        );
+        assert_eq!(y, 20.0);
+        assert_eq!(k.macs, 2, "skipped MAC still issued without an IMap");
+        let y = k.dot(
+            0.0,
+            &w,
+            g,
+            MacMode::SkipZeroInputs {
+                count_skipped: false,
+            },
+        );
+        assert_eq!(y, 20.0);
+        assert_eq!(k.macs, 3, "with an IMap the zero input costs nothing");
+    }
+
+    #[test]
+    fn engine_executes_only_sensitive_rows_and_mixes() {
+        let mut e = SpeculationEngine::new();
+        let approx = Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[4]);
+        // relu(0): negative pre-activations are insensitive
+        let map = e.speculate(&SwitchingPolicy::relu(0.0), &approx);
+        let mut buf = approx.data().to_vec();
+        e.execute_into(&map, &mut buf, |i, _| 100.0 + i as f32);
+        assert_eq!(buf, vec![-1.0, 101.0, -3.0, 103.0]);
+        let report = e.finish(EngineCosts {
+            dense_macs: 8,
+            dense_weight_bytes: 16,
+            speculator_macs: 4,
+            speculator_adds: 2,
+            speculator_weight_bytes: 4,
+            executor_weight_bytes: ExecutorWeightBytes::CountedWords,
+        });
+        assert_eq!(report.outputs_total, 4);
+        assert_eq!(report.outputs_exact, 2);
+        assert_eq!(report.executor_weight_bytes, 0, "no dot() ⇒ no words");
+    }
+
+    #[test]
+    fn fixed_weight_bytes_override_counted_words() {
+        let mut e = SpeculationEngine::new();
+        let map = e.speculate(
+            &SwitchingPolicy::never_switch(),
+            &Tensor::from_vec(vec![1.0, 2.0], &[2]),
+        );
+        let w = [1.0f32; 3];
+        let x = [1.0f32; 3];
+        e.execute(&map, |_, k| {
+            k.dot(0.0, &w, Gather::Dense(&x), MacMode::Dense);
+        });
+        let report = e.finish(EngineCosts {
+            dense_macs: 6,
+            dense_weight_bytes: 12,
+            speculator_macs: 2,
+            speculator_adds: 1,
+            speculator_weight_bytes: 2,
+            executor_weight_bytes: ExecutorWeightBytes::Fixed(12),
+        });
+        assert_eq!(report.executor_macs, 6);
+        assert_eq!(report.executor_weight_bytes, 12);
+        assert_eq!(report.outputs_exact, 2);
+    }
+}

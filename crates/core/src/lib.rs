@@ -55,6 +55,7 @@ pub mod dual_conv;
 pub mod dual_layer;
 pub mod dual_net;
 pub mod dual_rnn;
+pub mod engine;
 pub mod metrics;
 pub mod projection;
 pub mod switching;
@@ -64,6 +65,7 @@ pub use approx::{ApproxConfig, ApproxLinear};
 pub use dual_conv::{DualConvLayer, DualConvOutput};
 pub use dual_layer::{DualModuleLayer, DualOutput};
 pub use dual_rnn::{DualGruCell, DualLstmCell};
+pub use engine::SpeculationEngine;
 pub use metrics::SavingsReport;
 pub use projection::TernaryProjection;
 pub use switching::{SwitchingMap, SwitchingPolicy};

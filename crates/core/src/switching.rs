@@ -8,6 +8,12 @@
 //! * ReLU: `y'_i < θ  ⇒  m_i = 0` (deep negative pre-activations die in
 //!   ReLU anyway),
 //! * sigmoid / tanh: `|y'_i| > θ  ⇒  m_i = 0` (saturation regions).
+//!
+//! The map is stored bit-packed in `u64` words — the same one-bit-per-
+//! neuron artifact the hardware keeps in the GLB. Bit `i` lives in word
+//! `i / 64` at position `i % 64`; serialized little-endian this is
+//! exactly the byte layout of [`SwitchingMap::packed_bytes`] (bit `i` in
+//! byte `i / 8` at position `i % 8`).
 
 use duet_nn::Activation;
 use duet_tensor::Tensor;
@@ -65,45 +71,79 @@ impl SwitchingPolicy {
     /// Generates the switching map for a vector of approximate
     /// pre-activations.
     pub fn map(&self, y_approx: &Tensor) -> SwitchingMap {
-        SwitchingMap {
-            sensitive: y_approx
-                .data()
-                .iter()
-                .map(|&y| self.is_sensitive(y))
-                .collect(),
-        }
+        y_approx
+            .data()
+            .iter()
+            .map(|&y| self.is_sensitive(y))
+            .collect()
     }
 }
 
-/// A binary switching map: `sensitive[i] == true` means neuron *i* needs
-/// the Executor (the paper's `m_i = 1`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A binary switching map: bit `i` set means neuron *i* needs the
+/// Executor (the paper's `m_i = 1`).
+///
+/// Storage is bit-packed `u64` words. Invariant: bits at positions
+/// `>= len` in the last word are always zero, so derived equality and
+/// word-level popcounts are exact.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SwitchingMap {
-    sensitive: Vec<bool>,
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// Mask selecting the live bits of the last word of an `n`-bit map.
+#[inline]
+fn tail_mask(n: usize) -> u64 {
+    match n % 64 {
+        0 => u64::MAX,
+        r => (1u64 << r) - 1,
+    }
 }
 
 impl SwitchingMap {
+    /// An empty map (zero neurons) — the seed for bit-wise builders.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
     /// Builds a map from explicit flags.
     pub fn from_flags(sensitive: Vec<bool>) -> Self {
-        Self { sensitive }
+        sensitive.into_iter().collect()
     }
 
     /// An all-sensitive map of length `n` (dense execution).
     pub fn all_sensitive(n: usize) -> Self {
+        let mut words = vec![u64::MAX; n.div_ceil(64)];
+        if let Some(last) = words.last_mut() {
+            *last &= tail_mask(n);
+        }
+        Self { words, len: n }
+    }
+
+    /// An all-insensitive map of length `n` (nothing to execute) — e.g.
+    /// the identity for [`SwitchingMap::union_in_place`].
+    pub fn all_insensitive(n: usize) -> Self {
         Self {
-            sensitive: vec![true; n],
+            words: vec![0u64; n.div_ceil(64)],
+            len: n,
         }
     }
 
     /// Number of neurons covered.
     pub fn len(&self) -> usize {
-        self.sensitive.len()
+        self.len
     }
 
     /// Whether the map is empty.
     pub fn is_empty(&self) -> bool {
-        self.sensitive.is_empty()
+        self.len == 0
+    }
+
+    /// The packed words backing the map (bit `i` of the map is bit
+    /// `i % 64` of word `i / 64`; tail bits past `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Whether neuron `i` is sensitive.
@@ -112,34 +152,91 @@ impl SwitchingMap {
     ///
     /// Panics if `i` is out of range.
     pub fn is_sensitive(&self, i: usize) -> bool {
-        self.sensitive[i]
+        assert!(
+            i < self.len,
+            "index {i} out of range for map of {}",
+            self.len
+        );
+        self.words[i / 64] >> (i % 64) & 1 == 1
     }
 
-    /// The raw flags.
-    pub fn flags(&self) -> &[bool] {
-        &self.sensitive
+    /// Appends one neuron's flag.
+    pub fn push(&mut self, sensitive: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if sensitive {
+            *self.words.last_mut().expect("word just ensured") |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
     }
 
-    /// Count of sensitive neurons (Executor workload).
+    /// Appends another map's flags (bit-level concatenation; `other` need
+    /// not be word-aligned).
+    pub fn extend_from_map(&mut self, other: &SwitchingMap) {
+        if self.len.is_multiple_of(64) {
+            // word-aligned fast path: tail bits of `other` are already zero
+            self.words.extend_from_slice(&other.words);
+            self.len += other.len;
+            self.words.truncate(self.len.div_ceil(64));
+        } else {
+            self.extend(other.iter());
+        }
+    }
+
+    /// Iterator over the per-neuron flags.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| self.words[i / 64] >> (i % 64) & 1 == 1)
+    }
+
+    /// Count of sensitive neurons (Executor workload) — a popcount over
+    /// the packed words.
     pub fn sensitive_count(&self) -> usize {
-        self.sensitive.iter().filter(|&&s| s).count()
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Count of sensitive neurons in `start..end` — e.g. one channel's
+    /// workload within a channel-major CONV map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    pub fn sensitive_count_in(&self, start: usize, end: usize) -> usize {
+        assert!(start <= end && end <= self.len, "range out of bounds");
+        if start == end {
+            return 0;
+        }
+        let (wa, wb) = (start / 64, (end - 1) / 64);
+        let lo = u64::MAX << (start % 64);
+        let hi = tail_mask(end);
+        if wa == wb {
+            return (self.words[wa] & lo & hi).count_ones() as usize;
+        }
+        let mut n = (self.words[wa] & lo).count_ones() as usize;
+        for w in &self.words[wa + 1..wb] {
+            n += w.count_ones() as usize;
+        }
+        n + (self.words[wb] & hi).count_ones() as usize
     }
 
     /// Fraction of insensitive neurons — the computation-saving
     /// opportunity.
     pub fn insensitive_fraction(&self) -> f64 {
-        if self.sensitive.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        1.0 - self.sensitive_count() as f64 / self.len() as f64
+        1.0 - self.sensitive_count() as f64 / self.len as f64
     }
 
-    /// Iterator over sensitive indices.
+    /// Iterator over sensitive indices, in ascending order.
     pub fn sensitive_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        self.sensitive
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &s)| s.then_some(i))
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            std::iter::successors((w != 0).then_some(w), |&rest| {
+                let next = rest & (rest - 1); // clear lowest set bit
+                (next != 0).then_some(next)
+            })
+            .map(move |bits| wi * 64 + bits.trailing_zeros() as usize)
+        })
     }
 
     /// Marks a neuron insensitive — the §III-C correction step: "if a
@@ -150,7 +247,25 @@ impl SwitchingMap {
     ///
     /// Panics if `i` is out of range.
     pub fn correct_to_insensitive(&mut self, i: usize) {
-        self.sensitive[i] = false;
+        assert!(
+            i < self.len,
+            "index {i} out of range for map of {}",
+            self.len
+        );
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// ORs another map into this one — the touched-row union of a
+    /// weight-stationary batch schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree.
+    pub fn union_in_place(&mut self, other: &SwitchingMap) {
+        assert_eq!(self.len, other.len, "union length mismatch");
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
     }
 
     /// Mixes accurate and approximate pre-activations per Eq. (2):
@@ -162,38 +277,74 @@ impl SwitchingMap {
     pub fn mix(&self, accurate: &Tensor, approximate: &Tensor) -> Tensor {
         assert_eq!(accurate.len(), self.len(), "accurate length mismatch");
         assert_eq!(approximate.len(), self.len(), "approximate length mismatch");
-        Tensor::from_vec(
-            self.sensitive
-                .iter()
-                .zip(accurate.data().iter().zip(approximate.data()))
-                .map(|(&s, (&a, &ap))| if s { a } else { ap })
-                .collect(),
-            accurate.shape().dims(),
-        )
-    }
-
-    /// Packs the map into bits (one bit per neuron, little-endian within a
-    /// byte) — the format stored in the GLB; used for memory-traffic
-    /// accounting.
-    pub fn packed_bytes(&self) -> Vec<u8> {
-        let mut out = vec![0u8; self.len().div_ceil(8)];
-        for (i, &s) in self.sensitive.iter().enumerate() {
-            if s {
-                out[i / 8] |= 1 << (i % 8);
+        let mut out = approximate.clone();
+        let od = out.data_mut();
+        let ad = accurate.data();
+        for (wi, &w) in self.words.iter().enumerate() {
+            let base = wi * 64;
+            let span = 64.min(self.len - base);
+            let full = if span == 64 {
+                u64::MAX
+            } else {
+                (1u64 << span) - 1
+            };
+            if w == full {
+                // fully sensitive word: copy the accurate chunk wholesale
+                od[base..base + span].copy_from_slice(&ad[base..base + span]);
+            } else if w != 0 {
+                let mut bits = w;
+                while bits != 0 {
+                    let i = base + bits.trailing_zeros() as usize;
+                    od[i] = ad[i];
+                    bits &= bits - 1;
+                }
             }
         }
         out
     }
 
-    /// Unpacks a map of known length from packed bits.
+    /// Packs the map into bits (one bit per neuron, little-endian within a
+    /// byte) — the format stored in the GLB and the canonical on-disk
+    /// codec of `duet-sim`'s trace blobs.
+    pub fn packed_bytes(&self) -> Vec<u8> {
+        self.words
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .take(self.len.div_ceil(8))
+            .collect()
+    }
+
+    /// Unpacks a map of known length from packed bits. Slack bits past
+    /// `len` in the buffer are ignored.
     ///
     /// # Panics
     ///
     /// Panics if `bytes` is too short for `len`.
     pub fn from_packed(bytes: &[u8], len: usize) -> Self {
         assert!(bytes.len() * 8 >= len, "packed buffer too short");
-        Self {
-            sensitive: (0..len).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect(),
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for (i, &b) in bytes.iter().take(len.div_ceil(8)).enumerate() {
+            words[i / 8] |= (b as u64) << (8 * (i % 8));
+        }
+        if let Some(last) = words.last_mut() {
+            *last &= tail_mask(len);
+        }
+        Self { words, len }
+    }
+}
+
+impl FromIterator<bool> for SwitchingMap {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut m = SwitchingMap::empty();
+        m.extend(iter);
+        m
+    }
+}
+
+impl Extend<bool> for SwitchingMap {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for s in iter {
+            self.push(s);
         }
     }
 }
@@ -202,12 +353,16 @@ impl SwitchingMap {
 mod tests {
     use super::*;
 
+    fn flags_of(m: &SwitchingMap) -> Vec<bool> {
+        m.iter().collect()
+    }
+
     #[test]
     fn relu_rule_matches_eq3() {
         let p = SwitchingPolicy::relu(0.0);
         let y = Tensor::from_vec(vec![-1.0, -0.01, 0.0, 0.5], &[4]);
         let m = p.map(&y);
-        assert_eq!(m.flags(), &[false, false, true, true]);
+        assert_eq!(flags_of(&m), &[false, false, true, true]);
     }
 
     #[test]
@@ -215,7 +370,7 @@ mod tests {
         let p = SwitchingPolicy::sigmoid(3.0);
         let y = Tensor::from_vec(vec![-5.0, -1.0, 0.0, 2.9, 3.1], &[5]);
         let m = p.map(&y);
-        assert_eq!(m.flags(), &[false, true, true, true, false]);
+        assert_eq!(flags_of(&m), &[false, true, true, true, false]);
     }
 
     #[test]
@@ -234,6 +389,23 @@ mod tests {
     }
 
     #[test]
+    fn mix_handles_multi_word_maps() {
+        // spans three words with a fully-sensitive middle word
+        let n = 150;
+        let flags: Vec<bool> = (0..n)
+            .map(|i| (64..128).contains(&i) || i % 7 == 0)
+            .collect();
+        let m = SwitchingMap::from_flags(flags.clone());
+        let acc = Tensor::from_fn(&[n], |i| i as f32);
+        let app = Tensor::from_fn(&[n], |i| -(i as f32) - 1.0);
+        let mixed = m.mix(&acc, &app);
+        for (i, &f) in flags.iter().enumerate() {
+            let want = if f { acc.data()[i] } else { app.data()[i] };
+            assert_eq!(mixed.data()[i], want, "index {i}");
+        }
+    }
+
+    #[test]
     fn counting_and_fraction() {
         let m = SwitchingMap::from_flags(vec![true, false, false, false]);
         assert_eq!(m.sensitive_count(), 1);
@@ -242,10 +414,62 @@ mod tests {
     }
 
     #[test]
+    fn sensitive_indices_cross_word_boundaries() {
+        let flags: Vec<bool> = (0..200).map(|i| i % 63 == 0).collect();
+        let m = SwitchingMap::from_flags(flags.clone());
+        let want: Vec<usize> = (0..200).filter(|i| i % 63 == 0).collect();
+        assert_eq!(m.sensitive_indices().collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn count_in_range_matches_filter() {
+        let flags: Vec<bool> = (0..300).map(|i| i % 5 == 0 || i % 17 == 0).collect();
+        let m = SwitchingMap::from_flags(flags.clone());
+        for (start, end) in [
+            (0, 0),
+            (0, 300),
+            (3, 64),
+            (64, 128),
+            (60, 70),
+            (1, 299),
+            (130, 131),
+        ] {
+            let want = flags[start..end].iter().filter(|&&s| s).count();
+            assert_eq!(m.sensitive_count_in(start, end), want, "{start}..{end}");
+        }
+    }
+
+    #[test]
     fn correction_step() {
         let mut m = SwitchingMap::from_flags(vec![true, true]);
         m.correct_to_insensitive(0);
-        assert_eq!(m.flags(), &[false, true]);
+        assert_eq!(flags_of(&m), &[false, true]);
+    }
+
+    #[test]
+    fn union_is_bitwise_or() {
+        let a: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let b: Vec<bool> = (0..100).map(|i| i % 4 == 0).collect();
+        let mut u = SwitchingMap::from_flags(a.clone());
+        u.union_in_place(&SwitchingMap::from_flags(b.clone()));
+        for i in 0..100 {
+            assert_eq!(u.is_sensitive(i), a[i] || b[i], "index {i}");
+        }
+    }
+
+    #[test]
+    fn extend_from_map_concatenates_unaligned() {
+        let a: Vec<bool> = (0..70).map(|i| i % 2 == 0).collect();
+        let b: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let mut m = SwitchingMap::from_flags(a.clone());
+        m.extend_from_map(&SwitchingMap::from_flags(b.clone()));
+        let mut want = a;
+        want.extend(b);
+        assert_eq!(flags_of(&m), want);
+        // and the aligned fast path
+        let mut m2 = SwitchingMap::from_flags(want[..64].to_vec());
+        m2.extend_from_map(&SwitchingMap::from_flags(want[64..].to_vec()));
+        assert_eq!(flags_of(&m2), want);
     }
 
     #[test]
@@ -255,7 +479,70 @@ mod tests {
         let packed = m.packed_bytes();
         assert_eq!(packed.len(), 3);
         let back = SwitchingMap::from_packed(&packed, 19);
-        assert_eq!(back.flags(), &flags[..]);
+        assert_eq!(back, m);
+        assert_eq!(flags_of(&back), flags);
+    }
+
+    #[test]
+    fn pack_roundtrip_non_byte_aligned_lengths() {
+        for n in [1usize, 7, 9, 19, 63, 65, 127, 129, 200] {
+            let flags: Vec<bool> = (0..n).map(|i| i % 3 == 0 || i % 11 == 0).collect();
+            let m = SwitchingMap::from_flags(flags.clone());
+            let packed = m.packed_bytes();
+            assert_eq!(packed.len(), n.div_ceil(8), "len {n}");
+            let back = SwitchingMap::from_packed(&packed, n);
+            assert_eq!(back, m, "len {n}");
+            assert_eq!(flags_of(&back), flags, "len {n}");
+        }
+    }
+
+    #[test]
+    fn pack_roundtrip_empty_map() {
+        let m = SwitchingMap::empty();
+        assert_eq!(m.len(), 0);
+        assert!(m.is_empty());
+        let packed = m.packed_bytes();
+        assert!(packed.is_empty());
+        let back = SwitchingMap::from_packed(&packed, 0);
+        assert_eq!(back, m);
+        assert_eq!(back.sensitive_count(), 0);
+    }
+
+    #[test]
+    fn pack_roundtrip_all_sensitive_and_all_insensitive() {
+        for n in [1usize, 8, 64, 65, 100] {
+            let all = SwitchingMap::all_sensitive(n);
+            assert_eq!(all.sensitive_count(), n);
+            let back = SwitchingMap::from_packed(&all.packed_bytes(), n);
+            assert_eq!(back, all, "all-sensitive len {n}");
+
+            let none = SwitchingMap::all_insensitive(n);
+            assert_eq!(none.sensitive_count(), 0);
+            assert!(none.packed_bytes().iter().all(|&b| b == 0));
+            let back = SwitchingMap::from_packed(&none.packed_bytes(), n);
+            assert_eq!(back, none, "all-insensitive len {n}");
+        }
+    }
+
+    #[test]
+    fn packed_byte_layout_is_lsb_first() {
+        // bit i sits in byte i/8 at position i%8 — the GLB layout the
+        // trace codec has always written.
+        let mut flags = vec![false; 16];
+        flags[0] = true;
+        flags[3] = true;
+        flags[9] = true;
+        let m = SwitchingMap::from_flags(flags);
+        assert_eq!(m.packed_bytes(), vec![0b0000_1001, 0b0000_0010]);
+    }
+
+    #[test]
+    fn from_packed_ignores_slack_bits() {
+        // A 3-bit map from a byte with garbage in the high bits must not
+        // resurrect them through equality or popcount.
+        let m = SwitchingMap::from_packed(&[0b1111_1101], 3);
+        assert_eq!(m.sensitive_count(), 2);
+        assert_eq!(m, SwitchingMap::from_flags(vec![true, false, true]));
     }
 
     #[test]

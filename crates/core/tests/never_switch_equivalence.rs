@@ -1,0 +1,237 @@
+//! The engine's correctness contract: under `never_switch` every output
+//! is sensitive, so the dual-module path must reproduce the dense
+//! reference for all four variants across a seeded shape sweep.
+//!
+//! Two levels of strictness apply. The dual path accumulates each row as
+//! `bias + Σ w·x` in element order, skipping zero weights where the
+//! variant does — an order this test reimplements literally and checks
+//! **bitwise**, so any engine refactor that perturbs the accumulation
+//! order (and would silently drift the committed `results/*.txt`
+//! exhibits) fails loudly. The library's `forward_dense`/`step_dense`
+//! references use the blocked kernels in `duet-tensor::ops`, which add
+//! the bias last; those agree only to rounding, so they are checked to a
+//! tight tolerance.
+
+use duet_core::dual_rnn::RnnThresholds;
+use duet_core::{DualConvLayer, DualGruCell, DualLstmCell, DualModuleLayer, SwitchingPolicy};
+use duet_nn::lstm::LstmState;
+use duet_nn::{Activation, GruCell, LstmCell};
+use duet_tensor::im2col::{im2col, ConvGeometry};
+use duet_tensor::rng::{self, seeded};
+
+const TOL: f32 = 1e-5;
+
+fn assert_close(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!((x - y).abs() < TOL, "{what}[{i}]: {x} vs {y}");
+    }
+}
+
+/// Row accumulation in the dual path's exact order: seed with the bias,
+/// add non-zero-weight products in element order.
+fn row_dot(bias: f32, weights: &[f32], x: &[f32]) -> f32 {
+    let mut acc = bias;
+    for (&w, &v) in weights.iter().zip(x) {
+        if w != 0.0 {
+            acc += w * v;
+        }
+    }
+    acc
+}
+
+#[test]
+fn ff_never_switch_is_bitwise_row_exact() {
+    for (seed, n, d, k) in [
+        (11u64, 8usize, 16usize, 8usize),
+        (12, 40, 80, 32),
+        (13, 33, 65, 16),
+    ] {
+        let mut r = seeded(seed);
+        let w = rng::normal(&mut r, &[n, d], 0.0, 0.2);
+        let b = rng::normal(&mut r, &[n], 0.0, 0.05);
+        let layer = DualModuleLayer::learn(&w, &b, Activation::Relu, k, 200, &mut r);
+        let x = rng::normal(&mut r, &[d], 0.0, 1.0);
+
+        let out = layer.forward(&x, &SwitchingPolicy::never_switch());
+        assert_eq!(out.report.outputs_exact, n as u64, "seed {seed}");
+        assert_eq!(out.map.sensitive_count(), n, "seed {seed}");
+
+        // bitwise against the dual path's own accumulation order
+        for i in 0..n {
+            let want = row_dot(b.data()[i], &w.data()[i * d..(i + 1) * d], x.data());
+            assert_eq!(
+                out.pre_activation.data()[i],
+                want,
+                "seed {seed} row {i} not bitwise"
+            );
+        }
+        // and close to the blocked dense reference
+        assert_close(
+            out.output.data(),
+            layer.forward_dense(&x).data(),
+            &format!("ff seed {seed} vs dense"),
+        );
+    }
+}
+
+#[test]
+fn conv_never_switch_is_bitwise_element_exact() {
+    for (seed, c, s, k) in [(21u64, 2usize, 6usize, 4usize), (22, 3, 8, 8)] {
+        let mut r = seeded(seed);
+        let geom = ConvGeometry {
+            in_channels: c,
+            in_h: s,
+            in_w: s,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let filters = rng::normal(&mut r, &[k, c, 3, 3], 0.0, 0.25);
+        let bias = rng::normal(&mut r, &[k], 0.0, 0.05);
+        let layer = DualConvLayer::learn(geom, &filters, &bias, 12, 200, &mut r);
+        let x = rng::normal(&mut r, &[c, s, s], 0.0, 1.0);
+
+        let out = layer.forward(&x, &SwitchingPolicy::never_switch(), None);
+        let positions = geom.out_h() * geom.out_w();
+        let d = geom.patch_len();
+        assert_eq!(
+            out.report.outputs_exact,
+            (k * positions) as u64,
+            "seed {seed}"
+        );
+
+        // bitwise: the conv kernel skips zero *inputs* (exact, the
+        // products are zero) and applies ReLU after
+        let cols = im2col(&x, &geom);
+        let cd = cols.data();
+        let fd = layer.filter_matrix().data();
+        for kk in 0..k {
+            for p in 0..positions {
+                let mut acc = bias.data()[kk];
+                for (j, &w) in fd[kk * d..(kk + 1) * d].iter().enumerate() {
+                    let v = cd[j * positions + p];
+                    if v != 0.0 {
+                        acc += w * v;
+                    }
+                }
+                let want = acc.max(0.0);
+                assert_eq!(
+                    out.output.data()[kk * positions + p],
+                    want,
+                    "seed {seed} ch {kk} pos {p} not bitwise"
+                );
+            }
+        }
+        assert_close(
+            out.output.data(),
+            layer.forward_dense(&x).data(),
+            &format!("conv seed {seed} vs dense"),
+        );
+    }
+}
+
+/// LSTM gate lane in the dual path's order: bias, then the W_ih row, then
+/// the W_hh row (dense — recurrent rows are not pruned).
+fn lstm_lane(cell_bias: f32, wih: &[f32], x: &[f32], whh: &[f32], h: &[f32]) -> f32 {
+    let mut acc = cell_bias;
+    for (&w, &v) in wih.iter().zip(x) {
+        acc += w * v;
+    }
+    for (&w, &v) in whh.iter().zip(h) {
+        acc += w * v;
+    }
+    acc
+}
+
+#[test]
+fn lstm_never_switch_matches_dense_across_shapes() {
+    for (seed, d, h) in [(31u64, 8usize, 6usize), (32, 16, 12), (33, 20, 17)] {
+        let mut r = seeded(seed);
+        let cell = LstmCell::new(d, h, &mut r);
+        let dual = DualLstmCell::learn(&cell, h.min(12), 200, &mut r);
+        let x = rng::normal(&mut r, &[d], 0.0, 1.0);
+        let mut state = LstmState::zeros(h);
+        state.h = rng::normal(&mut r, &[h], 0.0, 0.5);
+        state.c = rng::normal(&mut r, &[h], 0.0, 0.5);
+
+        let out = dual.step(&x, &state, &RnnThresholds::never_switch());
+        assert_eq!(out.report.outputs_exact, (4 * h) as u64, "seed {seed}");
+        assert_eq!(out.gate_maps.len(), 4);
+        assert!(out.gate_maps.iter().all(|m| m.sensitive_count() == h));
+
+        // the mixed pre-activations are bitwise the per-lane reference;
+        // check through the recomputed gates by rebuilding lane values
+        let wih = cell.w_ih.value.data();
+        let whh = cell.w_hh.value.data();
+        let bias = cell.bias.value.data();
+        let mut a = vec![0.0f32; 4 * h];
+        for (row, lane) in a.iter_mut().enumerate() {
+            *lane = lstm_lane(
+                bias[row],
+                &wih[row * d..(row + 1) * d],
+                x.data(),
+                &whh[row * h..(row + 1) * h],
+                state.h.data(),
+            );
+        }
+        // combine exactly as the cell does
+        let sig = |v: f32| Activation::Sigmoid.apply_scalar(v);
+        for i in 0..h {
+            let ig = sig(a[i]);
+            let fg = sig(a[h + i]);
+            let gg = a[2 * h + i].tanh();
+            let og = sig(a[3 * h + i]);
+            let c = fg * state.c.data()[i] + ig * gg;
+            let want = og * c.tanh();
+            assert_eq!(out.h.data()[i], want, "seed {seed} lane {i} not bitwise");
+        }
+
+        let dense = dual.step_dense(&x, &state);
+        assert_close(out.h.data(), dense.h.data(), &format!("lstm h seed {seed}"));
+        assert_close(out.c.data(), dense.c.data(), &format!("lstm c seed {seed}"));
+    }
+}
+
+#[test]
+fn gru_never_switch_matches_dense_across_shapes() {
+    for (seed, d, h) in [(41u64, 7usize, 5usize), (42, 10, 8), (43, 19, 13)] {
+        let mut r = seeded(seed);
+        let cell = GruCell::new(d, h, &mut r);
+        let dual = DualGruCell::learn(&cell, h.min(8), 200, &mut r);
+        let x = rng::normal(&mut r, &[d], 0.0, 1.0);
+        let h_prev = rng::normal(&mut r, &[h], 0.0, 0.5);
+
+        let out = dual.step(&x, &h_prev, &RnnThresholds::never_switch());
+        assert_eq!(out.report.outputs_exact, (3 * h) as u64, "seed {seed}");
+        assert!(out.gate_maps.iter().all(|m| m.sensitive_count() == h));
+
+        // bitwise: every lane of both streams is recomputed exactly, so
+        // the combine sees the same values the reference loop produces
+        let wih = cell.w_ih.value.data();
+        let whh = cell.w_hh.value.data();
+        let bih = cell.b_ih.value.data();
+        let bhh = cell.b_hh.value.data();
+        let lane = |b: &[f32], w: &[f32], v: &[f32], row: usize, width: usize| {
+            let mut acc = b[row];
+            for (&wv, &xv) in w[row * width..(row + 1) * width].iter().zip(v) {
+                acc += wv * xv;
+            }
+            acc
+        };
+        let sig = |v: f32| Activation::Sigmoid.apply_scalar(v);
+        for i in 0..h {
+            let ax = |gi: usize| lane(bih, wih, x.data(), gi * h + i, d);
+            let ah = |gi: usize| lane(bhh, whh, h_prev.data(), gi * h + i, h);
+            let rg = sig(ax(0) + ah(0));
+            let zg = sig(ax(1) + ah(1));
+            let ng = (ax(2) + rg * ah(2)).tanh();
+            let want = (1.0 - zg) * ng + zg * h_prev.data()[i];
+            assert_eq!(out.h.data()[i], want, "seed {seed} lane {i} not bitwise");
+        }
+
+        let dense = dual.step_dense(&x, &h_prev);
+        assert_close(out.h.data(), dense.data(), &format!("gru seed {seed}"));
+    }
+}

@@ -12,6 +12,7 @@ use crate::energy::EnergyTable;
 use crate::glb::GlbPlan;
 use crate::report::LayerPerf;
 use crate::speculator::speculate_rnn_gate;
+use duet_core::switching::SwitchingMap;
 
 /// Workload of one FC layer at batch size 1.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,8 +24,8 @@ pub struct FcLayerTrace {
     pub input: usize,
     /// Output features `n`.
     pub output: usize,
-    /// Sensitive flag per output row.
-    pub omap: Vec<bool>,
+    /// Sensitive flag per output row, bit-packed.
+    pub omap: SwitchingMap,
     /// Reduced dimension of the approximate module.
     pub reduced_dim: usize,
 }
@@ -39,7 +40,7 @@ impl FcLayerTrace {
         name: impl Into<String>,
         input: usize,
         output: usize,
-        omap: Vec<bool>,
+        omap: SwitchingMap,
         reduced_dim: usize,
     ) -> Self {
         assert_eq!(omap.len(), output, "omap length must equal output count");
@@ -61,7 +62,7 @@ impl FcLayerTrace {
         reduced_dim: usize,
         rng: &mut duet_tensor::rng::Rng,
     ) -> Self {
-        let omap = (0..output)
+        let omap: SwitchingMap = (0..output)
             .map(|_| rng.random::<f64>() < sensitive_fraction)
             .collect();
         Self::new(name, input, output, omap, reduced_dim)
@@ -69,7 +70,7 @@ impl FcLayerTrace {
 
     /// Sensitive output rows.
     pub fn sensitive_rows(&self) -> usize {
-        self.omap.iter().filter(|&&s| s).count()
+        self.omap.sensitive_count()
     }
 
     /// Weight bytes per row at INT16.
@@ -203,7 +204,7 @@ mod tests {
 
     #[test]
     fn all_sensitive_equals_base_fetch() {
-        let t = FcLayerTrace::new("fc", 128, 64, vec![true; 64], 32);
+        let t = FcLayerTrace::new("fc", 128, 64, SwitchingMap::all_sensitive(64), 32);
         let cfg = ArchConfig::duet();
         let e = EnergyTable::default();
         let base = run_fc_layer(&t, &cfg, &e, false);
@@ -214,6 +215,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "omap length")]
     fn bad_omap_length_panics() {
-        FcLayerTrace::new("x", 4, 4, vec![true; 3], 2);
+        FcLayerTrace::new("x", 4, 4, SwitchingMap::all_sensitive(3), 2);
     }
 }

@@ -29,8 +29,8 @@ pub struct ConvLayerTrace {
     /// Weight elements (`K·C·R·S`).
     pub weight_elems: usize,
     /// Sensitive flag per output element, channel-major
-    /// (`out_channels × positions`).
-    pub omap: Vec<bool>,
+    /// (`out_channels × positions`), bit-packed.
+    pub omap: SwitchingMap,
     /// Fraction of non-zero input activations (drives IMap skipping).
     pub input_density: f64,
     /// Reduced dimension `k` of this layer's approximate module.
@@ -58,7 +58,7 @@ impl ConvLayerTrace {
             patch_len,
             input_elems,
             weight_elems: out_channels * patch_len,
-            omap: omap.flags().to_vec(),
+            omap: omap.clone(),
             input_density,
             reduced_dim,
         }
@@ -93,7 +93,7 @@ impl ConvLayerTrace {
             mean_sensitive > 0.0 && mean_sensitive < 1.0,
             "mean_sensitive must be in (0,1)"
         );
-        let mut omap = Vec::with_capacity(out_channels * positions);
+        let mut omap = SwitchingMap::empty();
         for _ in 0..out_channels {
             let p = if rng.random::<f64>() < 0.10 {
                 rng.random_range(0.85..0.98)
@@ -119,17 +119,15 @@ impl ConvLayerTrace {
 
     /// Whether output element `(channel, position)` is sensitive.
     pub fn is_sensitive(&self, channel: usize, position: usize) -> bool {
-        self.omap[channel * self.positions + position]
+        self.omap.is_sensitive(channel * self.positions + position)
     }
 
     /// Sensitive output count per channel — the Reorder Unit's input.
     pub fn channel_workloads(&self) -> Vec<usize> {
         (0..self.out_channels)
             .map(|c| {
-                self.omap[c * self.positions..(c + 1) * self.positions]
-                    .iter()
-                    .filter(|&&s| s)
-                    .count()
+                self.omap
+                    .sensitive_count_in(c * self.positions, (c + 1) * self.positions)
             })
             .collect()
     }
@@ -141,7 +139,7 @@ impl ConvLayerTrace {
 
     /// Total sensitive outputs.
     pub fn sensitive_outputs(&self) -> usize {
-        self.omap.iter().filter(|&&s| s).count()
+        self.omap.sensitive_count()
     }
 
     /// Dense MAC count of the layer.
@@ -170,8 +168,8 @@ pub struct RnnLayerTrace {
     /// Number of time steps simulated.
     pub steps: usize,
     /// Sensitive flag per (step, gate, neuron), flattened
-    /// `steps × gates × hidden`.
-    pub maps: Vec<bool>,
+    /// `steps × gates × hidden`, bit-packed.
+    pub maps: SwitchingMap,
 }
 
 impl RnnLayerTrace {
@@ -194,7 +192,7 @@ impl RnnLayerTrace {
             (0.0..=1.0).contains(&sensitive_fraction),
             "sensitive_fraction must be in [0,1]"
         );
-        let maps = (0..steps * gates * hidden)
+        let maps: SwitchingMap = (0..steps * gates * hidden)
             .map(|_| rng.random::<f64>() < sensitive_fraction)
             .collect();
         Self {
@@ -216,12 +214,12 @@ impl RnnLayerTrace {
         assert!(!step_maps.is_empty(), "need at least one step");
         let gates = step_maps[0].len();
         let hidden = step_maps[0][0].len();
-        let mut maps = Vec::with_capacity(step_maps.len() * gates * hidden);
+        let mut maps = SwitchingMap::empty();
         for step in step_maps {
             assert_eq!(step.len(), gates, "inconsistent gate count");
             for m in step {
                 assert_eq!(m.len(), hidden, "inconsistent hidden size");
-                maps.extend_from_slice(m.flags());
+                maps.extend_from_map(m);
             }
         }
         Self {
@@ -237,10 +235,7 @@ impl RnnLayerTrace {
     /// Sensitive rows of one (step, gate).
     pub fn sensitive_rows(&self, step: usize, gate: usize) -> usize {
         let base = (step * self.gates + gate) * self.hidden;
-        self.maps[base..base + self.hidden]
-            .iter()
-            .filter(|&&s| s)
-            .count()
+        self.maps.sensitive_count_in(base, base + self.hidden)
     }
 
     /// MACs per weight row (`d + h`: both matrices).
@@ -260,7 +255,7 @@ impl RnnLayerTrace {
 
     /// Overall sensitive fraction.
     pub fn sensitive_fraction(&self) -> f64 {
-        self.maps.iter().filter(|&&s| s).count() as f64 / self.maps.len() as f64
+        self.maps.sensitive_count() as f64 / self.maps.len() as f64
     }
 }
 

@@ -7,6 +7,7 @@
 //! bit-packed switching maps — the same packing the GLB uses.
 
 use crate::trace::{ConvLayerTrace, RnnLayerTrace};
+use duet_core::switching::SwitchingMap;
 
 /// Magic bytes identifying a CONV trace blob.
 const CONV_MAGIC: u32 = 0x44554543; // "DUEC"
@@ -133,27 +134,18 @@ fn check_len(
     Ok(())
 }
 
-fn put_bitmap(buf: &mut Vec<u8>, flags: &[bool]) {
-    buf.extend_from_slice(&(flags.len() as u64).to_le_bytes());
-    let mut byte = 0u8;
-    for (i, &f) in flags.iter().enumerate() {
-        if f {
-            byte |= 1 << (i % 8);
-        }
-        if i % 8 == 7 {
-            buf.push(byte);
-            byte = 0;
-        }
-    }
-    if !flags.len().is_multiple_of(8) {
-        buf.push(byte);
-    }
+fn put_bitmap(buf: &mut Vec<u8>, map: &SwitchingMap) {
+    // u64 bit-count prefix, then the map's canonical packed codec (bit i
+    // in byte i/8 at position i%8) — byte-identical to the historical
+    // bool-slice encoder.
+    buf.extend_from_slice(&(map.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&map.packed_bytes());
 }
 
-fn get_bitmap(r: &mut Reader<'_>) -> Result<Vec<bool>, DecodeTraceError> {
+fn get_bitmap(r: &mut Reader<'_>) -> Result<SwitchingMap, DecodeTraceError> {
     let n = r.get_u64_le()? as usize;
     let raw = r.take(n.div_ceil(8))?;
-    Ok((0..n).map(|i| raw[i / 8] >> (i % 8) & 1 == 1).collect())
+    Ok(SwitchingMap::from_packed(raw, n))
 }
 
 /// Encodes a CONV trace to bytes.

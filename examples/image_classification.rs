@@ -51,7 +51,7 @@ fn main() {
     // processes batches of ifmap" (§IV-A), so a batch of B images fills
     // B × K PE-row assignments.
     let img_len = g.in_channels * g.in_h * g.in_w;
-    let mut flags = Vec::new();
+    let mut omap = duet::core::SwitchingMap::empty();
     let mut out_dims = (0usize, 0usize);
     for bi in 0..8 {
         let img = Tensor::from_vec(
@@ -65,9 +65,8 @@ fn main() {
             out.output.shape().dim(0),
             out.output.shape().dim(1) * out.output.shape().dim(2),
         );
-        flags.extend_from_slice(out.omap.flags());
+        omap.extend_from_map(&out.omap);
     }
-    let omap = duet::core::SwitchingMap::from_flags(flags);
     let trace = ConvLayerTrace::from_dual_conv(
         "conv1(batch8)",
         out_dims.0 * 8,

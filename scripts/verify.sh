@@ -36,5 +36,7 @@ cargo fmt --all -- --check
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo clippy --workspace --all-targets --offline --features duet-bench/criterion -- -D warnings
+# the shimmed serde derives must stay lint-clean too
+cargo clippy --workspace --all-targets --offline --features duet/serde -- -D warnings
 
 echo "verify: OK"

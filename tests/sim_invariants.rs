@@ -52,7 +52,8 @@ fn map_pack_roundtrip() {
         let packed = map.packed_bytes();
         assert_eq!(packed.len(), flags.len().div_ceil(8));
         let back = SwitchingMap::from_packed(&packed, flags.len());
-        assert_eq!(back.flags(), &flags[..], "seed {seed}");
+        assert_eq!(back, map, "seed {seed}");
+        assert_eq!(back.iter().collect::<Vec<bool>>(), flags, "seed {seed}");
     }
 }
 
