@@ -1,0 +1,246 @@
+//! Fault-injection campaign: quantifying DUET's error-resilience
+//! asymmetry (§II).
+//!
+//! The Speculator only *steers* execution, so faults in speculator state
+//! should cost efficiency — switch rate and latency move — while task
+//! accuracy holds, because the Executor's dense path is untouched. This
+//! exhibit measures both halves:
+//!
+//! 1. **Accuracy side** (trained MLP, `duet-core`): speculator INT4
+//!    weight words are bit-flipped at increasing rates and the classifier
+//!    is re-evaluated. The executor-integrity check runs the same
+//!    corrupted model at θ = −∞ (never-switch ⇒ fully dense) and must
+//!    match the fault-free dense accuracy exactly.
+//! 2. **Latency side** (trace-driven `duet-sim`): switching-map bits and
+//!    GLB words are corrupted across a (site × rate) campaign over the
+//!    paper workloads, and per-cell latency is compared against the
+//!    fault-free run.
+//!
+//! Everything is seeded and thread-count invariant: `FAULTS.json`
+//! contains no timings or thread counts and is byte-identical for any
+//! `DUET_NUM_THREADS`. An order-sensitive campaign checksum is embedded
+//! so CI can pin determinism cheaply.
+//!
+//! Run with: `cargo run --release -p duet-bench --bin fault_campaign`
+//! (`--smoke` shrinks training and the campaign grid for a seconds-scale
+//! CI run and writes `results/FAULTS_smoke.json` instead of the committed
+//! `results/FAULTS.json`).
+
+use duet_bench::Suite;
+use duet_core::ApproxLinear;
+use duet_sim::fault::{campaign_checksum, FaultCampaign, FaultInjector, FaultSite};
+use duet_sim::rnn::RnnOptions;
+use duet_sim::sweep::{SweepGrid, SweepPoint, SweepWorkload};
+use duet_tensor::parallel;
+use duet_tensor::rng::seeded;
+use duet_workloads::models::ModelZoo;
+use duet_workloads::{datasets, dualize::DualMlp, trainer};
+use std::fmt::Write as _;
+
+/// Master seed for the whole campaign.
+const SEED: u64 = 515;
+
+/// One accuracy-side measurement.
+struct AccuracyCell {
+    rate: f64,
+    flips: u64,
+    accuracy: f64,
+    approx_fraction: f64,
+}
+
+/// Corrupts every hidden layer's speculator weights at `rate`; returns
+/// the corrupted model and the number of injected bit flips.
+fn corrupt_speculators(dual: &DualMlp, rate: f64, seed: u64) -> (DualMlp, u64) {
+    let mut inj = FaultInjector::new(seed);
+    let mut corrupted = dual.clone();
+    for layer in corrupted.hidden_layers_mut() {
+        let approx = layer.approx();
+        let weights = inj.corrupt_int4(approx.weights(), rate);
+        layer.set_approx(ApproxLinear::from_quantized(
+            approx.projection().clone(),
+            weights,
+            approx.bias().clone(),
+            *approx.config(),
+        ));
+    }
+    (corrupted, inj.flips())
+}
+
+fn accuracy_campaign(smoke: bool) -> (f64, f64, f64, Vec<AccuracyCell>, bool) {
+    let mut r = seeded(SEED);
+    let (clusters, dims, samples, epochs) = if smoke {
+        (4, 12, 300, 8)
+    } else {
+        (4, 16, 900, 30)
+    };
+    let all = datasets::gaussian_clusters(clusters, dims, samples, 4.5, &mut r);
+    let (train, test) = all.split_at(samples * 2 / 3);
+    let net = trainer::train_mlp(&train, 32, epochs, &mut r);
+    let dual = DualMlp::from_sequential(&net, &train, 0.5, &mut r);
+
+    // Fault-free references: dense (θ = −∞ ⇒ never switch) and dual.
+    let (dense_acc, _) = dual.evaluate(&test, f32::NEG_INFINITY);
+    let (duet_acc, base_rep) = dual.evaluate(&test, 0.0);
+    let base_fraction = base_rep.approximate_fraction();
+
+    let rates: &[f64] = if smoke { &[1e-2] } else { &[1e-3, 1e-2, 5e-2] };
+    let mut cells = Vec::new();
+    let mut executor_integrity = true;
+    for (i, &rate) in rates.iter().enumerate() {
+        let (corrupted, flips) = corrupt_speculators(&dual, rate, SEED ^ (i as u64 + 1));
+        let (acc, rep) = corrupted.evaluate(&test, 0.0);
+        // The paper's asymmetry, stated exactly: the corrupted speculator
+        // must be invisible on the never-switch (fully dense) path.
+        let (dense_under_fault, _) = corrupted.evaluate(&test, f32::NEG_INFINITY);
+        executor_integrity &= dense_under_fault == dense_acc;
+        cells.push(AccuracyCell {
+            rate,
+            flips,
+            accuracy: acc,
+            approx_fraction: rep.approximate_fraction(),
+        });
+    }
+    (
+        dense_acc,
+        duet_acc,
+        base_fraction,
+        cells,
+        executor_integrity,
+    )
+}
+
+fn sim_grid(suite: &Suite, smoke: bool) -> SweepGrid {
+    let mut workloads = vec![SweepWorkload::Cnn {
+        name: ModelZoo::AlexNet.name().to_string(),
+        traces: suite.cnn_traces(ModelZoo::AlexNet),
+    }];
+    if !smoke {
+        workloads.push(SweepWorkload::Rnn {
+            name: ModelZoo::LstmPtb.name().to_string(),
+            traces: suite.rnn_traces(ModelZoo::LstmPtb),
+            options: RnnOptions::duet(),
+        });
+    }
+    SweepGrid::new(vec![SweepPoint::new("duet", suite.config)], workloads)
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let threads = parallel::num_threads();
+    if smoke {
+        println!("fault_campaign: --smoke (reduced training and grid)");
+    }
+    println!("fault_campaign: seed {SEED}, {threads} threads\n");
+
+    // ---- accuracy side --------------------------------------------------
+    println!("accuracy under speculator weight faults (trained MLP, theta = 0)");
+    let (dense_acc, duet_acc, base_fraction, acc_cells, executor_integrity) =
+        accuracy_campaign(smoke);
+    println!(
+        "  fault-free: dense {dense_acc:.4}, duet {duet_acc:.4} (approx fraction {base_fraction:.4})"
+    );
+    for c in &acc_cells {
+        println!(
+            "  rate {:>7.0e}: accuracy {:.4}, approx fraction {:.4}, {} flips",
+            c.rate, c.accuracy, c.approx_fraction, c.flips
+        );
+    }
+    println!(
+        "  executor integrity (dense path unchanged under faults): {}",
+        if executor_integrity { "PASS" } else { "FAIL" }
+    );
+
+    // ---- latency side ---------------------------------------------------
+    println!("\nlatency under switching-state faults (trace-driven simulator)");
+    let suite = Suite::paper();
+    let grid = sim_grid(&suite, smoke);
+    let baseline = grid.run_with_threads(&suite.energy, threads);
+    let campaign = FaultCampaign {
+        sites: vec![FaultSite::SwitchingMapBits, FaultSite::GlbWords],
+        rates: if smoke {
+            vec![1e-3]
+        } else {
+            vec![1e-4, 1e-3, 1e-2]
+        },
+        seed: SEED,
+    };
+    let cells = campaign.run_with_threads(&grid, &suite.energy, threads);
+    let checksum = campaign_checksum(&cells);
+    let base_latency = |point: &str, workload: &str| {
+        baseline
+            .iter()
+            .find(|c| c.point == point && c.workload == workload)
+            .map(|c| c.perf.total_latency_cycles)
+            .unwrap_or(0)
+    };
+    for c in &cells {
+        let base = base_latency(&c.point, &c.workload);
+        let delta = c.total_latency_cycles as f64 / base as f64 - 1.0;
+        println!(
+            "  {:<10} rate {:>7.0e} {:<10} latency {:>12} cycles ({:>+7.3}% vs fault-free)",
+            c.site,
+            c.rate,
+            c.workload,
+            c.total_latency_cycles,
+            delta * 100.0
+        );
+    }
+    println!("\ncampaign checksum: {checksum:#018x}");
+
+    // ---- JSON (deterministic: no timings, no thread counts) -------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"exhibit\": \"fault_campaign\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"campaign_checksum\": \"{checksum:#018x}\",");
+    let _ = writeln!(json, "  \"accuracy\": {{");
+    let _ = writeln!(json, "    \"dense\": {dense_acc:.6},");
+    let _ = writeln!(json, "    \"duet_fault_free\": {duet_acc:.6},");
+    let _ = writeln!(
+        json,
+        "    \"fault_free_approx_fraction\": {base_fraction:.6},"
+    );
+    let _ = writeln!(json, "    \"executor_integrity\": {executor_integrity},");
+    let _ = writeln!(json, "    \"under_speculator_faults\": [");
+    for (i, c) in acc_cells.iter().enumerate() {
+        let sep = if i + 1 < acc_cells.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"rate\": {:e}, \"flips\": {}, \"accuracy\": {:.6}, \"approx_fraction\": {:.6}}}{sep}",
+            c.rate, c.flips, c.accuracy, c.approx_fraction
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"latency\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 < cells.len() { "," } else { "" };
+        let base = base_latency(&c.point, &c.workload);
+        let _ = writeln!(
+            json,
+            "    {{\"site\": \"{}\", \"rate\": {:e}, \"workload\": \"{}\", \"flips\": {}, \
+             \"latency_cycles\": {}, \"baseline_cycles\": {}, \"sensitive_fraction\": {:.6}}}{sep}",
+            c.site, c.rate, c.workload, c.flips, c.total_latency_cycles, base, c.sensitive_fraction
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let path = if smoke {
+        "results/FAULTS_smoke.json"
+    } else {
+        "results/FAULTS.json"
+    };
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(path, &json).expect("write FAULTS json");
+    println!("wrote {path}");
+
+    assert!(
+        executor_integrity,
+        "speculator faults leaked into the dense executor path"
+    );
+}

@@ -43,7 +43,7 @@ fn classifier_tradeoff() {
         "approx frac",
     ]);
     let mut points = Vec::new();
-    for &theta in &tuning::linspace(-2.0, 3.0, 11) {
+    for &theta in &tuning::linspace(-2.0, 3.0, 11).expect("valid theta grid") {
         let (acc, rep) = dual.evaluate(&test, theta);
         points.push(tuning::SweepPoint {
             theta,
@@ -87,7 +87,7 @@ fn classifier_tradeoff() {
         "approx frac",
     ]);
     let mut points = Vec::new();
-    for &theta in &tuning::linspace(-1.0, 2.0, 7) {
+    for &theta in &tuning::linspace(-1.0, 2.0, 7).expect("valid theta grid") {
         let (acc, rep) = dual_cnn.evaluate(&test_imgs, theta);
         points.push(tuning::SweepPoint {
             theta,

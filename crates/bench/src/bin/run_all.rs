@@ -4,8 +4,9 @@
 //! directory), executed with its stdout captured to
 //! `results/<bin>.txt`, and timed with a [`duet_obs`] span; the run list
 //! — wall time, exit status, output path — lands in
-//! `results/MANIFEST.json`. Missing binaries (not yet built) are recorded
-//! as `"missing"` rather than failing the whole run.
+//! `results/MANIFEST.json`. Missing binaries (not yet built) count as
+//! failures: the summary and the exit code both report them, so a partial
+//! build cannot masquerade as a green reproduction run.
 //!
 //! Run with: `cargo run --release -p duet-bench --bin run_all`
 //! (`--index` prints the exhibit table without executing anything).
@@ -28,6 +29,7 @@ const EXHIBITS: &[(&str, &str)] = &[
     ("Fig. 12(e,f)", "fig12ef_energy_breakdown"),
     ("Fig. 13", "fig13_dse"),
     ("Ablations", "ablations"),
+    ("Faults", "fault_campaign"),
     ("Sensitivity", "sensitivity_analysis"),
 ];
 
@@ -180,7 +182,9 @@ fn main() {
         let rec = run_exhibit(exhibit, bin, &dir);
         match rec.status.as_str() {
             "ok" => println!("{:<14} {bin:<28} ok      {:>9.1} ms", exhibit, rec.wall_ms),
-            "missing" => println!("{exhibit:<14} {bin:<28} missing (build with --release first)"),
+            "missing" => {
+                println!("{exhibit:<14} {bin:<28} MISSING (build with --release first)")
+            }
             s => println!("{exhibit:<14} {bin:<28} {s} {:>9.1} ms", rec.wall_ms),
         }
         records.push(rec);
@@ -202,9 +206,9 @@ fn main() {
         println!("wrote {n} trace events to {path}");
     }
 
-    let failed = records
-        .iter()
-        .any(|r| r.status != "ok" && r.status != "missing");
+    // A missing exhibit is a failed reproduction: exit nonzero for
+    // anything that did not finish with "ok".
+    let failed = records.iter().any(|r| r.status != "ok");
     if failed {
         std::process::exit(1);
     }

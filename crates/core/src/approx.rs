@@ -83,6 +83,46 @@ impl ApproxLinear {
         }
     }
 
+    /// Builds an approximate module directly from already-quantized
+    /// weights, bypassing the float→INT quantization of
+    /// [`ApproxLinear::from_parts`]. This is the reassembly path for fault
+    /// injection (`duet-sim`): flip bits in an existing module's
+    /// [`weights`](ApproxLinear::weights) payload and rebuild the module
+    /// around the corrupted tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent with the projection.
+    pub fn from_quantized(
+        projection: TernaryProjection,
+        weights: Int4Tensor,
+        bias: Tensor,
+        config: ApproxConfig,
+    ) -> Self {
+        assert_eq!(weights.shape().rank(), 2, "weights must be [n, k]");
+        assert_eq!(
+            weights.shape().dim(1),
+            projection.reduced_dim(),
+            "weight columns must equal reduced dim"
+        );
+        assert_eq!(
+            weights.shape().dim(0),
+            bias.len(),
+            "bias must match output count"
+        );
+        assert_eq!(
+            config.reduced_dim,
+            projection.reduced_dim(),
+            "config reduced_dim disagrees with projection"
+        );
+        Self {
+            projection,
+            weights,
+            bias,
+            config,
+        }
+    }
+
     /// The ternary projection.
     pub fn projection(&self) -> &TernaryProjection {
         &self.projection

@@ -6,6 +6,7 @@
 //! each move — is the standard knob-turning procedure and what this
 //! module automates on top of [`crate::tuning`].
 
+use crate::guard::SwitchRateBand;
 use crate::metrics::SavingsReport;
 
 /// A calibrated per-layer threshold assignment.
@@ -18,6 +19,21 @@ pub struct Calibration {
     pub quality: f64,
     /// Aggregate savings at the chosen assignment.
     pub report: SavingsReport,
+}
+
+impl Calibration {
+    /// Derives the healthy switch-rate operating band for a
+    /// [`crate::guard::SpeculationGuard`]: the insensitive fraction
+    /// observed at the calibrated assignment, widened by ±`margin`
+    /// (clamped to `[0, 1]`). A deployed layer whose smoothed switch rate
+    /// leaves this band is running far from where it was validated.
+    pub fn insensitive_band(&self, margin: f64) -> SwitchRateBand {
+        let center = self.report.approximate_fraction();
+        SwitchRateBand {
+            lo: (center - margin).max(0.0),
+            hi: (center + margin).min(1.0),
+        }
+    }
 }
 
 /// Greedy coordinate-ascent calibration.
@@ -33,6 +49,7 @@ pub struct Calibration {
 /// most aggressive candidate that keeps end-to-end quality above the
 /// floor. Returns the final assignment (which always satisfies the floor
 /// if the all-conservative assignment does; otherwise returns `None`).
+/// An empty candidate grid is infeasible and also returns `None`.
 pub fn calibrate<F>(
     layers: usize,
     candidates: &[f32],
@@ -42,8 +59,8 @@ pub fn calibrate<F>(
 where
     F: FnMut(&[f32]) -> (f64, SavingsReport),
 {
-    assert!(!candidates.is_empty(), "need candidate thresholds");
-    let mut thetas = vec![candidates[0]; layers];
+    let first = *candidates.first()?;
+    let mut thetas = vec![first; layers];
     let (q0, r0) = evaluate(&thetas);
     if q0 < min_quality {
         return None;
@@ -108,6 +125,32 @@ mod tests {
     fn infeasible_floor_returns_none() {
         let grid = [0.0f32, 1.0];
         assert!(calibrate(2, &grid, toy_eval, 1.5).is_none());
+    }
+
+    #[test]
+    fn empty_candidate_grid_returns_none() {
+        assert!(calibrate(2, &[], toy_eval, 0.0).is_none());
+    }
+
+    #[test]
+    fn insensitive_band_centers_on_approximate_fraction() {
+        let cal = Calibration {
+            thetas: vec![1.0],
+            quality: 0.9,
+            report: SavingsReport {
+                outputs_total: 100,
+                outputs_exact: 60, // 40% kept approximate
+                ..SavingsReport::new()
+            },
+        };
+        let band = cal.insensitive_band(0.15);
+        assert!((band.lo - 0.25).abs() < 1e-9);
+        assert!((band.hi - 0.55).abs() < 1e-9);
+        assert!(band.contains(0.4));
+        // clamping at the edges
+        let wide = cal.insensitive_band(0.9);
+        assert_eq!(wide.lo, 0.0);
+        assert_eq!(wide.hi, 1.0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::approx::{ApproxConfig, ApproxLinear};
 use crate::distill;
 use crate::engine::{EngineCosts, ExecutorWeightBytes, Gather, MacMode, SpeculationEngine};
+use crate::guard::SpeculationGuard;
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
 use duet_tensor::im2col::{im2col, ConvGeometry};
@@ -97,6 +98,26 @@ impl DualConvLayer {
         &self.approx
     }
 
+    /// Replaces the approximate module (fault injection / corrupted-
+    /// speculator studies); the accurate filter bank is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement's dimensions disagree with the layer.
+    pub fn set_approx(&mut self, approx: ApproxLinear) {
+        assert_eq!(
+            approx.input_dim(),
+            self.geom.patch_len(),
+            "input dim mismatch"
+        );
+        assert_eq!(
+            approx.output_dim(),
+            self.out_channels(),
+            "output dim mismatch"
+        );
+        self.approx = approx;
+    }
+
     /// The filter matrix in GEMM form `[K, C·R·S]`.
     pub fn filter_matrix(&self) -> &Tensor {
         &self.filters
@@ -134,6 +155,29 @@ impl DualConvLayer {
         policy: &SwitchingPolicy,
         imap: Option<&SwitchingMap>,
     ) -> DualConvOutput {
+        self.forward_impl(input, policy, imap, None)
+    }
+
+    /// [`DualConvLayer::forward`] watched by a [`SpeculationGuard`]: a
+    /// tripped guard under `FallbackDense` reroutes the layer through the
+    /// bitwise-dense path (see [`crate::guard`]).
+    pub fn forward_guarded(
+        &self,
+        input: &Tensor,
+        policy: &SwitchingPolicy,
+        imap: Option<&SwitchingMap>,
+        guard: &mut SpeculationGuard,
+    ) -> DualConvOutput {
+        self.forward_impl(input, policy, imap, Some(guard))
+    }
+
+    fn forward_impl(
+        &self,
+        input: &Tensor,
+        policy: &SwitchingPolicy,
+        imap: Option<&SwitchingMap>,
+        guard: Option<&mut SpeculationGuard>,
+    ) -> DualConvOutput {
         let k = self.out_channels();
         let d = self.geom.patch_len();
         let (oh, ow) = (self.geom.out_h(), self.geom.out_w());
@@ -153,7 +197,11 @@ impl DualConvLayer {
         let mut y_approx = self.approx.forward_columns(&cols); // [K, positions]
 
         // Switching map over all output elements.
-        let map = engine.speculate(policy, &y_approx.reshaped(&[k * positions]));
+        let flat = y_approx.reshaped(&[k * positions]);
+        let map = match guard {
+            Some(g) => engine.speculate_guarded(policy, &flat, g),
+            None => engine.speculate(policy, &flat),
+        };
 
         // Executor + Eq. (2) mix: recompute sensitive elements exactly,
         // in place over the approximate map; skip zero inputs in the MAC

@@ -6,6 +6,7 @@
 use crate::approx::{ApproxConfig, ApproxLinear};
 use crate::distill;
 use crate::engine::{EngineCosts, ExecutorWeightBytes, Gather, MacMode, SpeculationEngine};
+use crate::guard::SpeculationGuard;
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
 use duet_nn::Activation;
@@ -112,6 +113,23 @@ impl DualModuleLayer {
         &self.approx
     }
 
+    /// Replaces the approximate module — the write-back half of fault
+    /// injection and speculator-corruption studies (the accurate module is
+    /// untouched, so §II's resilience argument can be probed directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement's dimensions disagree with the layer.
+    pub fn set_approx(&mut self, approx: ApproxLinear) {
+        assert_eq!(approx.input_dim(), self.input_dim(), "input dim mismatch");
+        assert_eq!(
+            approx.output_dim(),
+            self.output_dim(),
+            "output dim mismatch"
+        );
+        self.approx = approx;
+    }
+
     /// Output dimension `n`.
     pub fn output_dim(&self) -> usize {
         self.weight.shape().dim(0)
@@ -139,6 +157,27 @@ impl DualModuleLayer {
     ///
     /// Panics if `x.len()` differs from the input dimension.
     pub fn forward(&self, x: &Tensor, policy: &SwitchingPolicy) -> DualOutput {
+        self.forward_impl(x, policy, None)
+    }
+
+    /// [`DualModuleLayer::forward`] watched by a [`SpeculationGuard`]: a
+    /// tripped guard under `FallbackDense` reroutes the layer through the
+    /// bitwise-dense path (see [`crate::guard`]).
+    pub fn forward_guarded(
+        &self,
+        x: &Tensor,
+        policy: &SwitchingPolicy,
+        guard: &mut SpeculationGuard,
+    ) -> DualOutput {
+        self.forward_impl(x, policy, Some(guard))
+    }
+
+    fn forward_impl(
+        &self,
+        x: &Tensor,
+        policy: &SwitchingPolicy,
+        guard: Option<&mut SpeculationGuard>,
+    ) -> DualOutput {
         let (n, d) = (self.output_dim(), self.input_dim());
         assert_eq!(x.len(), d, "input length mismatch");
         let mut engine = SpeculationEngine::new();
@@ -147,7 +186,10 @@ impl DualModuleLayer {
         let y_approx = self.approx.forward(x);
 
         // 2. Switching map.
-        let map = engine.speculate(policy, &y_approx);
+        let map = match guard {
+            Some(g) => engine.speculate_guarded(policy, &y_approx, g),
+            None => engine.speculate(policy, &y_approx),
+        };
 
         // 3. Executor + Eq. (2) mix: accurate rows for sensitive neurons
         // overwrite the approximate buffer in place. Zero weights (from a

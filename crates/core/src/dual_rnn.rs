@@ -12,6 +12,7 @@
 use crate::approx::{ApproxConfig, ApproxLinear};
 use crate::distill;
 use crate::engine::{EngineCosts, ExecutorWeightBytes, Gather, MacMode, SpeculationEngine};
+use crate::guard::SpeculationGuard;
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
 use duet_nn::lstm::LstmState;
@@ -111,6 +112,39 @@ impl DualLstmCell {
         self.input
     }
 
+    /// The input-to-hidden approximate module.
+    pub fn approx_ih(&self) -> &ApproxLinear {
+        &self.approx_ih
+    }
+
+    /// The hidden-to-hidden approximate module.
+    pub fn approx_hh(&self) -> &ApproxLinear {
+        &self.approx_hh
+    }
+
+    /// Replaces both approximate modules (fault injection / corrupted-
+    /// speculator studies); the accurate weights are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacements' dimensions disagree with the cell.
+    pub fn set_approx(&mut self, approx_ih: ApproxLinear, approx_hh: ApproxLinear) {
+        assert_eq!(approx_ih.input_dim(), self.input, "ih input dim mismatch");
+        assert_eq!(
+            approx_ih.output_dim(),
+            4 * self.hidden,
+            "ih output dim mismatch"
+        );
+        assert_eq!(approx_hh.input_dim(), self.hidden, "hh input dim mismatch");
+        assert_eq!(
+            approx_hh.output_dim(),
+            4 * self.hidden,
+            "hh output dim mismatch"
+        );
+        self.approx_ih = approx_ih;
+        self.approx_hh = approx_hh;
+    }
+
     /// Approximate gate pre-activations `a' = A_ih(x) + A_hh(h)`.
     pub fn approx_preactivations(&self, x: &Tensor, h_prev: &Tensor) -> Tensor {
         let mut a = self.approx_ih.forward(x);
@@ -152,6 +186,30 @@ impl DualLstmCell {
         state: &LstmState,
         thresholds: &RnnThresholds,
     ) -> DualRnnStepOutput {
+        self.step_impl(x, state, thresholds, None)
+    }
+
+    /// [`DualLstmCell::step`] watched by a [`SpeculationGuard`]: the guard
+    /// observes each gate's speculation round; tripped under
+    /// `FallbackDense` every gate runs bitwise-dense (see
+    /// [`crate::guard`]).
+    pub fn step_guarded(
+        &self,
+        x: &Tensor,
+        state: &LstmState,
+        thresholds: &RnnThresholds,
+        guard: &mut SpeculationGuard,
+    ) -> DualRnnStepOutput {
+        self.step_impl(x, state, thresholds, Some(guard))
+    }
+
+    fn step_impl(
+        &self,
+        x: &Tensor,
+        state: &LstmState,
+        thresholds: &RnnThresholds,
+        mut guard: Option<&mut SpeculationGuard>,
+    ) -> DualRnnStepOutput {
         assert_eq!(x.len(), self.input, "input length mismatch");
         assert_eq!(state.h.len(), self.hidden, "state length mismatch");
         let h = self.hidden;
@@ -173,7 +231,10 @@ impl DualLstmCell {
         let mut gate_maps = Vec::with_capacity(4);
         for (gi, policy) in policies.iter().enumerate() {
             let slice = Tensor::from_vec(a.data()[gi * h..(gi + 1) * h].to_vec(), &[h]);
-            let map = engine.speculate(policy, &slice);
+            let map = match guard.as_deref_mut() {
+                Some(g) => engine.speculate_guarded(policy, &slice, g),
+                None => engine.speculate(policy, &slice),
+            };
             // The rows are dense (no static pruning in the recurrent
             // teachers), so the §IV-B saving is whole skipped rows: a
             // weight row is fetched only when its gate lane is sensitive.
@@ -273,6 +334,39 @@ impl DualGruCell {
         self.hidden
     }
 
+    /// The input-to-hidden approximate module.
+    pub fn approx_ih(&self) -> &ApproxLinear {
+        &self.approx_ih
+    }
+
+    /// The hidden-to-hidden approximate module.
+    pub fn approx_hh(&self) -> &ApproxLinear {
+        &self.approx_hh
+    }
+
+    /// Replaces both approximate modules (fault injection / corrupted-
+    /// speculator studies); the accurate weights are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacements' dimensions disagree with the cell.
+    pub fn set_approx(&mut self, approx_ih: ApproxLinear, approx_hh: ApproxLinear) {
+        assert_eq!(approx_ih.input_dim(), self.input, "ih input dim mismatch");
+        assert_eq!(
+            approx_ih.output_dim(),
+            3 * self.hidden,
+            "ih output dim mismatch"
+        );
+        assert_eq!(approx_hh.input_dim(), self.hidden, "hh input dim mismatch");
+        assert_eq!(
+            approx_hh.output_dim(),
+            3 * self.hidden,
+            "hh output dim mismatch"
+        );
+        self.approx_ih = approx_ih;
+        self.approx_hh = approx_hh;
+    }
+
     /// Dense reference step.
     pub fn step_dense(&self, x: &Tensor, h_prev: &Tensor) -> Tensor {
         let ax = {
@@ -315,6 +409,30 @@ impl DualGruCell {
         h_prev: &Tensor,
         thresholds: &RnnThresholds,
     ) -> DualRnnStepOutput {
+        self.step_impl(x, h_prev, thresholds, None)
+    }
+
+    /// [`DualGruCell::step`] watched by a [`SpeculationGuard`]: the guard
+    /// observes each gate's speculation round; tripped under
+    /// `FallbackDense` every gate runs bitwise-dense (see
+    /// [`crate::guard`]).
+    pub fn step_guarded(
+        &self,
+        x: &Tensor,
+        h_prev: &Tensor,
+        thresholds: &RnnThresholds,
+        guard: &mut SpeculationGuard,
+    ) -> DualRnnStepOutput {
+        self.step_impl(x, h_prev, thresholds, Some(guard))
+    }
+
+    fn step_impl(
+        &self,
+        x: &Tensor,
+        h_prev: &Tensor,
+        thresholds: &RnnThresholds,
+        mut guard: Option<&mut SpeculationGuard>,
+    ) -> DualRnnStepOutput {
         assert_eq!(x.len(), self.input, "input length mismatch");
         assert_eq!(h_prev.len(), self.hidden, "state length mismatch");
         let h = self.hidden;
@@ -338,7 +456,10 @@ impl DualGruCell {
                     .collect(),
                 &[h],
             );
-            let map = engine.speculate(&policy, &slice);
+            let map = match guard.as_deref_mut() {
+                Some(g) => engine.speculate_guarded(&policy, &slice, g),
+                None => engine.speculate(&policy, &slice),
+            };
             let (axd, ahd) = (ax.data_mut(), ah.data_mut());
             engine.execute(&map, |rr, kernel| {
                 let row = gi * h + rr;
@@ -374,7 +495,11 @@ impl DualGruCell {
                 .collect(),
             &[h],
         );
-        let n_map = engine.speculate(&SwitchingPolicy::tanh(thresholds.theta_tanh), &n_pre_approx);
+        let n_policy = SwitchingPolicy::tanh(thresholds.theta_tanh);
+        let n_map = match guard {
+            Some(g) => engine.speculate_guarded(&n_policy, &n_pre_approx, g),
+            None => engine.speculate(&n_policy, &n_pre_approx),
+        };
         let (axd, ahd) = (ax.data_mut(), ah.data_mut());
         engine.execute(&n_map, |rr, kernel| {
             let row = 2 * h + rr;

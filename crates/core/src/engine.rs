@@ -18,6 +18,7 @@
 //! one per gate), and emits every metric exactly once in
 //! [`SpeculationEngine::finish`].
 
+use crate::guard::{DegradationPolicy, SpeculationGuard};
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
 use duet_tensor::Tensor;
@@ -207,6 +208,51 @@ impl SpeculationEngine {
     /// GLB footprint.
     pub fn speculate(&mut self, policy: &SwitchingPolicy, y_approx: &Tensor) -> SwitchingMap {
         let map = policy.map(y_approx);
+        self.account_map(&map);
+        map
+    }
+
+    /// [`SpeculationEngine::speculate`] watched by a
+    /// [`SpeculationGuard`]: feeds the approximate pre-activations and the
+    /// raw policy map's insensitive fraction to the guard, and — if the
+    /// guard is tripped under [`DegradationPolicy::FallbackDense`] —
+    /// replaces the map with the all-sensitive fallback so the layer runs
+    /// bitwise-dense. This is the single call site for all `core.guard.*`
+    /// telemetry.
+    ///
+    /// With [`DegradationPolicy::Off`] this is exactly
+    /// [`SpeculationEngine::speculate`]: no checks, no counters, no guard
+    /// state changes.
+    pub fn speculate_guarded(
+        &mut self,
+        policy: &SwitchingPolicy,
+        y_approx: &Tensor,
+        guard: &mut SpeculationGuard,
+    ) -> SwitchingMap {
+        if matches!(guard.config().policy, DegradationPolicy::Off) {
+            return self.speculate(policy, y_approx);
+        }
+        let nonfinite = y_approx.data().iter().any(|v| !v.is_finite());
+        let raw = policy.map(y_approx);
+        let obs = guard.observe(nonfinite, raw.insensitive_fraction());
+
+        duet_obs::counter!("core.guard.checks").inc();
+        if obs.nonfinite {
+            duet_obs::counter!("core.guard.nonfinite").inc();
+        }
+        if obs.anomalous {
+            duet_obs::counter!("core.guard.anomalies").inc();
+        }
+        if obs.newly_tripped {
+            duet_obs::counter!("core.guard.trips").inc();
+        }
+
+        let map = if obs.fallback {
+            duet_obs::counter!("core.guard.fallback_maps").inc();
+            SwitchingMap::all_sensitive(raw.len())
+        } else {
+            raw
+        };
         self.account_map(&map);
         map
     }

@@ -56,6 +56,7 @@ pub mod dual_layer;
 pub mod dual_net;
 pub mod dual_rnn;
 pub mod engine;
+pub mod guard;
 pub mod metrics;
 pub mod projection;
 pub mod switching;
@@ -66,6 +67,7 @@ pub use dual_conv::{DualConvLayer, DualConvOutput};
 pub use dual_layer::{DualModuleLayer, DualOutput};
 pub use dual_rnn::{DualGruCell, DualLstmCell};
 pub use engine::SpeculationEngine;
+pub use guard::{DegradationPolicy, GuardConfig, SpeculationGuard, SwitchRateBand};
 pub use metrics::SavingsReport;
 pub use projection::TernaryProjection;
 pub use switching::{SwitchingMap, SwitchingPolicy};

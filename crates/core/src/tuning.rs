@@ -79,15 +79,18 @@ pub fn best_memory_within_budget(points: &[SweepPoint], min_quality: f64) -> Opt
 
 /// Builds a linearly spaced threshold grid.
 ///
-/// # Panics
-///
-/// Panics if `n < 2` or `lo >= hi`.
-pub fn linspace(lo: f32, hi: f32, n: usize) -> Vec<f32> {
-    assert!(n >= 2, "need at least two grid points");
-    assert!(lo < hi, "grid range must be non-empty");
-    (0..n)
-        .map(|i| lo + (hi - lo) * i as f32 / (n - 1) as f32)
-        .collect()
+/// Returns `None` for a degenerate grid (`n < 2` or `lo >= hi`) instead
+/// of panicking — grid shapes often come from CLI flags or sweep configs,
+/// i.e. caller-supplied data.
+pub fn linspace(lo: f32, hi: f32, n: usize) -> Option<Vec<f32>> {
+    if n < 2 || lo >= hi {
+        return None;
+    }
+    Some(
+        (0..n)
+            .map(|i| lo + (hi - lo) * i as f32 / (n - 1) as f32)
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -115,7 +118,7 @@ mod tests {
 
     #[test]
     fn budget_selection_respects_quality_floor() {
-        let pts = sweep(&linspace(0.0, 5.0, 11), fake_eval);
+        let pts = sweep(&linspace(0.0, 5.0, 11).expect("valid grid"), fake_eval);
         let best = best_within_budget(&pts, 0.8).expect("some point qualifies");
         assert!(best.quality >= 0.8);
         // the most aggressive qualifying theta is 2.0
@@ -146,10 +149,18 @@ mod tests {
 
     #[test]
     fn linspace_endpoints() {
-        let g = linspace(-1.0, 1.0, 5);
+        let g = linspace(-1.0, 1.0, 5).expect("valid grid");
         assert_eq!(g.len(), 5);
         assert_eq!(g[0], -1.0);
         assert_eq!(g[4], 1.0);
         assert!((g[2]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn linspace_rejects_degenerate_grids() {
+        assert_eq!(linspace(0.0, 1.0, 1), None);
+        assert_eq!(linspace(0.0, 1.0, 0), None);
+        assert_eq!(linspace(1.0, 1.0, 5), None);
+        assert_eq!(linspace(2.0, 1.0, 5), None);
     }
 }

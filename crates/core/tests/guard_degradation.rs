@@ -1,0 +1,231 @@
+//! The watchdog's degradation contract: a NaN-poisoned Speculator under
+//! `FallbackDense` must yield **bitwise-dense** outputs (the all-sensitive
+//! fallback map makes the Executor recompute everything) and a nonzero
+//! trip count — for every variant. `WarnOnly` must observe without
+//! altering execution.
+
+use duet_core::dual_rnn::RnnThresholds;
+use duet_core::guard::DegradationPolicy;
+use duet_core::{
+    ApproxLinear, DualConvLayer, DualGruCell, DualLstmCell, DualModuleLayer, GuardConfig,
+    SpeculationGuard, SwitchingPolicy,
+};
+use duet_nn::lstm::LstmState;
+use duet_nn::{Activation, GruCell, LstmCell};
+use duet_tensor::im2col::ConvGeometry;
+use duet_tensor::rng::{self, seeded};
+use duet_tensor::Tensor;
+
+/// Rebuilds an approximate module with a NaN bias: every speculator
+/// output becomes non-finite while projection/weights stay intact.
+fn nan_poisoned(approx: &ApproxLinear) -> ApproxLinear {
+    ApproxLinear::from_quantized(
+        approx.projection().clone(),
+        approx.weights().clone(),
+        Tensor::full(&[approx.output_dim()], f32::NAN),
+        *approx.config(),
+    )
+}
+
+#[test]
+fn ff_nan_poison_falls_back_to_bitwise_dense() {
+    duet_obs::set_metrics_enabled(true);
+    let trips_before = duet_obs::registry::counter("core.guard.trips").get();
+
+    let mut r = seeded(101);
+    let w = rng::normal(&mut r, &[20, 40], 0.0, 0.2);
+    let b = rng::normal(&mut r, &[20], 0.0, 0.05);
+    let layer = DualModuleLayer::learn(&w, &b, Activation::Relu, 12, 200, &mut r);
+    let x = rng::normal(&mut r, &[40], 0.0, 1.0);
+
+    // bitwise-dense reference: the healthy layer under never-switch
+    let reference = layer.forward(&x, &SwitchingPolicy::never_switch());
+
+    let mut poisoned = layer.clone();
+    poisoned.set_approx(nan_poisoned(layer.approx()));
+    let mut guard =
+        SpeculationGuard::new(GuardConfig::fallback_dense(duet_core::SwitchRateBand::any()));
+    let out = poisoned.forward_guarded(&x, &SwitchingPolicy::relu(0.0), &mut guard);
+
+    assert!(guard.is_tripped());
+    assert!(guard.trips() > 0, "NaN speculator must trip the guard");
+    assert_eq!(
+        out.pre_activation.data(),
+        reference.pre_activation.data(),
+        "fallback must be bitwise the dense path"
+    );
+    assert_eq!(out.output.data(), reference.output.data());
+    assert!(out.output.data().iter().all(|v| v.is_finite()));
+    assert_eq!(
+        out.map.sensitive_count(),
+        20,
+        "fallback map is all-sensitive"
+    );
+
+    let trips_after = duet_obs::registry::counter("core.guard.trips").get();
+    assert!(
+        trips_after > trips_before,
+        "core.guard.trips must advance on a trip"
+    );
+}
+
+#[test]
+fn conv_nan_poison_falls_back_to_bitwise_dense() {
+    let mut r = seeded(102);
+    let geom = ConvGeometry {
+        in_channels: 2,
+        in_h: 6,
+        in_w: 6,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let filters = rng::normal(&mut r, &[4, 2, 3, 3], 0.0, 0.25);
+    let bias = rng::normal(&mut r, &[4], 0.0, 0.05);
+    let layer = DualConvLayer::learn(geom, &filters, &bias, 8, 200, &mut r);
+    let x = rng::normal(&mut r, &[2, 6, 6], 0.0, 1.0);
+
+    let reference = layer.forward(&x, &SwitchingPolicy::never_switch(), None);
+
+    let mut poisoned = layer.clone();
+    poisoned.set_approx(nan_poisoned(layer.approx()));
+    let mut guard =
+        SpeculationGuard::new(GuardConfig::fallback_dense(duet_core::SwitchRateBand::any()));
+    let out = poisoned.forward_guarded(&x, &SwitchingPolicy::relu(0.0), None, &mut guard);
+
+    assert!(guard.trips() > 0);
+    assert_eq!(out.output.data(), reference.output.data());
+    assert_eq!(out.omap, reference.omap);
+    assert!(out.output.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn lstm_nan_poison_falls_back_to_bitwise_dense() {
+    let mut r = seeded(103);
+    let cell = LstmCell::new(10, 8, &mut r);
+    let dual = DualLstmCell::learn(&cell, 8, 200, &mut r);
+    let x = rng::normal(&mut r, &[10], 0.0, 1.0);
+    let mut state = LstmState::zeros(8);
+    state.h = rng::normal(&mut r, &[8], 0.0, 0.5);
+    state.c = rng::normal(&mut r, &[8], 0.0, 0.5);
+
+    let reference = dual.step(&x, &state, &RnnThresholds::never_switch());
+
+    let mut poisoned = dual.clone();
+    poisoned.set_approx(
+        nan_poisoned(dual.approx_ih()),
+        nan_poisoned(dual.approx_hh()),
+    );
+    let mut guard =
+        SpeculationGuard::new(GuardConfig::fallback_dense(duet_core::SwitchRateBand::any()));
+    let th = RnnThresholds {
+        theta_sigmoid: 2.0,
+        theta_tanh: 1.5,
+    };
+    let out = poisoned.step_guarded(&x, &state, &th, &mut guard);
+
+    assert!(guard.trips() > 0);
+    assert_eq!(out.h.data(), reference.h.data());
+    assert_eq!(out.c.data(), reference.c.data());
+    assert!(out.h.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn gru_nan_poison_falls_back_to_bitwise_dense() {
+    let mut r = seeded(104);
+    let cell = GruCell::new(9, 7, &mut r);
+    let dual = DualGruCell::learn(&cell, 7, 200, &mut r);
+    let x = rng::normal(&mut r, &[9], 0.0, 1.0);
+    let h_prev = rng::normal(&mut r, &[7], 0.0, 0.5);
+
+    let reference = dual.step(&x, &h_prev, &RnnThresholds::never_switch());
+
+    let mut poisoned = dual.clone();
+    poisoned.set_approx(
+        nan_poisoned(dual.approx_ih()),
+        nan_poisoned(dual.approx_hh()),
+    );
+    let mut guard =
+        SpeculationGuard::new(GuardConfig::fallback_dense(duet_core::SwitchRateBand::any()));
+    let th = RnnThresholds {
+        theta_sigmoid: 2.0,
+        theta_tanh: 1.5,
+    };
+    let out = poisoned.step_guarded(&x, &h_prev, &th, &mut guard);
+
+    assert!(guard.trips() > 0);
+    assert_eq!(out.h.data(), reference.h.data());
+    assert!(out.h.data().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn warn_only_counts_but_does_not_alter_execution() {
+    let mut r = seeded(105);
+    let w = rng::normal(&mut r, &[16, 32], 0.0, 0.2);
+    let b = rng::normal(&mut r, &[16], 0.0, 0.05);
+    let layer = DualModuleLayer::learn(&w, &b, Activation::Relu, 8, 200, &mut r);
+    let x = rng::normal(&mut r, &[32], 0.0, 1.0);
+
+    let mut poisoned = layer.clone();
+    poisoned.set_approx(nan_poisoned(layer.approx()));
+
+    let unguarded = poisoned.forward(&x, &SwitchingPolicy::relu(0.0));
+    let mut guard = SpeculationGuard::new(GuardConfig::warn_only(duet_core::SwitchRateBand::any()));
+    let warned = poisoned.forward_guarded(&x, &SwitchingPolicy::relu(0.0), &mut guard);
+
+    assert!(guard.is_tripped(), "WarnOnly still detects and trips");
+    assert_eq!(guard.config().policy, DegradationPolicy::WarnOnly);
+    assert_eq!(guard.stats().fallback_maps, 0);
+    // execution is untouched: same map, bit-identical values (NaNs and
+    // all — compare bit patterns since NaN != NaN)
+    assert_eq!(warned.map, unguarded.map);
+    let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&warned.output), bits(&unguarded.output));
+}
+
+/// A switch-rate collapse (not NaN) also degrades to dense: feed a layer
+/// whose policy suddenly marks everything insensitive against a tight
+/// calibrated band.
+#[test]
+fn switch_rate_collapse_trips_after_streak_and_recovers() {
+    let mut r = seeded(106);
+    let w = rng::normal(&mut r, &[16, 32], 0.0, 0.2);
+    let b = rng::normal(&mut r, &[16], 0.0, 0.05);
+    let layer = DualModuleLayer::learn(&w, &b, Activation::Relu, 8, 200, &mut r);
+    let x = rng::normal(&mut r, &[32], 0.0, 1.0);
+
+    let cfg = GuardConfig {
+        ewma_alpha: 1.0,
+        trip_after: 2,
+        clear_after: 2,
+        ..GuardConfig::fallback_dense(duet_core::SwitchRateBand { lo: 0.0, hi: 0.8 })
+    };
+    let mut guard = SpeculationGuard::new(cfg);
+
+    // θ = +∞ marks every neuron insensitive: fraction 1.0, out of band
+    let collapse = SwitchingPolicy::relu(f32::INFINITY);
+    let first = layer.forward_guarded(&x, &collapse, &mut guard);
+    assert_eq!(first.report.outputs_exact, 0, "not yet tripped");
+    let second = layer.forward_guarded(&x, &collapse, &mut guard);
+    assert!(guard.is_tripped());
+    assert_eq!(
+        second.report.outputs_exact, 16,
+        "tripped layer runs fully dense"
+    );
+    let reference = layer.forward(&x, &SwitchingPolicy::never_switch());
+    assert_eq!(
+        second.pre_activation.data(),
+        reference.pre_activation.data()
+    );
+
+    // healthy maps clear the trip after the hysteresis run
+    let healthy = SwitchingPolicy::relu(0.0);
+    layer.forward_guarded(&x, &healthy, &mut guard);
+    layer.forward_guarded(&x, &healthy, &mut guard);
+    assert!(!guard.is_tripped(), "guard must recover");
+    let after = layer.forward_guarded(&x, &healthy, &mut guard);
+    let plain = layer.forward(&x, &healthy);
+    assert_eq!(after.pre_activation.data(), plain.pre_activation.data());
+    assert_eq!(after.map, plain.map);
+}

@@ -54,6 +54,7 @@ pub mod config;
 pub mod dram;
 pub mod energy;
 pub mod executor;
+pub mod fault;
 pub mod fc;
 pub mod glb;
 pub mod noc;

@@ -60,7 +60,7 @@ impl ReorderUnit {
                 cycles: 0,
             };
         }
-        let max = *workloads.iter().max().unwrap();
+        let max = workloads.iter().copied().max().unwrap_or(0);
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.buckets];
         for (ch, &w) in workloads.iter().enumerate() {
             // bucket 0 holds the heaviest channels; interval thresholds

@@ -4,7 +4,12 @@
 //! replayed later (e.g. to compare architecture variants on identical
 //! switching maps). The format is a small custom codec over plain byte
 //! slices: length-prefixed strings, little-endian integers, and
-//! bit-packed switching maps — the same packing the GLB uses.
+//! bit-packed switching maps — the same packing the GLB uses. Every blob
+//! ends with a little-endian u64 FNV-1a checksum of the preceding bytes;
+//! decoding verifies it *after* all structural checks, so corruption that
+//! slips past the structural validators (e.g. a flipped bitmap bit or a
+//! perturbed density field) is still rejected with
+//! [`DecodeTraceError::ChecksumMismatch`].
 
 use crate::trace::{ConvLayerTrace, RnnLayerTrace};
 use duet_core::switching::SwitchingMap;
@@ -40,6 +45,16 @@ pub enum DecodeTraceError {
     },
     /// A string field holds invalid UTF-8.
     BadUtf8,
+    /// The trailing FNV-1a checksum disagrees with the blob contents.
+    /// Verified after all structural checks, so this catches corruption
+    /// the structural validators cannot see (flipped bitmap bits,
+    /// perturbed float fields, garbled names that remain valid UTF-8).
+    ChecksumMismatch {
+        /// The checksum of the bytes actually present.
+        expected: u64,
+        /// The checksum stored in the blob.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for DecodeTraceError {
@@ -58,6 +73,10 @@ impl std::fmt::Display for DecodeTraceError {
                 "inconsistent trace blob: {field} is {found}, geometry implies {expected}"
             ),
             DecodeTraceError::BadUtf8 => write!(f, "trace string is not valid UTF-8"),
+            DecodeTraceError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "trace checksum mismatch: blob stores 0x{found:016x}, contents hash to 0x{expected:016x}"
+            ),
         }
     }
 }
@@ -101,6 +120,57 @@ impl<'a> Reader<'a> {
     fn get_usize_le(&mut self) -> Result<usize, DecodeTraceError> {
         Ok(self.get_u64_le()? as usize)
     }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends the trailing checksum to a finished blob body.
+fn seal(mut body: Vec<u8>) -> Vec<u8> {
+    let sum = fnv1a(&body);
+    body.extend_from_slice(&sum.to_le_bytes());
+    body
+}
+
+/// Splits a blob into its body and stored trailing checksum.
+fn split_checksum(buf: &[u8]) -> Result<(&[u8], u64), DecodeTraceError> {
+    if buf.len() < 8 {
+        return Err(DecodeTraceError::Truncated);
+    }
+    let (body, tail) = buf.split_at(buf.len() - 8);
+    Ok((body, u64::from_le_bytes(tail.try_into().expect("8 bytes"))))
+}
+
+/// Final decode gate: the body must be fully consumed and hash to the
+/// stored checksum. Runs after all structural checks so structural errors
+/// keep their specific variants.
+fn finish_decode(r: &Reader<'_>, body: &[u8], stored: u64) -> Result<(), DecodeTraceError> {
+    if r.remaining() != 0 {
+        return Err(DecodeTraceError::Inconsistent {
+            field: "trailing bytes",
+            expected: 0,
+            found: r.remaining() as u64,
+        });
+    }
+    let expected = fnv1a(body);
+    if expected != stored {
+        return Err(DecodeTraceError::ChecksumMismatch {
+            expected,
+            found: stored,
+        });
+    }
+    Ok(())
 }
 
 fn put_string(buf: &mut Vec<u8>, s: &str) {
@@ -161,7 +231,7 @@ pub fn encode_conv_trace(t: &ConvLayerTrace) -> Vec<u8> {
     buf.extend_from_slice(&t.input_density.to_bits().to_le_bytes());
     buf.extend_from_slice(&(t.reduced_dim as u64).to_le_bytes());
     put_bitmap(&mut buf, &t.omap);
-    buf
+    seal(buf)
 }
 
 /// Decodes a CONV trace.
@@ -169,10 +239,11 @@ pub fn encode_conv_trace(t: &ConvLayerTrace) -> Vec<u8> {
 /// # Errors
 ///
 /// Returns [`DecodeTraceError`] for truncated input, a wrong magic tag, a
-/// name that is not UTF-8, or a bitmap/weight count inconsistent with the
-/// layer geometry.
+/// name that is not UTF-8, a bitmap/weight count inconsistent with the
+/// layer geometry, trailing bytes, or a trailing-checksum mismatch.
 pub fn decode_conv_trace(buf: &[u8]) -> Result<ConvLayerTrace, DecodeTraceError> {
-    let mut r = Reader::new(buf);
+    let (body, stored) = split_checksum(buf)?;
+    let mut r = Reader::new(body);
     let magic = r.get_u32_le()?;
     if magic != CONV_MAGIC {
         return Err(DecodeTraceError::BadMagic { found: magic });
@@ -188,6 +259,7 @@ pub fn decode_conv_trace(buf: &[u8]) -> Result<ConvLayerTrace, DecodeTraceError>
     let omap = get_bitmap(&mut r)?;
     check_len("omap length", omap.len(), &[out_channels, positions])?;
     check_len("weight_elems", weight_elems, &[out_channels, patch_len])?;
+    finish_decode(&r, body, stored)?;
     Ok(ConvLayerTrace {
         name,
         out_channels,
@@ -211,7 +283,7 @@ pub fn encode_rnn_trace(t: &RnnLayerTrace) -> Vec<u8> {
     buf.extend_from_slice(&(t.input as u64).to_le_bytes());
     buf.extend_from_slice(&(t.steps as u64).to_le_bytes());
     put_bitmap(&mut buf, &t.maps);
-    buf
+    seal(buf)
 }
 
 /// Decodes an RNN trace.
@@ -219,10 +291,12 @@ pub fn encode_rnn_trace(t: &RnnLayerTrace) -> Vec<u8> {
 /// # Errors
 ///
 /// Returns [`DecodeTraceError`] for truncated input, a wrong magic tag, a
-/// name that is not UTF-8, or a switching-map length inconsistent with
-/// `steps × gates × hidden`.
+/// name that is not UTF-8, a switching-map length inconsistent with
+/// `steps × gates × hidden`, trailing bytes, or a trailing-checksum
+/// mismatch.
 pub fn decode_rnn_trace(buf: &[u8]) -> Result<RnnLayerTrace, DecodeTraceError> {
-    let mut r = Reader::new(buf);
+    let (body, stored) = split_checksum(buf)?;
+    let mut r = Reader::new(body);
     let magic = r.get_u32_le()?;
     if magic != RNN_MAGIC {
         return Err(DecodeTraceError::BadMagic { found: magic });
@@ -234,6 +308,7 @@ pub fn decode_rnn_trace(buf: &[u8]) -> Result<RnnLayerTrace, DecodeTraceError> {
     let steps = r.get_usize_le()?;
     let maps = get_bitmap(&mut r)?;
     check_len("maps length", maps.len(), &[steps, gates, hidden])?;
+    finish_decode(&r, body, stored)?;
     Ok(RnnLayerTrace {
         name,
         gates,
@@ -377,6 +452,49 @@ mod tests {
             }
             other => panic!("expected Inconsistent, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn flipped_bitmap_bit_fails_checksum() {
+        // A single flipped map bit is structurally valid — only the
+        // trailing checksum can catch it.
+        let t = ConvLayerTrace::synthetic("c", 8, 9, 16, 64, 0.5, 0.2, 1.0, 8, &mut seeded(9));
+        let mut blob = encode_conv_trace(&t);
+        let bitmap_start = blob.len() - 8 - (8usize * 9).div_ceil(8);
+        blob[bitmap_start] ^= 0x04;
+        assert!(matches!(
+            decode_conv_trace(&blob),
+            Err(DecodeTraceError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_checksum_itself_is_rejected() {
+        let t = RnnLayerTrace::synthetic("l", 3, 8, 8, 2, 0.5, &mut seeded(10));
+        let mut blob = encode_rnn_trace(&t);
+        let last = blob.len() - 1;
+        blob[last] ^= 0x01;
+        assert!(matches!(
+            decode_rnn_trace(&blob),
+            Err(DecodeTraceError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let t = RnnLayerTrace::synthetic("l", 3, 8, 8, 2, 0.5, &mut seeded(11));
+        let mut blob = encode_rnn_trace(&t);
+        // Splice junk between body and checksum: structurally the body now
+        // has unread bytes.
+        let at = blob.len() - 8;
+        blob.splice(at..at, [0u8; 4]);
+        assert!(matches!(
+            decode_rnn_trace(&blob),
+            Err(DecodeTraceError::Inconsistent {
+                field: "trailing bytes",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -244,3 +244,91 @@ fn wrong_magic_rejected() {
         Err(DecodeTraceError::BadMagic { .. })
     ));
 }
+
+// ---------------------------------------------------------------------
+// Byte-mutation fuzz sweep: every single-byte corruption of a valid blob
+// must decode to Err — never a panic, never a silent acceptance. The
+// trailing FNV-1a checksum makes this total: structural validators catch
+// geometry damage, the checksum catches everything else.
+// ---------------------------------------------------------------------
+
+/// Mutates every byte of `blob` through fixed XOR masks plus one seeded
+/// random replacement, feeding each mutant to `decode`. Asserts all
+/// mutants are rejected.
+fn fuzz_every_byte<T: std::fmt::Debug>(
+    blob: &[u8],
+    seed: u64,
+    decode: impl Fn(&[u8]) -> Result<T, DecodeTraceError>,
+) {
+    let mut rng = seeded(seed);
+    for i in 0..blob.len() {
+        let mut mutants: Vec<u8> = [0x01u8, 0x80, 0xff].iter().map(|m| blob[i] ^ m).collect();
+        let random = rng.next_u64() as u8;
+        if random != blob[i] {
+            mutants.push(random);
+        }
+        for v in mutants {
+            let mut m = blob.to_vec();
+            m[i] = v;
+            let out = decode(&m);
+            assert!(
+                out.is_err(),
+                "byte {i} set to 0x{v:02x} decoded successfully: {out:?}"
+            );
+        }
+    }
+    assert!(decode(blob).is_ok(), "pristine blob must still decode");
+}
+
+#[test]
+fn conv_blob_rejects_every_single_byte_mutation() {
+    let t = ConvLayerTrace::synthetic("cv", 6, 9, 16, 64, 0.5, 0.2, 1.0, 8, &mut seeded(60));
+    fuzz_every_byte(
+        &trace_io::encode_conv_trace(&t),
+        61,
+        trace_io::decode_conv_trace,
+    );
+}
+
+#[test]
+fn rnn_blob_rejects_every_single_byte_mutation() {
+    let t = RnnLayerTrace::synthetic("lz", 3, 16, 16, 3, 0.5, &mut seeded(62));
+    fuzz_every_byte(
+        &trace_io::encode_rnn_trace(&t),
+        63,
+        trace_io::decode_rnn_trace,
+    );
+}
+
+/// Length-field oversizing must error cleanly (no OOM from trusting a huge
+/// claimed size): every u64-aligned byte pair in the header region is
+/// blasted to huge values.
+#[test]
+fn oversized_length_fields_never_allocate_unchecked() {
+    let t = ConvLayerTrace::synthetic("cv", 6, 9, 16, 64, 0.5, 0.2, 1.0, 8, &mut seeded(64));
+    let blob = trace_io::encode_conv_trace(&t);
+    for off in (0..blob.len().saturating_sub(8)).step_by(4) {
+        let mut m = blob.to_vec();
+        m[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(trace_io::decode_conv_trace(&m).is_err(), "offset {off}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault campaign: grid-scale thread-count determinism.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fault_campaign_checksum_is_thread_count_invariant() {
+    use duet_sim::fault::{campaign_checksum, FaultCampaign};
+    let energy = EnergyTable::default();
+    let grid = small_grid();
+    let campaign = FaultCampaign::default_grid(2026);
+    let serial = campaign.run_with_threads(&grid, &energy, 1);
+    let sum = campaign_checksum(&serial);
+    for threads in [2, 4, 7] {
+        let par = campaign.run_with_threads(&grid, &energy, threads);
+        assert_eq!(serial, par, "campaign diverged at {threads} threads");
+        assert_eq!(sum, campaign_checksum(&par));
+    }
+}

@@ -1,0 +1,703 @@
+//! Crash-safe training checkpoints.
+//!
+//! A [`TrainCheckpoint`] captures everything a training loop needs to
+//! resume *bitwise* where it left off: parameter values, optimizer moment
+//! buffers and step counter, the RNG state, the epoch index, and any
+//! loop-private state (e.g. the shuffled sample order, which is permuted
+//! in place across epochs). Restoring a checkpoint and finishing the run
+//! reproduces the uninterrupted run's final weights exactly.
+//!
+//! The wire format is a small versioned binary codec: a magic tag and
+//! version word, then two sections (meta, params) each followed by a
+//! 64-bit FNV-1a checksum of its bytes. Decoding bounds-checks every
+//! read — a claimed tensor size is validated against the bytes actually
+//! present before any allocation — and verifies each section checksum, so
+//! corrupting any byte of a checkpoint file yields a typed
+//! [`CheckpointError`], never a panic or a silently wrong model.
+//! Saving writes to a temporary file in the same directory and renames it
+//! over the target, so a crash mid-write never destroys the previous
+//! checkpoint.
+
+use duet_nn::layer::Param;
+use duet_nn::Optimizer;
+use duet_tensor::Tensor;
+use std::path::Path;
+
+/// Magic bytes identifying a checkpoint blob ("DUCK": DUet ChecKpoint).
+const MAGIC: u32 = u32::from_le_bytes(*b"DUCK");
+/// Current wire-format version.
+const VERSION: u32 = 1;
+/// Sanity cap on tensor rank (the codecs in this repo never exceed 4).
+const MAX_RANK: u32 = 8;
+
+/// Errors from loading or storing a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem error (kind and message, stringified to stay `Clone`).
+    Io(String),
+    /// The blob does not start with the checkpoint magic.
+    BadMagic {
+        /// The tag found.
+        found: u32,
+    },
+    /// The blob's format version is not supported by this build.
+    Version {
+        /// The version found.
+        found: u32,
+    },
+    /// The blob is shorter than its structure requires (also covers
+    /// length fields that claim more bytes than are present — nothing is
+    /// allocated on their say-so).
+    Truncated,
+    /// A section checksum mismatch or structural impossibility: the named
+    /// section's bytes do not hash to the stored checksum, or a field
+    /// holds a value no writer produces.
+    Corrupt {
+        /// The section or field that failed validation.
+        section: &'static str,
+    },
+    /// The checkpoint is well-formed but does not fit the model being
+    /// restored (wrong parameter count or tensor shape).
+    Mismatch {
+        /// What disagreed.
+        what: &'static str,
+        /// The value the model implies.
+        expected: u64,
+        /// The value the checkpoint holds.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            CheckpointError::BadMagic { found } => {
+                write!(f, "bad checkpoint magic 0x{found:08x}")
+            }
+            CheckpointError::Version { found } => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {found} (this build reads {VERSION})"
+                )
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint blob truncated"),
+            CheckpointError::Corrupt { section } => {
+                write!(f, "checkpoint corrupt in section `{section}`")
+            }
+            CheckpointError::Mismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint does not fit model: {what} is {found}, model implies {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Per-parameter state: the value and both optimizer moment buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamState {
+    /// Parameter values.
+    pub value: Tensor,
+    /// First-moment buffer (momentum / Adam m).
+    pub moment1: Tensor,
+    /// Second-moment buffer (Adam v).
+    pub moment2: Tensor,
+}
+
+/// A complete training snapshot at an epoch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Number of epochs fully completed.
+    pub epoch: u64,
+    /// Optimizer, including Adam's step counter.
+    pub optimizer: Optimizer,
+    /// RNG state at the snapshot point ([`duet_tensor::rng::Rng::state`]).
+    pub rng_state: [u64; 4],
+    /// Loop-private state the trainer needs on resume (e.g. the current
+    /// sample-order permutation, which epochs mutate in place).
+    pub extra: Vec<u64>,
+    /// All trainable parameters in visit order.
+    pub params: Vec<ParamState>,
+}
+
+impl TrainCheckpoint {
+    /// Snapshots a model's parameters through its `visit_params` hook.
+    pub fn capture<V>(
+        epoch: u64,
+        optimizer: Optimizer,
+        rng_state: [u64; 4],
+        extra: Vec<u64>,
+        visit: V,
+    ) -> Self
+    where
+        V: FnOnce(&mut dyn FnMut(&mut Param)),
+    {
+        let mut params = Vec::new();
+        visit(&mut |p: &mut Param| {
+            params.push(ParamState {
+                value: p.value.clone(),
+                moment1: p.moment1.clone(),
+                moment2: p.moment2.clone(),
+            });
+        });
+        Self {
+            epoch,
+            optimizer,
+            rng_state,
+            extra,
+            params,
+        }
+    }
+
+    /// Writes parameter state back into a model through its `visit_params`
+    /// hook. Gradients are zeroed.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Mismatch`] if the parameter count or any tensor
+    /// shape disagrees with the model.
+    pub fn restore<V>(&self, visit: V) -> Result<(), CheckpointError>
+    where
+        V: FnOnce(&mut dyn FnMut(&mut Param)),
+    {
+        let mut i = 0usize;
+        let mut err = None;
+        visit(&mut |p: &mut Param| {
+            if err.is_some() {
+                return;
+            }
+            match self.params.get(i) {
+                None => {
+                    err = Some(CheckpointError::Mismatch {
+                        what: "parameter count",
+                        expected: i as u64 + 1,
+                        found: self.params.len() as u64,
+                    });
+                }
+                Some(ps) => {
+                    if ps.value.shape() != p.value.shape() {
+                        err = Some(CheckpointError::Mismatch {
+                            what: "parameter shape",
+                            expected: p.value.len() as u64,
+                            found: ps.value.len() as u64,
+                        });
+                    } else {
+                        p.value = ps.value.clone();
+                        p.moment1 = ps.moment1.clone();
+                        p.moment2 = ps.moment2.clone();
+                        p.zero_grad();
+                    }
+                }
+            }
+            i += 1;
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if i != self.params.len() {
+            return Err(CheckpointError::Mismatch {
+                what: "parameter count",
+                expected: i as u64,
+                found: self.params.len() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes the checkpoint to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+
+        // --- meta section ---
+        let meta_start = buf.len();
+        buf.extend_from_slice(&self.epoch.to_le_bytes());
+        for w in self.rng_state {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        put_optimizer(&mut buf, &self.optimizer);
+        buf.extend_from_slice(&(self.extra.len() as u64).to_le_bytes());
+        for &v in &self.extra {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let meta_sum = fnv1a(&buf[meta_start..]);
+        buf.extend_from_slice(&meta_sum.to_le_bytes());
+
+        // --- params section ---
+        let params_start = buf.len();
+        buf.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
+        for p in &self.params {
+            put_tensor(&mut buf, &p.value);
+            put_tensor(&mut buf, &p.moment1);
+            put_tensor(&mut buf, &p.moment2);
+        }
+        let params_sum = fnv1a(&buf[params_start..]);
+        buf.extend_from_slice(&params_sum.to_le_bytes());
+        buf
+    }
+
+    /// Deserializes a checkpoint from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`] variant except `Io`: every read is
+    /// bounds-checked and each section is checksum-verified, so arbitrary
+    /// corruption is rejected with a typed error, never a panic.
+    pub fn decode(buf: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::new(buf);
+        let magic = r.get_u32()?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic { found: magic });
+        }
+        let version = r.get_u32()?;
+        if version != VERSION {
+            return Err(CheckpointError::Version { found: version });
+        }
+
+        // --- meta section ---
+        let meta_start = r.pos;
+        let epoch = r.get_u64()?;
+        let mut rng_state = [0u64; 4];
+        for w in &mut rng_state {
+            *w = r.get_u64()?;
+        }
+        let optimizer = get_optimizer(&mut r)?;
+        let extra_len = r.get_u64()? as usize;
+        // An extra entry costs 8 bytes; reject counts the blob cannot hold
+        // before allocating.
+        if extra_len > r.remaining() / 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut extra = Vec::with_capacity(extra_len);
+        for _ in 0..extra_len {
+            extra.push(r.get_u64()?);
+        }
+        let meta_sum = fnv1a(&buf[meta_start..r.pos]);
+        if r.get_u64()? != meta_sum {
+            return Err(CheckpointError::Corrupt { section: "meta" });
+        }
+
+        // --- params section ---
+        let params_start = r.pos;
+        let count = r.get_u64()? as usize;
+        // A parameter is at least three minimal tensors (rank word each).
+        if count > r.remaining() / 12 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut params = Vec::with_capacity(count);
+        for _ in 0..count {
+            let value = get_tensor(&mut r)?;
+            let moment1 = get_tensor(&mut r)?;
+            let moment2 = get_tensor(&mut r)?;
+            if moment1.shape() != value.shape() || moment2.shape() != value.shape() {
+                return Err(CheckpointError::Corrupt { section: "params" });
+            }
+            params.push(ParamState {
+                value,
+                moment1,
+                moment2,
+            });
+        }
+        let params_sum = fnv1a(&buf[params_start..r.pos]);
+        if r.get_u64()? != params_sum {
+            return Err(CheckpointError::Corrupt { section: "params" });
+        }
+        if r.remaining() != 0 {
+            return Err(CheckpointError::Corrupt {
+                section: "trailing bytes",
+            });
+        }
+        Ok(Self {
+            epoch,
+            optimizer,
+            rng_state,
+            extra,
+            params,
+        })
+    }
+
+    /// Atomically writes the checkpoint to `path`: the bytes go to a
+    /// sibling temporary file first, which is then renamed over the
+    /// target, so a crash mid-write leaves any previous checkpoint intact.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let io = |e: std::io::Error| CheckpointError::Io(e.to_string());
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.encode()).map_err(io)?;
+        std::fs::rename(&tmp, path).map_err(io)
+    }
+
+    /// Reads and decodes a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failure, otherwise any decode
+    /// error from [`TrainCheckpoint::decode`].
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Self::decode(&bytes)
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Bounds-checked little-endian cursor.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn get_u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn get_f32(&mut self) -> Result<f32, CheckpointError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+}
+
+fn put_tensor(buf: &mut Vec<u8>, t: &Tensor) {
+    let dims = t.shape().dims();
+    buf.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+    for &d in dims {
+        buf.extend_from_slice(&(d as u64).to_le_bytes());
+    }
+    for &v in t.data() {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn get_tensor(r: &mut Reader<'_>) -> Result<Tensor, CheckpointError> {
+    let rank = r.get_u32()?;
+    if rank == 0 || rank > MAX_RANK {
+        return Err(CheckpointError::Corrupt { section: "params" });
+    }
+    let mut dims = Vec::with_capacity(rank as usize);
+    let mut count = 1u64;
+    for _ in 0..rank {
+        let d = r.get_u64()?;
+        count = count
+            .checked_mul(d)
+            .ok_or(CheckpointError::Corrupt { section: "params" })?;
+        dims.push(d as usize);
+    }
+    // Each element costs 4 bytes; validate against the bytes actually
+    // present before allocating anything of this size.
+    if count > (r.remaining() / 4) as u64 {
+        return Err(CheckpointError::Truncated);
+    }
+    let raw = r.take(count as usize * 4)?;
+    let data: Vec<f32> = raw
+        .chunks_exact(4)
+        .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+        .collect();
+    Ok(Tensor::from_vec(data, &dims))
+}
+
+const OPT_SGD: u8 = 0;
+const OPT_MOMENTUM: u8 = 1;
+const OPT_ADAM: u8 = 2;
+
+fn put_optimizer(buf: &mut Vec<u8>, opt: &Optimizer) {
+    match *opt {
+        Optimizer::Sgd { lr } => {
+            buf.push(OPT_SGD);
+            buf.extend_from_slice(&lr.to_bits().to_le_bytes());
+        }
+        Optimizer::Momentum { lr, momentum } => {
+            buf.push(OPT_MOMENTUM);
+            buf.extend_from_slice(&lr.to_bits().to_le_bytes());
+            buf.extend_from_slice(&momentum.to_bits().to_le_bytes());
+        }
+        Optimizer::Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t,
+        } => {
+            buf.push(OPT_ADAM);
+            buf.extend_from_slice(&lr.to_bits().to_le_bytes());
+            buf.extend_from_slice(&beta1.to_bits().to_le_bytes());
+            buf.extend_from_slice(&beta2.to_bits().to_le_bytes());
+            buf.extend_from_slice(&eps.to_bits().to_le_bytes());
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+    }
+}
+
+fn get_optimizer(r: &mut Reader<'_>) -> Result<Optimizer, CheckpointError> {
+    match r.get_u8()? {
+        OPT_SGD => Ok(Optimizer::Sgd { lr: r.get_f32()? }),
+        OPT_MOMENTUM => Ok(Optimizer::Momentum {
+            lr: r.get_f32()?,
+            momentum: r.get_f32()?,
+        }),
+        OPT_ADAM => Ok(Optimizer::Adam {
+            lr: r.get_f32()?,
+            beta1: r.get_f32()?,
+            beta2: r.get_f32()?,
+            eps: r.get_f32()?,
+            t: r.get_u64()?,
+        }),
+        _ => Err(CheckpointError::Corrupt { section: "meta" }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_tensor::rng::seeded;
+
+    fn sample_checkpoint() -> TrainCheckpoint {
+        let mut r = seeded(7);
+        let mut t = |dims: &[usize]| duet_tensor::rng::normal(&mut r, dims, 0.0, 0.3);
+        TrainCheckpoint {
+            epoch: 5,
+            optimizer: Optimizer::Adam {
+                lr: 0.01,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+                t: 40,
+            },
+            rng_state: [1, 2, 3, u64::MAX],
+            extra: vec![4, 0, 2, 1, 3],
+            params: vec![
+                ParamState {
+                    value: t(&[8, 4]),
+                    moment1: t(&[8, 4]),
+                    moment2: t(&[8, 4]),
+                },
+                ParamState {
+                    value: t(&[8]),
+                    moment1: t(&[8]),
+                    moment2: t(&[8]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let ck = sample_checkpoint();
+        let back = TrainCheckpoint::decode(&ck.encode()).expect("decode");
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn all_optimizer_variants_round_trip() {
+        for opt in [
+            Optimizer::sgd(0.1),
+            Optimizer::momentum(0.05),
+            Optimizer::adam(0.001),
+        ] {
+            let mut ck = sample_checkpoint();
+            ck.optimizer = opt.clone();
+            let back = TrainCheckpoint::decode(&ck.encode()).expect("decode");
+            assert_eq!(back.optimizer, opt);
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let blob = sample_checkpoint().encode();
+        let mut rng = seeded(11);
+        for i in 0..blob.len() {
+            let mut mutants = vec![blob[i] ^ 0x01, blob[i] ^ 0x80, blob[i] ^ 0xff];
+            let random = rng.next_u64() as u8;
+            if random != blob[i] {
+                mutants.push(random);
+            }
+            for v in mutants {
+                let mut m = blob.clone();
+                m[i] = v;
+                let out = TrainCheckpoint::decode(&m);
+                assert!(
+                    out.is_err(),
+                    "byte {i} set to 0x{v:02x} decoded successfully"
+                );
+            }
+        }
+        assert!(TrainCheckpoint::decode(&blob).is_ok());
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_rejected() {
+        let blob = sample_checkpoint().encode();
+        for cut in 0..blob.len() {
+            assert!(
+                TrainCheckpoint::decode(&blob[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut blob = sample_checkpoint().encode();
+        blob.push(0);
+        assert!(matches!(
+            TrainCheckpoint::decode(&blob),
+            Err(CheckpointError::Corrupt { .. }) | Err(CheckpointError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed() {
+        let blob = sample_checkpoint().encode();
+        let mut bad_magic = blob.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            TrainCheckpoint::decode(&bad_magic),
+            Err(CheckpointError::BadMagic { .. })
+        ));
+        let mut bad_version = blob;
+        bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            TrainCheckpoint::decode(&bad_version),
+            Err(CheckpointError::Version { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn huge_claimed_tensor_is_rejected_without_allocation() {
+        // Splice a tensor whose dims claim ~2^60 elements; the decoder
+        // must reject against the actual byte count, not allocate.
+        let ck = sample_checkpoint();
+        let mut blob = ck.encode();
+        // The first tensor's rank word sits right after the params count.
+        // Walk: magic 4 + version 4; meta: 8 + 32 + (1 + 20 + 8) opt-adam
+        // + 8 extra-count + 5*8 extra + 8 checksum; then 8 params count.
+        let meta_len = 8 + 32 + (1 + 16 + 8) + 8 + 5 * 8 + 8;
+        let dims_off = 8 + meta_len + 8 + 4; // + params count + rank word
+        blob[dims_off..dims_off + 8].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(TrainCheckpoint::decode(&blob).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let ck = sample_checkpoint();
+        let mut wrong = Param::new(Tensor::zeros(&[3, 3]));
+        let err = ck.restore(|f| f(&mut wrong)).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn restore_rejects_count_mismatch() {
+        let ck = sample_checkpoint();
+        let mut only = Param::new(Tensor::zeros(&[8, 4]));
+        let err = ck.restore(|f| f(&mut only)).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::Mismatch {
+                what: "parameter count",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn save_is_atomic_and_load_round_trips() {
+        let dir = std::env::temp_dir().join("duet_ckpt_test_atomic");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("mlp.ckpt");
+        let ck = sample_checkpoint();
+        ck.save(&path).expect("save");
+        // No temporary file left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("readdir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp file left behind");
+        let back = TrainCheckpoint::load(&path).expect("load");
+        assert_eq!(ck, back);
+        // Overwriting is also atomic: save again with new content.
+        let mut ck2 = ck.clone();
+        ck2.epoch = 9;
+        ck2.save(&path).expect("resave");
+        assert_eq!(TrainCheckpoint::load(&path).expect("reload").epoch, 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = TrainCheckpoint::load(Path::new("/nonexistent/duet.ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert!(CheckpointError::Truncated.to_string().contains("truncated"));
+        assert!(CheckpointError::BadMagic { found: 0xbeef }
+            .to_string()
+            .contains("beef"));
+        assert!(CheckpointError::Version { found: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(CheckpointError::Corrupt { section: "meta" }
+            .to_string()
+            .contains("meta"));
+        assert!(CheckpointError::Io("gone".into())
+            .to_string()
+            .contains("gone"));
+        assert!(CheckpointError::Mismatch {
+            what: "parameter shape",
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("shape"));
+    }
+}

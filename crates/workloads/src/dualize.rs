@@ -35,8 +35,9 @@ impl DualMlp {
         r: &mut Rng,
     ) -> Self {
         let linears = net.linear_layers();
-        assert!(!linears.is_empty(), "network has no linear layers");
-        let (last, hidden_layers) = linears.split_last().unwrap();
+        let Some((last, hidden_layers)) = linears.split_last() else {
+            panic!("network has no linear layers");
+        };
 
         // Collect calibration activations layer by layer.
         let n = calibration.len().min(256);
@@ -68,6 +69,17 @@ impl DualMlp {
             final_w: last.weight().clone(),
             final_b: last.bias().clone(),
         }
+    }
+
+    /// The dualized hidden layers.
+    pub fn hidden_layers(&self) -> &[DualModuleLayer] {
+        &self.hidden
+    }
+
+    /// Mutable access to the dualized hidden layers — lets fault-injection
+    /// harnesses corrupt or replace speculator state in place.
+    pub fn hidden_layers_mut(&mut self) -> &mut [DualModuleLayer] {
+        &mut self.hidden
     }
 
     /// Forward pass for one input vector at threshold θ.

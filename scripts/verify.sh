@@ -30,6 +30,28 @@ test -s results/BENCH_sim_smoke.json
 ./target/release/trace_check results/trace_verify.json
 rm -f results/trace_verify.json results/BENCH_sim_smoke.json results/METRICS_sim_smoke.json
 
+echo "== fault campaign determinism (fault_campaign --smoke at 1/4/7 threads) =="
+# The fault-injection campaign must be a pure function of its seed:
+# FAULTS_smoke.json (no timings, no thread counts) has to come out
+# byte-identical at any DUET_NUM_THREADS. Smoke output is scratch.
+rm -f results/FAULTS_smoke.json
+DUET_NUM_THREADS=1 ./target/release/fault_campaign --smoke >/dev/null
+mv results/FAULTS_smoke.json results/FAULTS_smoke.t1.json
+DUET_NUM_THREADS=4 ./target/release/fault_campaign --smoke >/dev/null
+mv results/FAULTS_smoke.json results/FAULTS_smoke.t4.json
+DUET_NUM_THREADS=7 ./target/release/fault_campaign --smoke >/dev/null
+cmp results/FAULTS_smoke.t1.json results/FAULTS_smoke.t4.json
+cmp results/FAULTS_smoke.t1.json results/FAULTS_smoke.json
+rm -f results/FAULTS_smoke.json results/FAULTS_smoke.t1.json results/FAULTS_smoke.t4.json
+
+echo "== checkpoint kill/resume (bitwise resume + corruption rejection) =="
+# The crash-safe trainer's contract: killing a run at an epoch boundary
+# and resuming reproduces the uninterrupted weights bitwise, and any
+# corrupted checkpoint byte surfaces a typed error, never a panic.
+cargo test -q -p duet-workloads --offline kill_and_resume_reproduces_uninterrupted_weights_bitwise
+cargo test -q -p duet-workloads --offline corrupted_checkpoint_surfaces_typed_error
+cargo test -q -p duet-workloads --offline every_single_byte_corruption_is_rejected
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
@@ -38,5 +60,11 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo clippy --workspace --all-targets --offline --features duet-bench/criterion -- -D warnings
 # the shimmed serde derives must stay lint-clean too
 cargo clippy --workspace --all-targets --offline --features duet/serde -- -D warnings
+
+echo "== cargo clippy (unwrap_used in library code) =="
+# Library code in the core pipeline crates must not use .unwrap() —
+# caller-facing failure paths are typed errors or documented panics.
+# Tests and bins are exempt (--lib only).
+cargo clippy --offline -p duet-core -p duet-sim -p duet-workloads --lib -- -D clippy::unwrap_used
 
 echo "verify: OK"
