@@ -31,6 +31,7 @@ const EXHIBITS: &[(&str, &str)] = &[
     ("Ablations", "ablations"),
     ("Faults", "fault_campaign"),
     ("Sensitivity", "sensitivity_analysis"),
+    ("Sparse", "sparse_bench"),
 ];
 
 /// Outcome of one exhibit binary.

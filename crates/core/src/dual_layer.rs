@@ -5,7 +5,9 @@
 
 use crate::approx::{ApproxConfig, ApproxLinear};
 use crate::distill;
-use crate::engine::{EngineCosts, ExecutorWeightBytes, Gather, MacMode, SpeculationEngine};
+use crate::engine::{
+    EngineCosts, ExecutorWeightBytes, Gather, MacMode, RowSegment, SpeculationEngine,
+};
 use crate::guard::SpeculationGuard;
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
@@ -198,13 +200,13 @@ impl DualModuleLayer {
         // fetch — dual-module processing composes with static compression
         // for free.
         let mut pre = y_approx;
-        let xd = x.data();
-        let wd = self.weight.data();
-        let bd = self.bias.data();
-        engine.execute_into(&map, pre.data_mut(), |i, kernel| {
-            let row = &wd[i * d..(i + 1) * d];
-            kernel.dot(bd[i], row, Gather::Dense(xd), MacMode::SkipZeroWeights)
-        });
+        let segments = [RowSegment {
+            weights: self.weight.data(),
+            d,
+            x: Gather::Dense(x.data()),
+            mode: MacMode::SkipZeroWeights,
+        }];
+        engine.execute_rows_into(&map, pre.data_mut(), 0, self.bias.data(), &segments);
 
         // 4. Activation on the mixed pre-activations.
         let output = self.activation.apply(&pre);

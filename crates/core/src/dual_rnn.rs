@@ -11,7 +11,9 @@
 
 use crate::approx::{ApproxConfig, ApproxLinear};
 use crate::distill;
-use crate::engine::{EngineCosts, ExecutorWeightBytes, Gather, MacMode, SpeculationEngine};
+use crate::engine::{
+    EngineCosts, ExecutorWeightBytes, Gather, MacMode, RowSegment, SpeculationEngine,
+};
 use crate::guard::SpeculationGuard;
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
@@ -238,21 +240,29 @@ impl DualLstmCell {
             // The rows are dense (no static pruning in the recurrent
             // teachers), so the §IV-B saving is whole skipped rows: a
             // weight row is fetched only when its gate lane is sensitive.
-            engine.execute_into(
+            // Gate lane `r` maps to weight/bias row `gi * h + r`; the two
+            // segments chain bias -> W_ih·x -> W_hh·h exactly as the old
+            // closure did.
+            let segments = [
+                RowSegment {
+                    weights: self.w_ih.data(),
+                    d,
+                    x: Gather::Dense(xd),
+                    mode: MacMode::Dense,
+                },
+                RowSegment {
+                    weights: self.w_hh.data(),
+                    d: h,
+                    x: Gather::Dense(hd),
+                    mode: MacMode::Dense,
+                },
+            ];
+            engine.execute_rows_into(
                 &map,
                 &mut a.data_mut()[gi * h..(gi + 1) * h],
-                |r, kernel| {
-                    let row = gi * h + r;
-                    let wrow_ih = &self.w_ih.data()[row * d..(row + 1) * d];
-                    let wrow_hh = &self.w_hh.data()[row * h..(row + 1) * h];
-                    let acc = kernel.dot(
-                        self.bias.data()[row],
-                        wrow_ih,
-                        Gather::Dense(xd),
-                        MacMode::Dense,
-                    );
-                    kernel.dot(acc, wrow_hh, Gather::Dense(hd), MacMode::Dense)
-                },
+                gi * h,
+                self.bias.data(),
+                &segments,
             );
             gate_maps.push(map);
         }

@@ -62,6 +62,24 @@ pub enum MacMode {
     },
 }
 
+/// One reduction segment of an accurate row: a row-major weight matrix,
+/// the operand it gathers, and the MAC-issue semantics. A row's dot
+/// product is `bias + Σ segments`, accumulated segment by segment in
+/// declaration order — an FF row is one segment (`W·x`), an RNN gate lane
+/// is two (`W_ih·x` then `W_hh·h`), matching each variant's historical
+/// accumulation order exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct RowSegment<'a> {
+    /// Row-major weight matrix data; row `i` is `weights[i*d..(i+1)*d]`.
+    pub weights: &'a [f32],
+    /// Row length (reduction dimension of this segment).
+    pub d: usize,
+    /// How the segment gathers its input operand.
+    pub x: Gather<'a>,
+    /// MAC-issue semantics of the segment.
+    pub mode: MacMode,
+}
+
 /// The row-sparse accurate kernel — the one place a sensitive output's
 /// dot product is computed. Counts MACs and touched weight words as it
 /// goes.
@@ -137,6 +155,61 @@ impl RowKernel {
             }
         }
         acc
+    }
+
+    /// Mask-compaction gather over one switching-map word: the set bits of
+    /// `word` are compacted into a lane batch (`trailing_zeros` / clear-
+    /// lowest-bit), and each selected row `base + lane` (offset by
+    /// `row_offset` into the weight/bias arrays) is computed as
+    /// `bias[row] + Σ segments` via [`RowKernel::dot`] — one batch per map
+    /// word instead of one callback per bit, with the gathered operand
+    /// staying hot across the whole batch. Results land in
+    /// `out[base + lane]`; the lane order (ascending) and per-row
+    /// accumulation order are exactly the bit-serial loop's, so outputs
+    /// are bitwise identical.
+    ///
+    /// Returns the number of lanes executed (the word's popcount).
+    pub fn dot_rows(
+        &mut self,
+        word: u64,
+        base: usize,
+        row_offset: usize,
+        bias: &[f32],
+        segments: &[RowSegment<'_>],
+        out: &mut [f32],
+    ) -> u32 {
+        let mut lanes = [0u8; 64];
+        let n = if word == u64::MAX {
+            // all-sensitive word: dense fast path, no bit extraction
+            for (i, l) in lanes.iter_mut().enumerate() {
+                *l = i as u8;
+            }
+            64
+        } else {
+            let mut n = 0usize;
+            let mut bits = word;
+            while bits != 0 {
+                lanes[n] = bits.trailing_zeros() as u8;
+                n += 1;
+                bits &= bits - 1;
+            }
+            n
+        };
+        for &lane in &lanes[..n] {
+            let local = base + lane as usize;
+            let row = row_offset + local;
+            let mut acc = bias[row];
+            for seg in segments {
+                acc = self.dot(
+                    acc,
+                    &seg.weights[row * seg.d..(row + 1) * seg.d],
+                    seg.x,
+                    seg.mode,
+                );
+            }
+            out[local] = acc;
+        }
+        n as u32
     }
 }
 
@@ -270,10 +343,38 @@ impl SpeculationEngine {
     /// The sparse-execute loop: runs `row` once per sensitive index, in
     /// ascending order, counting one exact output each. `row` receives
     /// the index and the shared [`RowKernel`].
+    ///
+    /// The map is consumed a whole `u64` word at a time, so skipping
+    /// costs O(popcount), not O(bits): all-insensitive (zero) words are
+    /// run-length skipped by [`SwitchingMap::iter_words`], all-sensitive
+    /// (`u64::MAX`-within-span) words take a dense fast path with no bit
+    /// extraction, and mixed words extract set bits with
+    /// `trailing_zeros` / clear-lowest-bit. Execution order is unchanged
+    /// (ascending index), so outputs and accounting are bitwise identical
+    /// to the historical index-by-index loop.
     pub fn execute(&mut self, map: &SwitchingMap, mut row: impl FnMut(usize, &mut RowKernel)) {
-        for i in map.sensitive_indices() {
-            row(i, &mut self.kernel);
-            self.outputs_exact += 1;
+        let len = map.len();
+        for (wi, w) in map.iter_words() {
+            let base = wi * 64;
+            let span = 64.min(len - base);
+            let full = if span == 64 {
+                u64::MAX
+            } else {
+                (1u64 << span) - 1
+            };
+            if w == full {
+                for i in base..base + span {
+                    row(i, &mut self.kernel);
+                }
+                self.outputs_exact += span as u64;
+            } else {
+                let mut bits = w;
+                while bits != 0 {
+                    row(base + bits.trailing_zeros() as usize, &mut self.kernel);
+                    self.outputs_exact += 1;
+                    bits &= bits - 1;
+                }
+            }
         }
     }
 
@@ -289,6 +390,42 @@ impl SpeculationEngine {
     ) {
         assert_eq!(out.len(), map.len(), "mix buffer length mismatch");
         self.execute(map, |i, k| out[i] = row(i, k));
+    }
+
+    /// The batched form of [`SpeculationEngine::execute_into`] for
+    /// variants whose rows are plain weight-matrix dot products: each
+    /// non-zero map word is handed to [`RowKernel::dot_rows`], which
+    /// mask-compacts the word's sensitive lanes and processes them as one
+    /// batch (the gathered operand stays hot across the batch, and the
+    /// per-bit closure dispatch disappears). `row_offset` maps local map
+    /// index `i` to weight/bias row `row_offset + i` — an RNN gate `g`
+    /// over a per-gate map passes `g * hidden`.
+    ///
+    /// Bitwise identical to the closure path: same lane order, same
+    /// per-row accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != map.len()`.
+    pub fn execute_rows_into(
+        &mut self,
+        map: &SwitchingMap,
+        out: &mut [f32],
+        row_offset: usize,
+        bias: &[f32],
+        segments: &[RowSegment<'_>],
+    ) {
+        assert_eq!(out.len(), map.len(), "mix buffer length mismatch");
+        let len = map.len();
+        for (wi, w) in map.iter_words() {
+            let base = wi * 64;
+            let span = 64.min(len - base);
+            debug_assert!(span == 64 || w < (1u64 << span), "tail bits must be zero");
+            let n = self
+                .kernel
+                .dot_rows(w, base, row_offset, bias, segments, out);
+            self.outputs_exact += n as u64;
+        }
     }
 
     /// Closes the invocation: assembles the [`SavingsReport`] and emits

@@ -219,6 +219,58 @@ impl SwitchingMap {
         n + (self.words[wb] & hi).count_ones() as usize
     }
 
+    /// Per-word popcounts over the packed backing words (tail bits past
+    /// `len` are invariantly zero, so the last count covers live bits
+    /// only). This is the word-granular form of the Executor's workload
+    /// accounting: summing it is [`SwitchingMap::sensitive_count`].
+    pub fn popcount_words(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().map(|w| w.count_ones())
+    }
+
+    /// Iterator over `(word_index, word)` pairs, **skipping all-zero
+    /// words** — the run-length skip of all-insensitive spans that makes
+    /// sparse execution cost O(popcount) instead of O(bits). Bit `b` of a
+    /// yielded word is neuron `word_index * 64 + b`.
+    pub fn iter_words(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &w)| (w != 0).then_some((i, w)))
+    }
+
+    /// Calls `f` for every sensitive index in `start..end`, ascending —
+    /// word-at-a-time (masked first/last word, zero words skipped,
+    /// `trailing_zeros` extraction inside a word). This is the ranged
+    /// companion of [`SwitchingMap::iter_words`] for consumers whose rows
+    /// are not word-aligned (e.g. one channel of a channel-major CONV
+    /// map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    pub fn for_each_sensitive_in(&self, start: usize, end: usize, mut f: impl FnMut(usize)) {
+        assert!(start <= end && end <= self.len, "range out of bounds");
+        if start == end {
+            return;
+        }
+        let (wa, wb) = (start / 64, (end - 1) / 64);
+        let lo = u64::MAX << (start % 64);
+        let hi = tail_mask(end);
+        for wi in wa..=wb {
+            let mut w = self.words[wi];
+            if wi == wa {
+                w &= lo;
+            }
+            if wi == wb {
+                w &= hi;
+            }
+            while w != 0 {
+                f(wi * 64 + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+    }
+
     /// Fraction of insensitive neurons — the computation-saving
     /// opportunity.
     pub fn insensitive_fraction(&self) -> f64 {
@@ -543,6 +595,91 @@ mod tests {
         let m = SwitchingMap::from_packed(&[0b1111_1101], 3);
         assert_eq!(m.sensitive_count(), 2);
         assert_eq!(m, SwitchingMap::from_flags(vec![true, false, true]));
+    }
+
+    #[test]
+    fn word_combinators_match_bit_iteration_at_tail_lengths() {
+        // lengths chosen so len % 64 ∈ {0, 1, 63} plus small/multi-word
+        for n in [64usize, 128, 192, 1, 65, 129, 63, 127, 191] {
+            let flags: Vec<bool> = (0..n).map(|i| i % 3 == 0 || i % 13 == 5).collect();
+            let m = SwitchingMap::from_flags(flags.clone());
+
+            // popcount_words sums to sensitive_count and covers all words
+            assert_eq!(m.popcount_words().count(), n.div_ceil(64), "len {n}");
+            assert_eq!(
+                m.popcount_words().map(|c| c as usize).sum::<usize>(),
+                m.sensitive_count(),
+                "len {n}"
+            );
+
+            // iter_words reconstructs exactly the sensitive index set
+            let from_words: Vec<usize> = m
+                .iter_words()
+                .flat_map(|(wi, w)| {
+                    (0..64).filter_map(move |b| (w >> b & 1 == 1).then_some(wi * 64 + b))
+                })
+                .collect();
+            let want: Vec<usize> = (0..n).filter(|&i| flags[i]).collect();
+            assert_eq!(from_words, want, "len {n}");
+        }
+    }
+
+    #[test]
+    fn iter_words_skips_zero_words() {
+        // 3 words; middle word all-insensitive
+        let flags: Vec<bool> = (0..192)
+            .map(|i| !(64..128).contains(&i) && i % 5 == 0)
+            .collect();
+        let m = SwitchingMap::from_flags(flags);
+        let indices: Vec<usize> = m.iter_words().map(|(wi, _)| wi).collect();
+        assert_eq!(indices, vec![0, 2]);
+
+        assert_eq!(SwitchingMap::all_insensitive(200).iter_words().count(), 0);
+        assert_eq!(SwitchingMap::empty().iter_words().count(), 0);
+        assert_eq!(SwitchingMap::empty().popcount_words().count(), 0);
+    }
+
+    #[test]
+    fn for_each_sensitive_in_matches_filter() {
+        let flags: Vec<bool> = (0..300).map(|i| i % 5 == 0 || i % 17 == 0).collect();
+        let m = SwitchingMap::from_flags(flags.clone());
+        for (start, end) in [
+            (0, 0),
+            (0, 300),
+            (3, 64),
+            (64, 128),
+            (60, 70),
+            (1, 299),
+            (130, 131),
+            (0, 1),
+            (63, 65),
+            (128, 191),
+        ] {
+            let mut got = Vec::new();
+            m.for_each_sensitive_in(start, end, |i| got.push(i));
+            let want: Vec<usize> = (start..end).filter(|&i| flags[i]).collect();
+            assert_eq!(got, want, "{start}..{end}");
+        }
+    }
+
+    #[test]
+    fn tail_word_straggler_bits_survive_word_iteration() {
+        // a single set bit at every boundary-adjacent position
+        for n in [64usize, 65, 127, 191] {
+            for hot in [0, 1, 62, 63, n - 1] {
+                let mut m = SwitchingMap::all_insensitive(n);
+                m.union_in_place(&{
+                    let mut flags = vec![false; n];
+                    flags[hot] = true;
+                    SwitchingMap::from_flags(flags)
+                });
+                let got: Vec<(usize, u64)> = m.iter_words().collect();
+                assert_eq!(got.len(), 1, "len {n} hot {hot}");
+                assert_eq!(got[0].0, hot / 64, "len {n} hot {hot}");
+                assert_eq!(got[0].1, 1u64 << (hot % 64), "len {n} hot {hot}");
+                assert_eq!(m.popcount_words().sum::<u32>(), 1, "len {n} hot {hot}");
+            }
+        }
     }
 
     #[test]

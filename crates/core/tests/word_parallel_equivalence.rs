@@ -1,0 +1,215 @@
+//! Property sweep pinning the word-parallel sparse-execute loop to the
+//! historical index-by-index loop it replaced.
+//!
+//! The reference here is the *literal definition* of sparse execution —
+//! visit `(0..len).filter(|i| map.is_sensitive(i))` in ascending order,
+//! accumulate each row as `bias + Σ w·x` in element order — reimplemented
+//! with plain scalar loops, independent of the engine. Both engine paths
+//! (the closure `execute`/`execute_into` and the batched mask-compaction
+//! `execute_rows_into`) must reproduce it **bitwise**: same outputs, same
+//! visit order, same exact-output counts, same `SavingsReport` — over
+//! random maps at densities 0, ~0.5, 1, single-straggler-bit patterns,
+//! tail lengths `len % 64 ∈ {0, 1, 63}`, and 1/4/7 worker threads.
+
+use duet_core::engine::{EngineCosts, ExecutorWeightBytes, Gather, MacMode, RowSegment};
+use duet_core::{SavingsReport, SpeculationEngine, SwitchingMap};
+use duet_tensor::rng::{self, seeded, Rng};
+use duet_tensor::{parallel, Tensor};
+
+/// Map patterns the sweep covers, per length.
+fn sweep_maps(len: usize, r: &mut Rng) -> Vec<SwitchingMap> {
+    let mut maps = vec![
+        SwitchingMap::all_insensitive(len), // density 0
+        SwitchingMap::all_sensitive(len),   // density 1
+        SwitchingMap::from_flags((0..len).map(|_| r.random::<f64>() < 0.5).collect()),
+    ];
+    // single-straggler-bit patterns: first, last, and one interior bit
+    for straggler in [0, len - 1, len / 2] {
+        maps.push(SwitchingMap::from_flags(
+            (0..len).map(|i| i == straggler).collect(),
+        ));
+    }
+    maps
+}
+
+/// The old loop's row accumulation under `MacMode::SkipZeroWeights`,
+/// also counting the MACs/weight words the kernel must report.
+fn row_dot_skip_zero(bias: f32, weights: &[f32], x: &[f32], macs: &mut u64) -> f32 {
+    let mut acc = bias;
+    for (&w, &v) in weights.iter().zip(x) {
+        if w != 0.0 {
+            acc += w * v;
+            *macs += 1;
+        }
+    }
+    acc
+}
+
+struct Reference {
+    mixed: Vec<f32>,
+    visits: Vec<usize>,
+    macs: u64,
+}
+
+/// Literal index-by-index sparse execution over an FF-style row set.
+fn reference_execute(
+    map: &SwitchingMap,
+    approx: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    x: &[f32],
+    d: usize,
+) -> Reference {
+    let mut mixed = approx.to_vec();
+    let mut visits = Vec::new();
+    let mut macs = 0u64;
+    for i in (0..map.len()).filter(|&i| map.is_sensitive(i)) {
+        visits.push(i);
+        mixed[i] = row_dot_skip_zero(bias[i], &w[i * d..(i + 1) * d], x, &mut macs);
+    }
+    Reference {
+        mixed,
+        visits,
+        macs,
+    }
+}
+
+fn costs(n: usize, d: usize) -> EngineCosts {
+    EngineCosts {
+        dense_macs: (n * d) as u64,
+        dense_weight_bytes: (n * d * 2) as u64,
+        speculator_macs: (n * 4) as u64,
+        speculator_adds: 0,
+        speculator_weight_bytes: (n * 2) as u64,
+        executor_weight_bytes: ExecutorWeightBytes::CountedWords,
+    }
+}
+
+/// Runs the closure path on one map and returns (mixed, visits, report).
+fn run_closure_path(
+    map: &SwitchingMap,
+    approx: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    x: &[f32],
+    d: usize,
+) -> (Vec<f32>, Vec<usize>, SavingsReport) {
+    let n = map.len();
+    let mut engine = SpeculationEngine::new();
+    engine.account_map(map);
+    let mut mixed = approx.to_vec();
+    let mut visits = Vec::new();
+    engine.execute_into(map, &mut mixed, |i, kernel| {
+        visits.push(i);
+        kernel.dot(
+            bias[i],
+            &w[i * d..(i + 1) * d],
+            Gather::Dense(x),
+            MacMode::SkipZeroWeights,
+        )
+    });
+    let report = engine.finish(costs(n, d));
+    (mixed, visits, report)
+}
+
+/// Runs the batched mask-compaction path on one map.
+fn run_batched_path(
+    map: &SwitchingMap,
+    approx: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    x: &[f32],
+    d: usize,
+) -> (Vec<f32>, SavingsReport) {
+    let n = map.len();
+    let mut engine = SpeculationEngine::new();
+    engine.account_map(map);
+    let mut mixed = approx.to_vec();
+    let segments = [RowSegment {
+        weights: w,
+        d,
+        x: Gather::Dense(x),
+        mode: MacMode::SkipZeroWeights,
+    }];
+    engine.execute_rows_into(map, &mut mixed, 0, bias, &segments);
+    let report = engine.finish(costs(n, d));
+    (mixed, report)
+}
+
+#[test]
+fn word_parallel_execute_matches_index_loop_bitwise() {
+    // tail lengths: % 64 ∈ {0, 1, 63}, plus sub-word and multi-word
+    for (seed, len) in [
+        (41u64, 64usize),
+        (42, 128),
+        (43, 192),
+        (44, 1),
+        (45, 65),
+        (46, 129),
+        (47, 63),
+        (48, 127),
+        (49, 191),
+    ] {
+        let mut r = seeded(seed);
+        let d = 48;
+        let mut w = rng::normal(&mut r, &[len, d], 0.0, 0.5);
+        // sprinkle zero weights so SkipZeroWeights actually skips
+        for v in w.data_mut().iter_mut() {
+            if *v < -0.3 {
+                *v = 0.0;
+            }
+        }
+        let bias = rng::normal(&mut r, &[len], 0.0, 0.1);
+        let x = rng::normal(&mut r, &[d], 0.0, 1.0);
+        let approx = rng::normal(&mut r, &[len], 0.0, 1.0);
+
+        for (mi, map) in sweep_maps(len, &mut r).into_iter().enumerate() {
+            let what = format!("len {len} map {mi}");
+            let reference =
+                reference_execute(&map, approx.data(), w.data(), bias.data(), x.data(), d);
+            let (mixed, visits, report) =
+                run_closure_path(&map, approx.data(), w.data(), bias.data(), x.data(), d);
+            assert_eq!(visits, reference.visits, "{what}: visit order");
+            assert_eq!(mixed, reference.mixed, "{what}: outputs not bitwise");
+            assert_eq!(
+                report.outputs_exact,
+                reference.visits.len() as u64,
+                "{what}: exact count"
+            );
+            assert_eq!(report.executor_macs, reference.macs, "{what}: MACs");
+
+            let (batched, batched_report) =
+                run_batched_path(&map, approx.data(), w.data(), bias.data(), x.data(), d);
+            assert_eq!(batched, reference.mixed, "{what}: batched outputs");
+            assert_eq!(batched_report, report, "{what}: batched report");
+        }
+    }
+}
+
+#[test]
+fn word_parallel_execute_thread_invariant_at_1_4_7() {
+    let mut r = seeded(77);
+    let (len, d) = (130, 64);
+    let w = rng::normal(&mut r, &[len, d], 0.0, 0.5);
+    let bias = rng::normal(&mut r, &[len], 0.0, 0.1);
+    let approx = rng::normal(&mut r, &[len], 0.0, 1.0);
+    let maps = sweep_maps(len, &mut r);
+    let batch: Vec<Tensor> = (0..12)
+        .map(|_| rng::normal(&mut r, &[d], 0.0, 1.0))
+        .collect();
+
+    // One (map, input) execution per batch lane, fanned out over worker
+    // threads: the engine touches no shared state, so every thread count
+    // must produce bit-identical outputs and reports.
+    let run = |threads: usize| -> Vec<(Vec<f32>, SavingsReport)> {
+        parallel::map_indexed(batch.len(), threads, |bi| {
+            let map = &maps[bi % maps.len()];
+            let x = &batch[bi];
+            run_batched_path(map, approx.data(), w.data(), bias.data(), x.data(), d)
+        })
+    };
+    let serial = run(1);
+    for threads in [4, 7] {
+        assert_eq!(serial, run(threads), "threads={threads} diverged");
+    }
+}

@@ -118,18 +118,41 @@ pub fn run_conv_layer(
     let mut compute_cycles = 0u64;
     let mut executed_macs = 0u64;
 
+    // The accounting consumes the packed switching map a `u64` word at a
+    // time instead of branching on `is_sensitive` per position, mirroring
+    // the LUT tag hardware: when the per-output cost is
+    // position-independent (no input skipping) a channel's cycles/MACs
+    // are `popcount × cost`, and with input skipping only the *sensitive*
+    // positions are visited via masked bit extraction. Every total is
+    // bitwise identical to the historical per-position branch loop
+    // (integer sums over the same visit set).
     for group in order.chunks(rows) {
         // each row's accumulated cycles for this step
         let mut step_max = 0u64;
         for &ch in group {
             let mut row_cycles = 0u64;
-            for p in 0..trace.positions {
-                if feats.output_switching && !trace.is_sensitive(ch, p) {
-                    continue; // whole row skips the output via the LUT tag
+            if !feats.output_switching {
+                // dense walk: every position is an output
+                for p in 0..trace.positions {
+                    let (cycles, macs) = output_cost(ch, p);
+                    row_cycles += cycles;
+                    executed_macs += macs;
                 }
-                let (cycles, macs) = output_cost(ch, p);
-                row_cycles += cycles;
-                executed_macs += macs;
+            } else {
+                let lo = ch * trace.positions;
+                let hi = lo + trace.positions;
+                if !feats.input_skipping {
+                    // position-independent cost: one popcount per map word
+                    let sensitive = trace.omap.sensitive_count_in(lo, hi) as u64;
+                    row_cycles = sensitive * dense_output_cycles;
+                    executed_macs += sensitive * trace.patch_len as u64;
+                } else {
+                    trace.omap.for_each_sensitive_in(lo, hi, |idx| {
+                        let (cycles, macs) = output_cost(ch, idx - lo);
+                        row_cycles += cycles;
+                        executed_macs += macs;
+                    });
+                }
             }
             step_max = step_max.max(row_cycles);
         }
@@ -290,5 +313,99 @@ mod tests {
     fn bad_order_panics() {
         let t = trace(0.5, 0.1, 1.0);
         run_conv_layer(&t, &[0, 1], &ArchConfig::duet(), &EnergyTable::default());
+    }
+
+    /// The historical per-position accounting loop, kept verbatim as the
+    /// reference for the word-driven rewrite.
+    fn reference_totals(
+        trace: &ConvLayerTrace,
+        order: &[usize],
+        config: &ArchConfig,
+    ) -> (u64, u64) {
+        let rows = config.pe_rows;
+        let cols = config.pe_cols;
+        let feats = config.features;
+        let dense_output_cycles = (trace.patch_len as u64).div_ceil(cols as u64);
+        let output_cost = |channel: usize, position: usize| -> (u64, u64) {
+            if !feats.input_skipping {
+                return (dense_output_cycles, trace.patch_len as u64);
+            }
+            let macs = (trace.patch_len as f64 * trace.input_density)
+                .round()
+                .max(1.0);
+            let hc = (channel.wrapping_mul(2654435761) >> 3) % 1024;
+            let hp = (position.wrapping_mul(40503).wrapping_add(channel) >> 2) % 1024;
+            let jitter = 0.35 + 0.50 * (hc as f64 / 1023.0) + 0.15 * (hp as f64 / 1023.0);
+            let slowdown = 1.0 + (1.0 - trace.input_density) * jitter;
+            let cycles = ((macs * slowdown) / cols as f64).ceil().max(1.0) as u64;
+            (cycles, macs as u64)
+        };
+        let mut compute_cycles = 0u64;
+        let mut executed_macs = 0u64;
+        for group in order.chunks(rows) {
+            let mut step_max = 0u64;
+            for &ch in group {
+                let mut row_cycles = 0u64;
+                for p in 0..trace.positions {
+                    if feats.output_switching && !trace.is_sensitive(ch, p) {
+                        continue;
+                    }
+                    let (cycles, macs) = output_cost(ch, p);
+                    row_cycles += cycles;
+                    executed_macs += macs;
+                }
+                step_max = step_max.max(row_cycles);
+            }
+            compute_cycles += step_max;
+        }
+        (compute_cycles, executed_macs)
+    }
+
+    #[test]
+    fn word_driven_accounting_matches_bit_loop_bitwise() {
+        let et = EnergyTable::default();
+        let configs = [
+            ArchConfig::single_module(),
+            ArchConfig::duet().with_features(ExecutorFeatures::os()),
+            ArchConfig::duet().with_features(ExecutorFeatures::bos()),
+            ArchConfig::duet().with_features(ExecutorFeatures::ios()),
+            ArchConfig::duet(),
+        ];
+        let mut traces = vec![
+            trace(0.05, 0.02, 0.6),
+            trace(0.45, 0.35, 0.55),
+            trace(0.95, 0.02, 1.0),
+        ];
+        // density extremes the synthetic generator can't produce
+        for omap in [
+            duet_core::SwitchingMap::all_insensitive(64 * 196),
+            duet_core::SwitchingMap::all_sensitive(64 * 196),
+        ] {
+            traces.push(ConvLayerTrace::from_dual_conv(
+                "edge",
+                64,
+                196,
+                576,
+                32 * 28 * 28,
+                &omap,
+                0.6,
+                32,
+            ));
+        }
+        for t in &traces {
+            for cfg in &configs {
+                let order = if cfg.features.adaptive_mapping {
+                    ReorderUnit::new(cfg.pe_rows)
+                        .reorder(&t.channel_workloads(), t.outputs())
+                        .order
+                } else {
+                    natural_order(t)
+                };
+                let (ref_cycles, ref_macs) = reference_totals(t, &order, cfg);
+                let r = run_conv_layer(t, &order, cfg, &et);
+                assert_eq!(r.compute_cycles, ref_cycles, "cycles diverge: {cfg:?}");
+                assert_eq!(r.executed_macs, ref_macs, "macs diverge: {cfg:?}");
+            }
+        }
     }
 }

@@ -35,6 +35,18 @@
 //! keep the vector units fed. The stripe design above keeps the naive
 //! kernel's proven inner loop and attacks only its memory traffic.
 //!
+//! # SIMD dispatch
+//!
+//! Under the `simd` cargo feature, [`matmul`]'s stripe worker and the
+//! [`gemv`]/[`affine`]/[`dot`] row dots dispatch to the explicit vector
+//! kernels in `crate::simd` when the CPU supports them at runtime
+//! (AVX2+FMA on x86_64, NEON on aarch64) and `DUET_SIMD` is not `0`.
+//! The scalar kernels here remain the default *bitwise-stable* path —
+//! the SIMD kernels fuse multiply-adds, so they agree with the scalar
+//! order only to a few ULPs (pinned by `tests/simd_equivalence.rs`), and
+//! everything checksummed (committed bench artifacts, simulator runs) is
+//! produced with the default feature set.
+//!
 //! [`matmul_naive`] is the original three-loop kernel, kept as the
 //! reference implementation the blocked/parallel paths are tested against
 //! (they must agree within `1e-4`).
@@ -59,6 +71,53 @@ pub const BLOCKED_MIN_FLOPS: usize = 32 * 32 * 32;
 /// kernel fans out over threads; below this it runs serially regardless of
 /// [`parallel::num_threads`].
 pub const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
+
+/// Whether the `crate::simd` micro-kernels take over the hot loops for
+/// this call: compiled in, supported by the CPU, and not disabled via
+/// `DUET_SIMD=0`. Callers hoist this out of their row loops (the env
+/// check is re-read per kernel call, not per row).
+#[inline]
+fn simd_active() -> bool {
+    #[cfg(feature = "simd")]
+    return crate::simd::enabled();
+    #[cfg(not(feature = "simd"))]
+    false
+}
+
+/// Row-dot dispatch: the SIMD dot when `use_simd`, otherwise the scalar
+/// bitwise-stable [`dot_slices`].
+#[inline]
+fn dot_dispatch(use_simd: bool, a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(feature = "simd")]
+    if use_simd {
+        return crate::simd::dot(a, b);
+    }
+    let _ = use_simd;
+    dot_slices(a, b)
+}
+
+/// GEMM worker dispatch: the SIMD stripe kernel when `use_simd`,
+/// otherwise the scalar bitwise-stable [`gemm_rows`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows_dispatch(
+    use_simd: bool,
+    ad: &[f32],
+    bd: &[f32],
+    chunk: &mut [f32],
+    row0: usize,
+    rows_len: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(feature = "simd")]
+    if use_simd {
+        crate::simd::gemm_rows(ad, bd, chunk, row0, rows_len, k, n);
+        return;
+    }
+    let _ = use_simd;
+    gemm_rows(ad, bd, chunk, row0, rows_len, k, n);
+}
 
 fn assert_matmul_shapes(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
     assert_eq!(a.shape().rank(), 2, "matmul lhs must be 2-D");
@@ -121,6 +180,10 @@ pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
     duet_obs::gauge!("tensor.gemm.max_threads").set_max(threads as i64);
 
     let _call = duet_obs::span("tensor.gemm");
+    let use_simd = simd_active();
+    if use_simd {
+        duet_obs::counter!("tensor.gemm.simd").inc();
+    }
     let mut c = Tensor::zeros(&[m, n]);
     let ad = a.data();
     let bd = b.data();
@@ -129,7 +192,7 @@ pub fn matmul_with_threads(a: &Tensor, b: &Tensor, threads: usize) -> Tensor {
         // durations exposes load imbalance (max vs. p50), and in a trace
         // the stripes render as parallel slices on per-thread tracks.
         let _stripe = duet_obs::span("tensor.gemm.stripe");
-        gemm_rows(ad, bd, chunk, rows.start, rows.len(), k, n);
+        gemm_rows_dispatch(use_simd, ad, bd, chunk, rows.start, rows.len(), k, n);
     });
     c
 }
@@ -245,12 +308,13 @@ pub fn gemv_with_threads(w: &Tensor, x: &Tensor, threads: usize) -> Tensor {
     if threads == 1 {
         duet_obs::counter!("tensor.gemv.serial_fallback").inc();
     }
+    let use_simd = simd_active();
     let mut y = Tensor::zeros(&[n]);
     let wd = w.data();
     let xd = x.data();
     parallel::for_each_row_chunk(y.data_mut(), n, 1, threads, |rows, chunk| {
         for (local, i) in rows.enumerate() {
-            chunk[local] = dot_slices(&wd[i * d..(i + 1) * d], xd);
+            chunk[local] = dot_dispatch(use_simd, &wd[i * d..(i + 1) * d], xd);
         }
     });
     y
@@ -301,13 +365,14 @@ pub fn affine_with_threads(w: &Tensor, x: &Tensor, b: &Tensor, threads: usize) -
     };
     duet_obs::counter!("tensor.affine.calls").inc();
     duet_obs::counter!("tensor.affine.flops").add((2 * n * d + n) as u64);
+    let use_simd = simd_active();
     let mut y = Tensor::zeros(&[n]);
     let wd = w.data();
     let xd = x.data();
     let bd = b.data();
     parallel::for_each_row_chunk(y.data_mut(), n, 1, threads, |rows, chunk| {
         for (local, i) in rows.enumerate() {
-            chunk[local] = dot_slices(&wd[i * d..(i + 1) * d], xd) + bd[i];
+            chunk[local] = dot_dispatch(use_simd, &wd[i * d..(i + 1) * d], xd) + bd[i];
         }
     });
     y
@@ -364,7 +429,7 @@ pub fn axpy(alpha: f32, x: &Tensor, y: &mut Tensor) {
 /// Panics if lengths differ.
 pub fn dot(a: &Tensor, b: &Tensor) -> f32 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
-    dot_slices(a.data(), b.data())
+    dot_dispatch(simd_active(), a.data(), b.data())
 }
 
 /// Mean squared error between two tensors of the same shape.

@@ -1,0 +1,356 @@
+//! Feature-gated SIMD micro-kernels for the GEMM/GEMV hot loops.
+//!
+//! Compiled only under the `simd` cargo feature; dispatched at runtime so
+//! the binary stays portable:
+//!
+//! * on `x86_64`, [`cpu_supported`] probes AVX2 + FMA with
+//!   `is_x86_feature_detected!` and the kernels use 256-bit FMA
+//!   intrinsics over [`MR_SIMD`]-row stripes,
+//! * on `aarch64`, NEON (always present on the targets we build) with
+//!   128-bit `vfmaq_f32`,
+//! * anywhere else the safe scalar fallbacks run, so enabling the
+//!   feature never changes behaviour on unsupported hardware.
+//!
+//! # Numerical contract
+//!
+//! The default scalar kernels in [`crate::ops`] are the *bitwise-stable*
+//! path: their accumulation order is pinned by tests and by the committed
+//! bench exhibits. The SIMD kernels fuse multiply-add (single rounding)
+//! and accumulate in vector-lane order, so their results differ from the
+//! scalar path by a few ULPs; `tests/simd_equivalence.rs` pins that gap.
+//! Anything that must stay bitwise reproducible (committed `results/`
+//! artifacts, the simulator's checksummed runs) is generated with the
+//! default feature set.
+//!
+//! # Runtime override
+//!
+//! `DUET_SIMD=0` disables the SIMD path even when compiled in and
+//! supported — [`enabled`] re-reads the variable on every call, so a
+//! benchmark can compare scalar and SIMD kernels within one process.
+// SIMD intrinsics are the one place the workspace needs `unsafe`; every
+// call site carries a SAFETY note and the module is feature-gated.
+#![allow(unsafe_code)]
+
+/// Rows per stripe of the SIMD GEMM kernel. Wider than the scalar
+/// [`crate::ops::MR`] because the FMA inner loop retires the B row much
+/// faster, so more A rows can share one pass over B before the stripe's
+/// C segments overflow L1.
+pub const MR_SIMD: usize = 16;
+
+/// Whether this CPU can run the vector kernels (AVX2+FMA on `x86_64`,
+/// NEON on `aarch64`). Detection is cached by the standard library, so
+/// this is cheap to call.
+pub fn cpu_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        std::arch::is_aarch64_feature_detected!("neon")
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// Whether the SIMD path should be taken right now: the CPU supports it
+/// and `DUET_SIMD` is not set to `0`. The environment variable is read
+/// fresh on every call (callers hoist this out of their row loops), so
+/// `sparse_bench` can time scalar and SIMD kernels in one process.
+pub fn enabled() -> bool {
+    cpu_supported() && !matches!(std::env::var("DUET_SIMD").as_deref(), Ok("0"))
+}
+
+/// Vectorized dot product. Falls back to a scalar loop on CPUs without
+/// the required features, so it is always safe to call; results may
+/// differ from [`crate::ops::dot`]'s scalar order by a few ULPs.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: AVX2 + FMA presence was just verified at runtime.
+        return unsafe { x86::dot_avx2(&a[..n], &b[..n]) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: NEON presence was just verified at runtime.
+        return unsafe { arm::dot_neon(&a[..n], &b[..n]) };
+    }
+    dot_scalar(&a[..n], &b[..n])
+}
+
+/// Vectorized version of the blocked GEMM worker `ops::gemm_rows`: same
+/// row/column blocking and per-element zero skip, but [`MR_SIMD`]-row
+/// stripes and an FMA inner axpy. Falls back to a scalar loop on CPUs
+/// without the required features.
+pub fn gemm_rows(
+    ad: &[f32],
+    bd: &[f32],
+    chunk: &mut [f32],
+    row0: usize,
+    rows_len: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: AVX2 + FMA presence was just verified at runtime.
+        unsafe { x86::gemm_rows_avx2(ad, bd, chunk, row0, rows_len, k, n) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: NEON presence was just verified at runtime.
+        unsafe { arm::gemm_rows_neon(ad, bd, chunk, row0, rows_len, k, n) };
+        return;
+    }
+    gemm_rows_scalar(ad, bd, chunk, row0, rows_len, k, n);
+}
+
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+fn gemm_rows_scalar(
+    ad: &[f32],
+    bd: &[f32],
+    chunk: &mut [f32],
+    row0: usize,
+    rows_len: usize,
+    k: usize,
+    n: usize,
+) {
+    gemm_stripes(ad, bd, chunk, row0, rows_len, k, n, |av, brow, crow| {
+        for (cv, &bv) in crow.iter_mut().zip(brow) {
+            *cv += av * bv;
+        }
+    });
+}
+
+/// Shared stripe/panel walk of the SIMD GEMM: identical blocking logic
+/// for every backend, only the innermost axpy differs.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_stripes(
+    ad: &[f32],
+    bd: &[f32],
+    chunk: &mut [f32],
+    row0: usize,
+    rows_len: usize,
+    k: usize,
+    n: usize,
+    mut axpy: impl FnMut(f32, &[f32], &mut [f32]),
+) {
+    let nc = crate::ops::NC;
+    let mut i = 0;
+    while i < rows_len {
+        let mr = MR_SIMD.min(rows_len - i);
+        let arows = &ad[(row0 + i) * k..(row0 + i + mr) * k];
+        let crows = &mut chunk[i * n..(i + mr) * n];
+        let mut j0 = 0;
+        while j0 < n {
+            let w = nc.min(n - j0);
+            for kk in 0..k {
+                let brow = &bd[kk * n + j0..kk * n + j0 + w];
+                for r in 0..mr {
+                    let av = arows[r * k + kk];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    axpy(av, brow, &mut crows[r * n + j0..r * n + j0 + w]);
+                }
+            }
+            j0 += w;
+        }
+        i += mr;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_castps256_ps128, _mm256_extractf128_ps, _mm256_fmadd_ps,
+        _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_ps, _mm_add_ps,
+        _mm_add_ss, _mm_cvtss_f32, _mm_movehl_ps, _mm_shuffle_ps,
+    };
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 32 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 8)),
+                _mm256_loadu_ps(bp.add(i + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 16)),
+                _mm256_loadu_ps(bp.add(i + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 24)),
+                _mm256_loadu_ps(bp.add(i + 24)),
+                acc3,
+            );
+            i += 32;
+        }
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            i += 8;
+        }
+        let sum = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        let quad = _mm_add_ps(_mm256_castps256_ps128(sum), _mm256_extractf128_ps::<1>(sum));
+        let pair = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+        let one = _mm_add_ss(pair, _mm_shuffle_ps::<0b01>(pair, pair));
+        let mut total = _mm_cvtss_f32(one);
+        while i < n {
+            total += a[i] * b[i];
+            i += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 and FMA.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gemm_rows_avx2(
+        ad: &[f32],
+        bd: &[f32],
+        chunk: &mut [f32],
+        row0: usize,
+        rows_len: usize,
+        k: usize,
+        n: usize,
+    ) {
+        // The closure inherits this function's target features, so the
+        // intrinsics inline and vectorize.
+        super::gemm_stripes(ad, bd, chunk, row0, rows_len, k, n, |av, brow, crow| {
+            let w = crow.len();
+            let va = _mm256_set1_ps(av);
+            let (bp, cp) = (brow.as_ptr(), crow.as_mut_ptr());
+            let mut j = 0;
+            while j + 8 <= w {
+                // SAFETY: `j + 8 <= w` bounds the unaligned loads/store
+                // within both slices.
+                unsafe {
+                    let fused =
+                        _mm256_fmadd_ps(va, _mm256_loadu_ps(bp.add(j)), _mm256_loadu_ps(cp.add(j)));
+                    _mm256_storeu_ps(cp.add(j), fused);
+                }
+                j += 8;
+            }
+            while j < w {
+                crow[j] += av * brow[j];
+                j += 1;
+            }
+        });
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    use std::arch::aarch64::{vaddvq_f32, vdupq_n_f32, vfmaq_f32, vld1q_f32, vst1q_f32};
+
+    /// # Safety
+    ///
+    /// The CPU must support NEON.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dot_neon(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i + 8 <= n {
+            acc0 = vfmaq_f32(acc0, vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+            acc1 = vfmaq_f32(acc1, vld1q_f32(ap.add(i + 4)), vld1q_f32(bp.add(i + 4)));
+            i += 8;
+        }
+        while i + 4 <= n {
+            acc0 = vfmaq_f32(acc0, vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+            i += 4;
+        }
+        let mut total = vaddvq_f32(acc0) + vaddvq_f32(acc1);
+        while i < n {
+            total += a[i] * b[i];
+            i += 1;
+        }
+        total
+    }
+
+    /// # Safety
+    ///
+    /// The CPU must support NEON.
+    #[target_feature(enable = "neon")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gemm_rows_neon(
+        ad: &[f32],
+        bd: &[f32],
+        chunk: &mut [f32],
+        row0: usize,
+        rows_len: usize,
+        k: usize,
+        n: usize,
+    ) {
+        // The closure inherits this function's target features, so the
+        // intrinsics inline and vectorize.
+        super::gemm_stripes(ad, bd, chunk, row0, rows_len, k, n, |av, brow, crow| {
+            let w = crow.len();
+            let va = vdupq_n_f32(av);
+            let (bp, cp) = (brow.as_ptr(), crow.as_mut_ptr());
+            let mut j = 0;
+            while j + 4 <= w {
+                // SAFETY: `j + 4 <= w` bounds the loads/store within both
+                // slices.
+                unsafe {
+                    vst1q_f32(
+                        cp.add(j),
+                        vfmaq_f32(vld1q_f32(cp.add(j)), va, vld1q_f32(bp.add(j))),
+                    );
+                }
+                j += 4;
+            }
+            while j < w {
+                crow[j] += av * brow[j];
+                j += 1;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_fallbacks_match_ops_kernels() {
+        let a: Vec<f32> = (0..100).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..100).map(|i| (i as f32 * 0.11).cos()).collect();
+        let want: f32 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        assert_eq!(dot_scalar(&a, &b), want);
+    }
+
+    #[test]
+    fn enabled_honours_env_override() {
+        // Can't mutate the environment safely in tests; just pin the
+        // relation between the two predicates.
+        if !cpu_supported() {
+            assert!(!enabled());
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Pins the `simd` feature's numerical contract: the vector kernels may
+//! reorder/fuse multiply-adds, so they are not bitwise-equal to the
+//! scalar reference — but they must stay within a small max-ULP envelope
+//! of it (with an absolute floor for catastrophic-cancellation outputs
+//! near zero), and the scalar path must remain bitwise reachable at
+//! runtime via `DUET_SIMD=0`.
+//!
+//! Every test auto-skips (passes trivially) when the CPU lacks the
+//! vector features, so `--features simd` is safe to run anywhere.
+#![cfg(feature = "simd")]
+
+use duet_tensor::ops::{self, matmul_naive, matmul_with_threads};
+use duet_tensor::rng::{self, seeded};
+use duet_tensor::simd;
+
+/// Max acceptable ULP distance between the FMA-fused vector kernels and
+/// the scalar accumulation order, away from zero.
+const MAX_ULPS: u32 = 64;
+
+/// Absolute difference floor: when two accumulation orders of a long
+/// N(0,1) reduction cancel down to a near-zero output, the ULP metric
+/// degenerates (the rounding noise is relative to the *intermediate*
+/// sums, not the tiny result), so differences under the workspace's
+/// standard kernel tolerance (cf. `blocked_matches_naive_above_threshold`)
+/// are accepted outright. The ULP envelope still binds every
+/// well-conditioned output.
+const ABS_FLOOR: f32 = 1e-4;
+
+fn ulp_distance(a: f32, b: f32) -> u32 {
+    // Map the float line onto a monotone integer line (negative floats
+    // reflected), then distance is a subtraction.
+    fn key(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        i64::from(if bits < 0 {
+            i32::MIN.wrapping_sub(bits)
+        } else {
+            bits
+        })
+    }
+    (key(a) - key(b)).unsigned_abs().min(u64::from(u32::MAX)) as u32
+}
+
+fn assert_ulp_close(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        assert!(g.is_finite() && w.is_finite(), "{what}[{i}]: {g} vs {w}");
+        if (g - w).abs() <= ABS_FLOOR {
+            continue;
+        }
+        let ulps = ulp_distance(g, w);
+        assert!(
+            ulps <= MAX_ULPS,
+            "{what}[{i}]: {g} vs {w} differ by {ulps} ULPs"
+        );
+    }
+}
+
+#[test]
+fn simd_dot_within_ulp_envelope_of_scalar() {
+    if !simd::cpu_supported() {
+        eprintln!("skipping: CPU lacks AVX2/NEON");
+        return;
+    }
+    let mut r = seeded(900);
+    for len in [1, 3, 7, 8, 9, 31, 32, 33, 100, 257, 1024, 1031] {
+        let a = rng::normal(&mut r, &[len], 0.0, 1.0);
+        let b = rng::normal(&mut r, &[len], 0.0, 1.0);
+        let scalar: f32 = a.data().iter().zip(b.data()).map(|(&x, &y)| x * y).sum();
+        let vector = simd::dot(a.data(), b.data());
+        assert_ulp_close(&[vector], &[scalar], &format!("dot len {len}"));
+    }
+}
+
+#[test]
+fn simd_matmul_within_ulp_envelope_of_naive() {
+    if !simd::cpu_supported() {
+        eprintln!("skipping: CPU lacks AVX2/NEON");
+        return;
+    }
+    let mut r = seeded(901);
+    for (m, k, n) in [(33, 40, 37), (64, 64, 64), (61, 128, 5), (17, 300, 129)] {
+        let a = rng::normal(&mut r, &[m, k], 0.0, 1.0);
+        let b = rng::normal(&mut r, &[k, n], 0.0, 1.0);
+        let naive = matmul_naive(&a, &b);
+        let vector = matmul_with_threads(&a, &b, 1);
+        assert_ulp_close(vector.data(), naive.data(), &format!("matmul {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn simd_matmul_preserves_zero_skip_rows() {
+    if !simd::cpu_supported() {
+        eprintln!("skipping: CPU lacks AVX2/NEON");
+        return;
+    }
+    let mut r = seeded(902);
+    let mut a = rng::normal(&mut r, &[40, 48], 0.0, 1.0);
+    for j in 0..48 {
+        a.data_mut()[5 * 48 + j] = 0.0;
+        a.data_mut()[17 * 48 + j] = 0.0;
+    }
+    let b = rng::normal(&mut r, &[48, 36], 0.0, 1.0);
+    let c = matmul_with_threads(&a, &b, 1);
+    assert!(c.row(5).iter().all(|&v| v == 0.0), "zero row must survive");
+    assert!(c.row(17).iter().all(|&v| v == 0.0), "zero row must survive");
+    assert_ulp_close(c.data(), matmul_naive(&a, &b).data(), "zero-skip");
+}
+
+#[test]
+fn simd_gemv_and_affine_within_ulp_envelope() {
+    if !simd::cpu_supported() {
+        eprintln!("skipping: CPU lacks AVX2/NEON");
+        return;
+    }
+    let mut r = seeded(903);
+    let w = rng::normal(&mut r, &[300, 1000], 0.0, 1.0);
+    let x = rng::normal(&mut r, &[1000], 0.0, 1.0);
+    let b = rng::normal(&mut r, &[300], 0.0, 1.0);
+    let scalar_rows: Vec<f32> = (0..300)
+        .map(|i| {
+            w.data()[i * 1000..(i + 1) * 1000]
+                .iter()
+                .zip(x.data())
+                .map(|(&p, &q)| p * q)
+                .sum()
+        })
+        .collect();
+    let y = ops::gemv_with_threads(&w, &x, 1);
+    assert_ulp_close(y.data(), &scalar_rows, "gemv");
+    let ya = ops::affine_with_threads(&w, &x, &b, 1);
+    let with_bias: Vec<f32> = scalar_rows
+        .iter()
+        .zip(b.data())
+        .map(|(&r0, &bv)| r0 + bv)
+        .collect();
+    assert_ulp_close(ya.data(), &with_bias, "affine");
+}
+
+#[test]
+fn simd_kernels_deterministic_across_thread_counts() {
+    if !simd::cpu_supported() {
+        eprintln!("skipping: CPU lacks AVX2/NEON");
+        return;
+    }
+    // Per-row accumulation order is fixed regardless of how rows are
+    // chunked over workers, so even the SIMD path is thread-invariant.
+    let mut r = seeded(904);
+    let a = rng::normal(&mut r, &[96, 80], 0.0, 1.0);
+    let b = rng::normal(&mut r, &[80, 72], 0.0, 1.0);
+    let c1 = matmul_with_threads(&a, &b, 1);
+    for threads in [2, 3, 4, 8] {
+        assert_eq!(
+            c1,
+            matmul_with_threads(&a, &b, threads),
+            "threads={threads} must be bitwise identical"
+        );
+    }
+    let x = rng::normal(&mut r, &[1000], 0.0, 1.0);
+    let w = rng::normal(&mut r, &[300, 1000], 0.0, 1.0);
+    let y1 = ops::gemv_with_threads(&w, &x, 1);
+    for threads in [2, 4, 7] {
+        assert_eq!(y1, ops::gemv_with_threads(&w, &x, threads));
+    }
+}

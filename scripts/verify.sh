@@ -16,6 +16,14 @@ echo "== cargo test (DUET_NUM_THREADS=4) =="
 # sim suite with a pinned 4-thread fan-out to catch divergence.
 DUET_NUM_THREADS=4 cargo test -q -p duet-sim --offline
 
+echo "== cargo build + test (--features simd) =="
+# The SIMD micro-kernel lane: compiles the feature-gated intrinsics and
+# runs the full suite plus the ULP-equivalence pins. The SIMD tests
+# auto-skip (pass trivially) on CPUs without AVX2/NEON, so this lane is
+# safe everywhere; dispatch falls back to the scalar kernels at runtime.
+cargo build --workspace --release --offline --features duet-tensor/simd
+cargo test -q --workspace --offline --features duet-tensor/simd
+
 echo "== telemetry smoke (sim_bench --smoke under DUET_TRACE) =="
 # End-to-end telemetry check: a reduced sweep with metrics + tracing on
 # must produce a parseable, balanced Chrome trace (trace_check uses the
@@ -29,6 +37,17 @@ test -s results/trace_verify.json
 test -s results/BENCH_sim_smoke.json
 ./target/release/trace_check results/trace_verify.json
 rm -f results/trace_verify.json results/BENCH_sim_smoke.json results/METRICS_sim_smoke.json
+
+echo "== sparse skip-throughput smoke (sparse_bench --smoke under DUET_METRICS=1) =="
+# Word-parallel map scanning must visit the same sensitive set as the
+# bit-serial reference (in-binary checksum assertion); metrics on to
+# exercise the kernels' counters. Smoke output is scratch. Note the
+# release binary here is the simd-featured build from the lane above, so
+# on capable CPUs the GEMM scalar-vs-SIMD comparison runs for real.
+rm -f results/BENCH_sparse_smoke.json
+DUET_METRICS=1 ./target/release/sparse_bench --smoke
+test -s results/BENCH_sparse_smoke.json
+rm -f results/BENCH_sparse_smoke.json
 
 echo "== fault campaign determinism (fault_campaign --smoke at 1/4/7 threads) =="
 # The fault-injection campaign must be a pure function of its seed:
@@ -60,6 +79,8 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo clippy --workspace --all-targets --offline --features duet-bench/criterion -- -D warnings
 # the shimmed serde derives must stay lint-clean too
 cargo clippy --workspace --all-targets --offline --features duet/serde -- -D warnings
+# and the feature-gated SIMD intrinsics
+cargo clippy --workspace --all-targets --offline --features duet-tensor/simd -- -D warnings
 
 echo "== cargo clippy (unwrap_used in library code) =="
 # Library code in the core pipeline crates must not use .unwrap() —
