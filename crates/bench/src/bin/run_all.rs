@@ -32,6 +32,7 @@ const EXHIBITS: &[(&str, &str)] = &[
     ("Faults", "fault_campaign"),
     ("Sensitivity", "sensitivity_analysis"),
     ("Sparse", "sparse_bench"),
+    ("Serve", "serve_bench"),
 ];
 
 /// Outcome of one exhibit binary.

@@ -42,6 +42,17 @@ pub fn forward_batch(
     assert_eq!(d, layer.input_dim(), "input width mismatch");
     let n = layer.output_dim();
 
+    // A micro-batcher can legitimately flush an empty batch; it performs
+    // no work and reports none (no thread fan-out, no per-batch weight
+    // amortization to divide by zero on).
+    if b == 0 {
+        return BatchDualOutput {
+            output: Tensor::zeros(&[0, n]),
+            maps: Vec::new(),
+            report: SavingsReport::new(),
+        };
+    }
+
     let mut output = Tensor::zeros(&[b, n]);
     let mut maps = Vec::with_capacity(b);
     let mut report = SavingsReport::new();
@@ -75,9 +86,15 @@ pub fn forward_batch(
 }
 
 /// Dense batched reference for comparison (also sample-parallel).
+///
+/// # Panics
+///
+/// Panics if `x` is not `[B, d]` with `d` matching the layer.
 pub fn forward_batch_dense(layer: &DualModuleLayer, x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 2, "batched input must be [B, d]");
     let b = x.shape().dim(0);
     let d = x.shape().dim(1);
+    assert_eq!(d, layer.input_dim(), "input width mismatch");
     let n = layer.output_dim();
     let mut out = Tensor::zeros(&[b, n]);
     parallel::for_each_row_chunk(
@@ -164,6 +181,60 @@ mod tests {
             .max()
             .unwrap();
         assert!(touched >= max_single);
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_output() {
+        // A micro-batcher can flush an empty batch: no panic, no
+        // zero-thread fan-out, no divide-by-zero amortization.
+        let (layer, _) = layer();
+        let x = Tensor::zeros(&[0, 48]);
+        let out = forward_batch(&layer, &x, &SwitchingPolicy::relu(0.0));
+        assert_eq!(out.output.shape().dims(), &[0, 24]);
+        assert!(out.output.is_empty());
+        assert!(out.maps.is_empty());
+        assert_eq!(out.report, SavingsReport::new());
+        // the empty aggregate report keeps its neutral ratios (the PR 3
+        // empty-report guards cover aggregation over zero samples)
+        assert_eq!(out.report.flops_reduction(), 1.0);
+        assert_eq!(out.report.weight_access_reduction(), 1.0);
+        assert_eq!(out.report.approximate_fraction(), 0.0);
+        // and the dense reference accepts the same degenerate batch
+        let dense = forward_batch_dense(&layer, &x);
+        assert_eq!(dense.shape().dims(), &[0, 24]);
+    }
+
+    #[test]
+    fn single_sample_batch_matches_forward() {
+        let (layer, mut r) = layer();
+        let x = rng::normal(&mut r, &[1, 48], 0.0, 1.0);
+        let batch = forward_batch(&layer, &x, &SwitchingPolicy::relu(0.0));
+        let row = Tensor::from_vec(x.row(0).to_vec(), &[48]);
+        let single = layer.forward(&row, &SwitchingPolicy::relu(0.0));
+        assert_eq!(batch.output.row(0), single.output.data());
+        assert_eq!(batch.maps.len(), 1);
+        assert_eq!(batch.maps[0], single.map);
+        // B == 1 amortizes nothing: the speculator loads once either way
+        assert_eq!(
+            batch.report.speculator_weight_bytes,
+            single.report.speculator_weight_bytes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "batched input must be [B, d]")]
+    fn dense_rejects_non_matrix_input() {
+        let (layer, mut r) = layer();
+        let x = rng::normal(&mut r, &[48], 0.0, 1.0);
+        forward_batch_dense(&layer, &x);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn dense_rejects_wrong_width() {
+        let (layer, mut r) = layer();
+        let x = rng::normal(&mut r, &[4, 47], 0.0, 1.0);
+        forward_batch_dense(&layer, &x);
     }
 
     #[test]

@@ -305,6 +305,13 @@ impl SpeculationEngine {
         if matches!(guard.config().policy, DegradationPolicy::Off) {
             return self.speculate(policy, y_approx);
         }
+        // A zero-length output says nothing about speculator health: an
+        // empty map's insensitive fraction is a synthetic 0.0 that would
+        // drag the EWMA out of band and trip the guard on degenerate
+        // (e.g. empty-batch) inputs. Nothing to observe — skip the guard.
+        if y_approx.is_empty() {
+            return self.speculate(policy, y_approx);
+        }
         let nonfinite = y_approx.data().iter().any(|v| !v.is_finite());
         let raw = policy.map(y_approx);
         let obs = guard.observe(nonfinite, raw.insensitive_fraction());
@@ -539,6 +546,34 @@ mod tests {
         assert_eq!(report.outputs_total, 4);
         assert_eq!(report.outputs_exact, 2);
         assert_eq!(report.executor_weight_bytes, 0, "no dot() ⇒ no words");
+    }
+
+    #[test]
+    fn zero_length_output_does_not_move_the_guard() {
+        use crate::guard::{GuardConfig, SpeculationGuard, SwitchRateBand};
+        // A band whose floor is above 0.0: an empty map's synthetic 0.0
+        // insensitive fraction would read as out-of-band if observed.
+        let cfg = GuardConfig {
+            ewma_alpha: 1.0,
+            ..GuardConfig::fallback_dense(SwitchRateBand { lo: 0.2, hi: 0.8 })
+        };
+        let mut guard = SpeculationGuard::new(cfg);
+        let empty = Tensor::zeros(&[0]);
+        for _ in 0..10 {
+            let mut e = SpeculationEngine::new();
+            let map = e.speculate_guarded(&SwitchingPolicy::relu(0.0), &empty, &mut guard);
+            assert!(map.is_empty());
+        }
+        assert!(!guard.is_tripped());
+        assert_eq!(guard.stats().checks, 0, "empty outputs are not observed");
+        assert_eq!(guard.ewma(), None);
+        // a healthy non-empty observation afterwards behaves as if the
+        // empty rounds never happened
+        let mut e = SpeculationEngine::new();
+        let y = Tensor::from_vec(vec![-1.0, -2.0, 3.0, 4.0], &[4]);
+        e.speculate_guarded(&SwitchingPolicy::relu(0.0), &y, &mut guard);
+        assert!(!guard.is_tripped());
+        assert_eq!(guard.stats().checks, 1);
     }
 
     #[test]

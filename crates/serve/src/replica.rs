@@ -1,0 +1,278 @@
+//! Model replicas: batch execution, overload → θ mapping, guard wiring.
+//!
+//! Each replica owns a clone of its model's [`DualModuleLayer`] plus its
+//! own [`SpeculationGuard`]. Under overload the admission level shifts
+//! the switching threshold θ toward the activation's insensitive region
+//! (more outputs keep the speculator value → cheaper batch); a tripped
+//! guard overrides everything and serves bitwise-dense until it clears
+//! ([`DegradationPolicy::FallbackDense`]), exactly the degradation
+//! ladder the guard defines for the training path.
+
+use crate::request::InferenceRequest;
+use duet_core::batch::{forward_batch, BatchDualOutput};
+use duet_core::dual_layer::DualModuleLayer;
+use duet_core::guard::{DegradationPolicy, GuardConfig, SpeculationGuard};
+use duet_core::metrics::SavingsReport;
+use duet_core::switching::SwitchingPolicy;
+use duet_nn::Activation;
+use duet_tensor::Tensor;
+
+/// How overload degrades θ, per admission level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OverloadPolicy {
+    /// Full-quality policy at level 0 (tuned offline per model).
+    pub base: SwitchingPolicy,
+    /// θ shift applied per degradation level, always toward the
+    /// activation's insensitive region.
+    pub theta_step: f32,
+}
+
+impl OverloadPolicy {
+    /// The switching policy for a given degradation level.
+    ///
+    /// ReLU marks `y' < θ` insensitive, so degradation *raises* θ;
+    /// sigmoid/tanh mark `|y'| > θ` insensitive, so degradation *lowers*
+    /// θ (floored at 0). The never-switch baseline (Identity) has no
+    /// insensitive region to widen and is returned unchanged.
+    pub fn policy_for(&self, level: u8) -> SwitchingPolicy {
+        let shift = self.theta_step * f32::from(level);
+        let theta = match self.base.activation {
+            Activation::Relu => self.base.theta + shift,
+            Activation::Sigmoid | Activation::Tanh => (self.base.theta - shift).max(0.0),
+            Activation::Identity => self.base.theta,
+        };
+        SwitchingPolicy {
+            activation: self.base.activation,
+            theta,
+        }
+    }
+}
+
+/// Converts a batch's accounted work into virtual service ticks.
+///
+/// The cost model mirrors the hardware's relative rates: executor MACs
+/// at full precision, speculator MACs at the cheap approximate rate
+/// (16× denser per tick), ternary adds cheaper still. Integer arithmetic
+/// only — this is what keeps replayed latencies byte-identical at any
+/// thread count.
+pub fn service_ticks(report: &SavingsReport, macs_per_tick: u64, overhead_ticks: u64) -> u64 {
+    debug_assert!(macs_per_tick > 0, "macs_per_tick must be positive");
+    let work = report.executor_macs + report.speculator_macs / 16 + report.speculator_adds / 32;
+    overhead_ticks + work.div_ceil(macs_per_tick)
+}
+
+/// Result of running one batch on a replica.
+#[derive(Debug)]
+pub struct BatchExecution {
+    /// The batched dual-module result (output `[B, n]`, maps, report).
+    pub result: BatchDualOutput,
+    /// Whether the batch ran bitwise-dense (guard fallback).
+    pub dense: bool,
+    /// Whether any output element was non-finite.
+    pub nonfinite: bool,
+    /// Mean insensitive fraction over the batch's maps (0 for empty).
+    pub insensitive_fraction: f64,
+}
+
+/// Packs a batch of requests into a `[B, d]` tensor (possibly `[0, d]`)
+/// and runs it through the layer under `policy`.
+///
+/// # Panics
+///
+/// Panics if any request's input is not `[d]` with `d` matching the
+/// layer.
+pub fn execute_batch(
+    layer: &DualModuleLayer,
+    requests: &[InferenceRequest],
+    policy: &SwitchingPolicy,
+    dense: bool,
+) -> BatchExecution {
+    let d = layer.input_dim();
+    let b = requests.len();
+    let mut data = Vec::with_capacity(b * d);
+    for req in requests {
+        assert_eq!(
+            req.input.shape().dims(),
+            [d],
+            "request {} input must be [{d}]",
+            req.id
+        );
+        data.extend_from_slice(req.input.data());
+    }
+    let x = Tensor::from_vec(data, &[b, d]);
+    let effective = if dense {
+        SwitchingPolicy::never_switch()
+    } else {
+        *policy
+    };
+    let result = forward_batch(layer, &x, &effective);
+    let nonfinite = result.output.data().iter().any(|v| !v.is_finite());
+    let insensitive_fraction = if result.maps.is_empty() {
+        0.0
+    } else {
+        result
+            .maps
+            .iter()
+            .map(|m| m.insensitive_fraction())
+            .sum::<f64>()
+            / result.maps.len() as f64
+    };
+    BatchExecution {
+        result,
+        dense,
+        nonfinite,
+        insensitive_fraction,
+    }
+}
+
+/// One replica of a served model.
+#[derive(Debug)]
+pub struct Replica {
+    /// Index into the server's model table.
+    pub model: usize,
+    /// Watchdog deciding when this replica must fall back dense.
+    pub guard: SpeculationGuard,
+    /// Virtual tick at which the current batch completes (idle when no
+    /// batch is in flight).
+    pub busy_until: u64,
+    /// Batches this replica has served.
+    pub served_batches: u64,
+}
+
+impl Replica {
+    /// Creates an idle replica for `model` with its own guard.
+    pub fn new(model: usize, guard: GuardConfig) -> Self {
+        Self {
+            model,
+            guard: SpeculationGuard::new(guard),
+            busy_until: 0,
+            served_batches: 0,
+        }
+    }
+
+    /// Whether the next batch must run bitwise-dense: the guard is
+    /// tripped and configured to fall back.
+    pub fn must_serve_dense(&self) -> bool {
+        self.guard.is_tripped() && self.guard.config().policy == DegradationPolicy::FallbackDense
+    }
+
+    /// Feeds one batch's health signals to the guard. Empty batches are
+    /// skipped — a zero-length output says nothing about speculator
+    /// health (the same rule as `SpeculationEngine::speculate_guarded`).
+    pub fn observe(&mut self, exec: &BatchExecution) {
+        if exec.result.output.is_empty() {
+            return;
+        }
+        self.guard
+            .observe(exec.nonfinite, exec.insensitive_fraction);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ModelId, TenantId};
+    use duet_core::guard::SwitchRateBand;
+    use duet_tensor::rng::{self, seeded};
+
+    fn layer() -> DualModuleLayer {
+        let mut r = seeded(11);
+        let w = rng::normal(&mut r, &[12, 20], 0.0, 0.3);
+        let b = Tensor::zeros(&[12]);
+        DualModuleLayer::learn(&w, &b, Activation::Relu, 12, 200, &mut r)
+    }
+
+    fn req(id: u64, input: Tensor) -> InferenceRequest {
+        InferenceRequest {
+            id,
+            tenant: TenantId(0),
+            model: ModelId(0),
+            input,
+            arrival_tick: 0,
+        }
+    }
+
+    #[test]
+    fn relu_degradation_raises_theta() {
+        let p = OverloadPolicy {
+            base: SwitchingPolicy::relu(-0.5),
+            theta_step: 0.25,
+        };
+        assert_eq!(p.policy_for(0).theta, -0.5);
+        assert_eq!(p.policy_for(2).theta, 0.0);
+        assert_eq!(p.policy_for(2).activation, Activation::Relu);
+    }
+
+    #[test]
+    fn saturation_degradation_lowers_theta_floored() {
+        let p = OverloadPolicy {
+            base: SwitchingPolicy::tanh(1.5),
+            theta_step: 1.0,
+        };
+        assert_eq!(p.policy_for(1).theta, 0.5);
+        assert_eq!(p.policy_for(3).theta, 0.0);
+        let ns = OverloadPolicy {
+            base: SwitchingPolicy::never_switch(),
+            theta_step: 1.0,
+        };
+        assert_eq!(ns.policy_for(3), SwitchingPolicy::never_switch());
+    }
+
+    #[test]
+    fn degraded_policy_skips_at_least_as_much() {
+        let layer = layer();
+        let mut r = seeded(3);
+        let reqs: Vec<_> = (0..6)
+            .map(|i| req(i, rng::normal(&mut r, &[20], 0.0, 1.0)))
+            .collect();
+        let p = OverloadPolicy {
+            base: SwitchingPolicy::relu(-1.0),
+            theta_step: 0.5,
+        };
+        let full = execute_batch(&layer, &reqs, &p.policy_for(0), false);
+        let degraded = execute_batch(&layer, &reqs, &p.policy_for(3), false);
+        assert!(degraded.insensitive_fraction >= full.insensitive_fraction);
+        assert!(degraded.result.report.executor_macs <= full.result.report.executor_macs);
+    }
+
+    #[test]
+    fn empty_batch_executes_and_skips_guard() {
+        let layer = layer();
+        let exec = execute_batch(&layer, &[], &SwitchingPolicy::relu(0.0), false);
+        assert_eq!(exec.result.output.shape().dims(), &[0, 12]);
+        assert_eq!(exec.insensitive_fraction, 0.0);
+        let mut replica = Replica::new(0, GuardConfig::fallback_dense(SwitchRateBand::any()));
+        replica.observe(&exec);
+        assert_eq!(replica.guard.stats().checks, 0);
+        assert!(!replica.must_serve_dense());
+    }
+
+    #[test]
+    fn service_ticks_integer_cost() {
+        let mut rep = SavingsReport::new();
+        rep.executor_macs = 1000;
+        rep.speculator_macs = 1600;
+        rep.speculator_adds = 3200;
+        // 1000 + 100 + 100 = 1200 work units at 500/tick → 3 ticks + 2
+        assert_eq!(service_ticks(&rep, 500, 2), 5);
+        assert_eq!(service_ticks(&SavingsReport::new(), 500, 2), 2);
+    }
+
+    #[test]
+    fn dense_flag_forces_never_switch() {
+        let layer = layer();
+        let mut r = seeded(9);
+        let reqs: Vec<_> = (0..3)
+            .map(|i| req(i, rng::normal(&mut r, &[20], 0.0, 1.0)))
+            .collect();
+        let exec = execute_batch(&layer, &reqs, &SwitchingPolicy::relu(0.0), true);
+        assert!(exec.dense);
+        // never-switch recomputes everything: nothing insensitive
+        assert_eq!(exec.insensitive_fraction, 0.0);
+        assert_eq!(
+            exec.result.report.outputs_exact,
+            exec.result.report.outputs_total
+        );
+    }
+}

@@ -1,0 +1,583 @@
+//! The discrete-event multi-tenant inference server.
+//!
+//! `DuetServer` runs a virtual-time event loop: arrivals enter per-model
+//! queues, the micro-batcher releases batches (full or waited-out), idle
+//! replicas pick them up, and every batch dispatched in the same
+//! scheduling round fans out over a scoped-thread worker pool
+//! ([`parallel::map_indexed`], the workspace threading model). Service
+//! time is charged in virtual ticks from the batch's own
+//! [`SavingsReport`](duet_core::metrics::SavingsReport) accounting, so
+//! a seeded trace replays byte-identically — responses, latencies, and
+//! percentiles — at any `DUET_NUM_THREADS`.
+//!
+//! Overload never drops: admission maps backlog to a degradation level,
+//! the level shifts θ toward the insensitive region (cheaper batches),
+//! and a tripped replica guard forces bitwise-dense service until it
+//! clears. The degradation ladder — full quality → degraded θ → dense
+//! fallback — is the serving-time face of the guard's
+//! [`DegradationPolicy`](duet_core::guard::DegradationPolicy).
+
+use crate::admission::{AdmissionConfig, AdmissionController};
+use crate::batcher::{BatcherConfig, MicroBatcher};
+use crate::replica::{execute_batch, service_ticks, OverloadPolicy, Replica};
+use crate::request::{InferenceRequest, InferenceResponse, ModelId, TenantId};
+use crate::stats::{ServeReport, TenantSlo};
+use duet_core::dual_layer::DualModuleLayer;
+use duet_core::guard::GuardConfig;
+use duet_core::switching::SwitchingPolicy;
+use duet_obs::registry::Histogram;
+use duet_obs::{counter, gauge, histogram};
+use duet_tensor::{parallel, Tensor};
+
+/// One model as deployed on the server.
+#[derive(Debug)]
+pub struct ServedModel {
+    /// Display name (reports only).
+    pub name: String,
+    /// The dual-module layer replicas are cloned from.
+    pub layer: DualModuleLayer,
+    /// How admission levels map to θ for this model.
+    pub overload: OverloadPolicy,
+}
+
+/// Server-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ServeConfig {
+    /// Replicas instantiated per model (≥ 1).
+    pub replicas_per_model: usize,
+    /// Micro-batching knobs.
+    pub batcher: BatcherConfig,
+    /// Admission-control knobs.
+    pub admission: AdmissionConfig,
+    /// Guard configuration cloned into every replica.
+    pub guard: GuardConfig,
+    /// Virtual MAC throughput of one replica per tick.
+    pub macs_per_tick: u64,
+    /// Fixed per-batch dispatch cost in ticks.
+    pub dispatch_overhead_ticks: u64,
+    /// Worker threads for same-round batch fan-out; 0 means
+    /// [`parallel::num_threads`] (the `DUET_NUM_THREADS` setting).
+    pub workers: usize,
+}
+
+impl ServeConfig {
+    /// A balanced default: 2 replicas per model, batches of 8 with an
+    /// 8-tick wait cap, lenient admission, nonfinite-only dense-fallback
+    /// guard.
+    pub fn balanced() -> Self {
+        Self {
+            replicas_per_model: 2,
+            batcher: BatcherConfig {
+                max_batch: 8,
+                max_wait_ticks: 8,
+            },
+            admission: AdmissionConfig::lenient(),
+            guard: GuardConfig::fallback_dense(duet_core::guard::SwitchRateBand::any()),
+            macs_per_tick: 4096,
+            dispatch_overhead_ticks: 2,
+            workers: 0,
+        }
+    }
+}
+
+/// A batch occupying a replica until its completion tick.
+#[derive(Debug)]
+struct InFlight {
+    requests: Vec<InferenceRequest>,
+    outputs: Tensor,
+    level: u8,
+    dense: bool,
+}
+
+/// Per-tenant serving state.
+#[derive(Debug)]
+struct TenantState {
+    name: String,
+    latencies: Vec<u64>,
+    degraded: u64,
+    latency_hist: &'static Histogram,
+}
+
+/// The multi-tenant inference server.
+#[derive(Debug)]
+pub struct DuetServer {
+    models: Vec<ServedModel>,
+    tenants: Vec<TenantState>,
+    replicas: Vec<Replica>,
+    in_flight: Vec<Option<InFlight>>,
+    batcher: MicroBatcher,
+    admission: AdmissionController,
+    cfg: ServeConfig,
+    now: u64,
+    next_id: u64,
+    submitted: u64,
+    batches: u64,
+    occupancy_sum: u64,
+    degraded_batches: u64,
+    dense_fallback_batches: u64,
+    max_queue_depth: u64,
+}
+
+/// Interns a runtime-built metric name. The registry is keyed by string
+/// content, so re-interning the same tenant name finds the same metric;
+/// the leak is one small string per tenant per server construction,
+/// matching the registry's own leak-on-first-use design.
+fn intern(name: String) -> &'static str {
+    Box::leak(name.into_boxed_str())
+}
+
+impl DuetServer {
+    /// Builds a server over `models` for `tenant_names` tenants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` or `tenant_names` is empty, or if
+    /// `cfg.replicas_per_model` or `cfg.macs_per_tick` is zero.
+    pub fn new(models: Vec<ServedModel>, tenant_names: &[String], cfg: ServeConfig) -> Self {
+        assert!(!models.is_empty(), "server needs at least one model");
+        assert!(!tenant_names.is_empty(), "server needs at least one tenant");
+        assert!(cfg.replicas_per_model >= 1, "need at least one replica");
+        assert!(cfg.macs_per_tick >= 1, "macs_per_tick must be positive");
+        let replicas: Vec<Replica> = (0..models.len())
+            .flat_map(|m| (0..cfg.replicas_per_model).map(move |_| m))
+            .map(|m| Replica::new(m, cfg.guard))
+            .collect();
+        let in_flight = (0..replicas.len()).map(|_| None).collect();
+        let tenants = tenant_names
+            .iter()
+            .map(|name| TenantState {
+                name: name.clone(),
+                latencies: Vec::new(),
+                degraded: 0,
+                latency_hist: duet_obs::registry::histogram(intern(format!(
+                    "serve.tenant.{name}.latency_ticks"
+                ))),
+            })
+            .collect();
+        let batcher = MicroBatcher::new(models.len(), cfg.batcher);
+        let admission = AdmissionController::new(tenant_names.len(), cfg.admission);
+        Self {
+            models,
+            tenants,
+            replicas,
+            in_flight,
+            batcher,
+            admission,
+            cfg,
+            now: 0,
+            next_id: 0,
+            submitted: 0,
+            batches: 0,
+            occupancy_sum: 0,
+            degraded_batches: 0,
+            dense_fallback_batches: 0,
+            max_queue_depth: 0,
+        }
+    }
+
+    /// Current virtual tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// `(ModelId, input_dim)` pairs in deployment order — the argument
+    /// [`crate::trace::generate`] expects.
+    pub fn model_dims(&self) -> Vec<(ModelId, usize)> {
+        self.models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (ModelId(i as u32), m.layer.input_dim()))
+            .collect()
+    }
+
+    /// Submits one request at the current tick and returns its id.
+    /// Admission never rejects — under pressure the request is served
+    /// degraded instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant or model index is out of range, or the input
+    /// width mismatches the model.
+    pub fn submit(&mut self, tenant: TenantId, model: ModelId, input: Tensor) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = InferenceRequest {
+            id,
+            tenant,
+            model,
+            input,
+            arrival_tick: self.now,
+        };
+        self.ingest(req);
+        id
+    }
+
+    /// Replays a trace (sorted by arrival tick, as
+    /// [`crate::trace::generate`] produces) to completion and returns the
+    /// responses in completion order plus the end-of-run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival tick or arrives in
+    /// the past (before the server's current tick).
+    pub fn run_trace(
+        &mut self,
+        trace: &[InferenceRequest],
+    ) -> (Vec<InferenceResponse>, ServeReport) {
+        assert!(
+            trace
+                .windows(2)
+                .all(|w| w[0].arrival_tick <= w[1].arrival_tick),
+            "trace must be sorted by arrival tick"
+        );
+        if let Some(first) = trace.first() {
+            assert!(first.arrival_tick >= self.now, "trace arrives in the past");
+        }
+        let mut responses = Vec::with_capacity(trace.len());
+        let mut next_arrival = 0usize;
+        loop {
+            self.complete_due(&mut responses);
+            while next_arrival < trace.len() && trace[next_arrival].arrival_tick <= self.now {
+                self.ingest(trace[next_arrival].clone());
+                next_arrival += 1;
+            }
+            self.dispatch();
+            let mut next_tick: Option<u64> = trace.get(next_arrival).map(|r| r.arrival_tick);
+            for (ri, fl) in self.in_flight.iter().enumerate() {
+                if fl.is_some() {
+                    let t = self.replicas[ri].busy_until;
+                    next_tick = Some(next_tick.map_or(t, |n| n.min(t)));
+                }
+            }
+            if self.batcher.total_depth() > 0 {
+                if let Some(t) = self.batcher.next_expiry() {
+                    next_tick = Some(next_tick.map_or(t, |n| n.min(t)));
+                }
+            }
+            match next_tick {
+                // A waited-out queue behind all-busy replicas can yield a
+                // candidate in the past; the clock only moves forward.
+                Some(t) => self.now = t.max(self.now + 1),
+                None => break,
+            }
+        }
+        (responses, self.report())
+    }
+
+    /// Drains everything already submitted (no further arrivals) and
+    /// returns the responses in completion order.
+    pub fn run_until_idle(&mut self) -> Vec<InferenceResponse> {
+        self.run_trace(&[]).0
+    }
+
+    /// Builds the end-of-run report from the state accumulated so far.
+    pub fn report(&self) -> ServeReport {
+        let completed: u64 = self.tenants.iter().map(|t| t.latencies.len() as u64).sum();
+        ServeReport {
+            submitted: self.submitted,
+            completed,
+            // structurally zero: there is no rejection path
+            dropped: 0,
+            drained_at_tick: self.now,
+            batches: self.batches,
+            mean_occupancy_milli: (self.occupancy_sum * 1000)
+                .checked_div(self.batches)
+                .unwrap_or(0),
+            max_queue_depth: self.max_queue_depth,
+            degraded_batches: self.degraded_batches,
+            dense_fallback_batches: self.dense_fallback_batches,
+            guard_trips: self.replicas.iter().map(|r| r.guard.trips()).sum(),
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| TenantSlo::from_latencies(&t.name, &t.latencies, t.degraded))
+                .collect(),
+        }
+    }
+
+    fn ingest(&mut self, req: InferenceRequest) {
+        let t = req.tenant.0 as usize;
+        let m = req.model.0 as usize;
+        assert!(t < self.tenants.len(), "tenant {t} out of range");
+        assert!(m < self.models.len(), "model {m} out of range");
+        assert_eq!(
+            req.input.shape().dims(),
+            [self.models[m].layer.input_dim()],
+            "request {} input width mismatch for model {m}",
+            req.id
+        );
+        self.submitted += 1;
+        self.admission.enqueued(t);
+        self.batcher.push(req);
+        let depth = self.batcher.total_depth() as u64;
+        self.max_queue_depth = self.max_queue_depth.max(depth);
+        counter!("serve.requests.enqueued").inc();
+        gauge!("serve.queue.depth").set(depth as i64);
+    }
+
+    /// Releases every ready batch onto an idle replica and executes the
+    /// whole round on the worker pool. Plans are built serially (queue
+    /// and admission state), executed in parallel (pure layer math), and
+    /// committed serially in plan order — the order never depends on the
+    /// thread count.
+    fn dispatch(&mut self) {
+        struct Plan {
+            replica: usize,
+            requests: Vec<InferenceRequest>,
+            level: u8,
+            policy: SwitchingPolicy,
+            dense: bool,
+        }
+        let mut plans: Vec<Plan> = Vec::new();
+        let mut claimed = vec![false; self.replicas.len()];
+        for m in 0..self.models.len() {
+            while self.batcher.ready(m, self.now) {
+                let Some(ri) = (0..self.replicas.len()).find(|&ri| {
+                    !claimed[ri] && self.replicas[ri].model == m && self.in_flight[ri].is_none()
+                }) else {
+                    break;
+                };
+                let requests = self.batcher.flush(m);
+                debug_assert!(!requests.is_empty(), "ready() implies a non-empty flush");
+                let level = requests
+                    .iter()
+                    .map(|r| self.admission.level_of(r.tenant.0 as usize))
+                    .max()
+                    .unwrap_or(0);
+                for r in &requests {
+                    self.admission.dispatched(r.tenant.0 as usize);
+                }
+                claimed[ri] = true;
+                plans.push(Plan {
+                    replica: ri,
+                    requests,
+                    level,
+                    policy: self.models[m].overload.policy_for(level),
+                    dense: self.replicas[ri].must_serve_dense(),
+                });
+            }
+        }
+        if plans.is_empty() {
+            return;
+        }
+        let workers = if self.cfg.workers == 0 {
+            parallel::num_threads()
+        } else {
+            self.cfg.workers
+        };
+        let models = &self.models;
+        let replicas = &self.replicas;
+        let executions = parallel::map_indexed(plans.len(), workers.min(plans.len()), |i| {
+            let p = &plans[i];
+            execute_batch(
+                &models[replicas[p.replica].model].layer,
+                &p.requests,
+                &p.policy,
+                p.dense,
+            )
+        });
+        for (plan, exec) in plans.into_iter().zip(executions) {
+            let ri = plan.replica;
+            self.replicas[ri].observe(&exec);
+            let cost = service_ticks(
+                &exec.result.report,
+                self.cfg.macs_per_tick,
+                self.cfg.dispatch_overhead_ticks,
+            )
+            .max(1);
+            self.replicas[ri].busy_until = self.now + cost;
+            self.replicas[ri].served_batches += 1;
+            let occupancy = plan.requests.len() as u64;
+            self.batches += 1;
+            self.occupancy_sum += occupancy;
+            if plan.level > 0 {
+                self.degraded_batches += 1;
+                counter!("serve.degraded.batches").inc();
+            }
+            if exec.dense {
+                self.dense_fallback_batches += 1;
+                counter!("serve.dense_fallback.batches").inc();
+            }
+            histogram!("serve.batch.occupancy").record(occupancy);
+            histogram!("serve.batch.service_ticks").record(cost);
+            self.in_flight[ri] = Some(InFlight {
+                requests: plan.requests,
+                outputs: exec.result.output,
+                level: plan.level,
+                dense: exec.dense,
+            });
+        }
+        gauge!("serve.queue.depth").set(self.batcher.total_depth() as i64);
+    }
+
+    /// Completes every batch whose service interval has elapsed, in
+    /// replica order (deterministic).
+    fn complete_due(&mut self, responses: &mut Vec<InferenceResponse>) {
+        for ri in 0..self.replicas.len() {
+            if self.in_flight[ri].is_none() || self.replicas[ri].busy_until > self.now {
+                continue;
+            }
+            let Some(fl) = self.in_flight[ri].take() else {
+                continue;
+            };
+            let done = self.replicas[ri].busy_until;
+            let n = self.models[self.replicas[ri].model].layer.output_dim();
+            for (bi, req) in fl.requests.iter().enumerate() {
+                let t = req.tenant.0 as usize;
+                let latency = done - req.arrival_tick;
+                self.tenants[t].latencies.push(latency);
+                if fl.level > 0 {
+                    self.tenants[t].degraded += 1;
+                }
+                self.tenants[t].latency_hist.record(latency);
+                self.admission.completed(t);
+                counter!("serve.requests.completed").inc();
+                histogram!("serve.request.latency_ticks").record(latency);
+                responses.push(InferenceResponse {
+                    id: req.id,
+                    tenant: req.tenant,
+                    model: req.model,
+                    output: Tensor::from_vec(fl.outputs.row(bi).to_vec(), &[n]),
+                    arrival_tick: req.arrival_tick,
+                    completion_tick: done,
+                    degradation_level: fl.level,
+                    served_dense: fl.dense,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duet_nn::Activation;
+    use duet_tensor::rng::{self, seeded};
+
+    fn model(name: &str, seed: u64) -> ServedModel {
+        let mut r = seeded(seed);
+        let w = rng::normal(&mut r, &[16, 24], 0.0, 0.3);
+        let b = Tensor::zeros(&[16]);
+        ServedModel {
+            name: name.into(),
+            layer: DualModuleLayer::learn(&w, &b, Activation::Relu, 16, 200, &mut r),
+            overload: OverloadPolicy {
+                base: SwitchingPolicy::relu(0.0),
+                theta_step: 0.5,
+            },
+        }
+    }
+
+    fn server(cfg: ServeConfig) -> DuetServer {
+        DuetServer::new(
+            vec![model("m0", 1), model("m1", 2)],
+            &["alpha".to_string(), "beta".to_string()],
+            cfg,
+        )
+    }
+
+    #[test]
+    fn submit_and_drain_completes_everything() {
+        let mut cfg = ServeConfig::balanced();
+        cfg.workers = 1;
+        let mut s = server(cfg);
+        let mut r = seeded(7);
+        for i in 0..10 {
+            let x = rng::normal(&mut r, &[24], 0.0, 1.0);
+            s.submit(TenantId(i % 2), ModelId(i % 2), x);
+        }
+        let responses = s.run_until_idle();
+        assert_eq!(responses.len(), 10);
+        let report = s.report();
+        assert_eq!(report.submitted, 10);
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.dropped, 0);
+        assert!(report.batches >= 2);
+        assert!(report.drained_at_tick > 0);
+        for resp in &responses {
+            assert!(resp.completion_tick > resp.arrival_tick);
+            assert_eq!(resp.output.len(), 16);
+        }
+    }
+
+    #[test]
+    fn overload_degrades_instead_of_dropping() {
+        let mut cfg = ServeConfig::balanced();
+        cfg.workers = 1;
+        cfg.admission = AdmissionConfig {
+            backlog_target: 2,
+            level_step: 2,
+            max_level: 3,
+        };
+        // slow service so backlog builds
+        cfg.macs_per_tick = 64;
+        let mut s = server(cfg);
+        let mut r = seeded(13);
+        for _ in 0..40 {
+            let x = rng::normal(&mut r, &[24], 0.0, 1.0);
+            s.submit(TenantId(0), ModelId(0), x);
+        }
+        let responses = s.run_until_idle();
+        let report = s.report();
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.dropped, 0);
+        assert!(
+            report.degraded_batches > 0,
+            "sustained overload must degrade: {report:?}"
+        );
+        assert!(responses.iter().any(|r| r.degradation_level > 0));
+    }
+
+    #[test]
+    fn responses_identical_across_worker_counts() {
+        let trace = {
+            let s = server(ServeConfig::balanced());
+            let cfg = crate::trace::TraceConfig {
+                seed: 99,
+                horizon_ticks: 300,
+                tenants: vec![
+                    crate::trace::TenantProfile {
+                        name: "alpha".into(),
+                        mean_interarrival_ticks: 3,
+                    },
+                    crate::trace::TenantProfile {
+                        name: "beta".into(),
+                        mean_interarrival_ticks: 5,
+                    },
+                ],
+            };
+            crate::trace::generate(&cfg, &s.model_dims())
+        };
+        let mut outcomes = Vec::new();
+        for workers in [1, 4, 7] {
+            let mut cfg = ServeConfig::balanced();
+            cfg.workers = workers;
+            let mut s = server(cfg);
+            outcomes.push(s.run_trace(&trace));
+        }
+        let (ref base_resp, ref base_rep) = outcomes[0];
+        for (resp, rep) in &outcomes[1..] {
+            assert_eq!(resp, base_resp);
+            assert_eq!(rep, base_rep);
+        }
+    }
+
+    #[test]
+    fn report_on_fresh_server_is_all_zero() {
+        let s = server(ServeConfig::balanced());
+        let report = s.report();
+        assert_eq!(report.submitted, 0);
+        assert_eq!(report.batches, 0);
+        assert_eq!(report.mean_occupancy_milli, 0);
+        assert_eq!(report.tenants.len(), 2);
+        assert_eq!(report.tenants[0].p99_ticks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn submit_rejects_mis_shaped_input() {
+        let mut s = server(ServeConfig::balanced());
+        s.submit(TenantId(0), ModelId(0), Tensor::zeros(&[23]));
+    }
+}

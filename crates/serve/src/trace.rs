@@ -1,0 +1,130 @@
+//! Seeded open-loop request trace generation.
+//!
+//! An *open-loop* load submits requests on its own schedule regardless of
+//! how fast the server drains them — the regime where overload is real
+//! and admission control matters. Each tenant draws inter-arrival gaps
+//! and inputs from its own sub-generator (seeded from the trace seed and
+//! the tenant index), so the trace is a pure function of its config and
+//! replays byte-identically anywhere.
+
+use crate::request::{InferenceRequest, ModelId, TenantId};
+use duet_tensor::rng::{self, seeded};
+
+/// Load profile of one tenant.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TenantProfile {
+    /// Display name (used for per-tenant metric keys and reports).
+    pub name: String,
+    /// Mean virtual ticks between consecutive requests (≥ 1).
+    pub mean_interarrival_ticks: u64,
+}
+
+/// Configuration of a generated trace.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TraceConfig {
+    /// Seed for the whole trace.
+    pub seed: u64,
+    /// Arrivals stop at this tick (exclusive).
+    pub horizon_ticks: u64,
+    /// One profile per tenant; tenant `i` gets [`TenantId`]`(i)`.
+    pub tenants: Vec<TenantProfile>,
+}
+
+/// Generates an open-loop trace over `models`, given as
+/// `(ModelId, input_dim)` pairs.
+///
+/// Requests are sorted by `(arrival_tick, tenant, per-tenant sequence)`
+/// and assigned ids in that order, so the returned vector is already in
+/// the deterministic submission order the server expects.
+///
+/// # Panics
+///
+/// Panics if `models` or `cfg.tenants` is empty, or if any tenant's mean
+/// inter-arrival is zero.
+pub fn generate(cfg: &TraceConfig, models: &[(ModelId, usize)]) -> Vec<InferenceRequest> {
+    assert!(!models.is_empty(), "trace needs at least one model");
+    assert!(!cfg.tenants.is_empty(), "trace needs at least one tenant");
+    let mut all: Vec<(u64, u32, u64, ModelId, duet_tensor::Tensor)> = Vec::new();
+    for (ti, profile) in cfg.tenants.iter().enumerate() {
+        let mean = profile.mean_interarrival_ticks;
+        assert!(mean >= 1, "mean inter-arrival must be >= 1 tick");
+        // Decorrelate tenants without making one tenant's stream depend
+        // on another's draw count.
+        let mut r = seeded(cfg.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(ti as u64 + 1)));
+        let mut t = 0u64;
+        let mut seq = 0u64;
+        loop {
+            // Uniform gap on [1, 2·mean - 1] has mean `mean` and keeps
+            // arrivals bursty enough to exercise the batcher.
+            t += r.random_range(1..2 * mean);
+            if t >= cfg.horizon_ticks {
+                break;
+            }
+            let (model, d) = models[r.random_range(0..models.len())];
+            let input = rng::normal(&mut r, &[d], 0.0, 1.0);
+            all.push((t, ti as u32, seq, model, input));
+            seq += 1;
+        }
+    }
+    all.sort_by_key(|(t, ti, seq, _, _)| (*t, *ti, *seq));
+    all.into_iter()
+        .enumerate()
+        .map(|(id, (t, ti, _, model, input))| InferenceRequest {
+            id: id as u64,
+            tenant: TenantId(ti),
+            model,
+            input,
+            arrival_tick: t,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TraceConfig {
+        TraceConfig {
+            seed: 42,
+            horizon_ticks: 500,
+            tenants: vec![
+                TenantProfile {
+                    name: "alpha".into(),
+                    mean_interarrival_ticks: 7,
+                },
+                TenantProfile {
+                    name: "beta".into(),
+                    mean_interarrival_ticks: 13,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_ordered() {
+        let models = [(ModelId(0), 16), (ModelId(1), 16)];
+        let a = generate(&cfg(), &models);
+        let b = generate(&cfg(), &models);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0].arrival_tick <= w[1].arrival_tick);
+            assert_eq!(w[0].id + 1, w[1].id);
+        }
+        for r in &a {
+            assert!(r.arrival_tick < 500);
+            assert_eq!(r.input.len(), 16);
+        }
+    }
+
+    #[test]
+    fn faster_tenant_sends_more() {
+        let models = [(ModelId(0), 8)];
+        let trace = generate(&cfg(), &models);
+        let alpha = trace.iter().filter(|r| r.tenant == TenantId(0)).count();
+        let beta = trace.iter().filter(|r| r.tenant == TenantId(1)).count();
+        assert!(alpha > beta, "alpha {alpha} should outpace beta {beta}");
+    }
+}

@@ -25,15 +25,15 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a dimension slice.
     ///
+    /// Zero-sized dimensions are allowed: a `[0, d]` shape is the empty
+    /// batch a serving-layer micro-batcher can legitimately flush, holding
+    /// zero elements. Rank zero is not.
+    ///
     /// # Panics
     ///
-    /// Panics if `dims` is empty or any dimension is zero.
+    /// Panics if `dims` is empty.
     pub fn new(dims: &[usize]) -> Self {
         assert!(!dims.is_empty(), "shape must have at least one dimension");
-        assert!(
-            dims.iter().all(|&d| d > 0),
-            "shape dimensions must be non-zero: {dims:?}"
-        );
         Self {
             dims: dims.to_vec(),
         }
@@ -54,8 +54,8 @@ impl Shape {
         self.dims.iter().product()
     }
 
-    /// Whether the shape holds zero elements. Always false by construction,
-    /// provided to satisfy the `len`/`is_empty` convention.
+    /// Whether the shape holds zero elements (some dimension is zero,
+    /// e.g. an empty `[0, d]` batch).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -184,9 +184,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-zero")]
-    fn zero_dim_panics() {
-        Shape::new(&[3, 0]);
+    fn zero_sized_dims_are_empty() {
+        // An empty batch ([0, d]) is representable: zero elements, rank 2.
+        let s = Shape::new(&[0, 3]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.dim(0), 0);
+        assert_eq!(s.to_string(), "[0x3]");
+        // but rank zero is still rejected
+        assert!(std::panic::catch_unwind(|| Shape::new(&[])).is_err());
     }
 
     #[test]

@@ -88,7 +88,8 @@ impl Tensor {
         self.data.len()
     }
 
-    /// Whether the tensor has no elements (never true by construction).
+    /// Whether the tensor has no elements (a zero-sized dimension, e.g.
+    /// an empty `[0, d]` batch).
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }

@@ -63,6 +63,28 @@ cmp results/FAULTS_smoke.t1.json results/FAULTS_smoke.t4.json
 cmp results/FAULTS_smoke.t1.json results/FAULTS_smoke.json
 rm -f results/FAULTS_smoke.json results/FAULTS_smoke.t1.json results/FAULTS_smoke.t4.json
 
+echo "== serving determinism (serve_bench --smoke at 1/4/7 threads) =="
+# The serving layer charges virtual ticks from each batch's own MAC
+# accounting, so a seeded open-loop trace — responses, per-tenant
+# p50/p90/p99, occupancy — must replay byte-identically at any
+# DUET_NUM_THREADS. The binary itself asserts the two serving
+# invariants (zero dropped requests, θ-degradation under overload).
+# Smoke output is scratch.
+rm -f results/BENCH_serve_smoke.json
+DUET_NUM_THREADS=1 ./target/release/serve_bench --smoke >/dev/null
+mv results/BENCH_serve_smoke.json results/BENCH_serve_smoke.t1.json
+DUET_NUM_THREADS=4 ./target/release/serve_bench --smoke >/dev/null
+mv results/BENCH_serve_smoke.json results/BENCH_serve_smoke.t4.json
+DUET_NUM_THREADS=7 ./target/release/serve_bench --smoke >/dev/null
+cmp results/BENCH_serve_smoke.t1.json results/BENCH_serve_smoke.t4.json
+cmp results/BENCH_serve_smoke.t1.json results/BENCH_serve_smoke.json
+rm -f results/BENCH_serve_smoke.json results/BENCH_serve_smoke.t1.json results/BENCH_serve_smoke.t4.json
+
+echo "== serve determinism test (DUET_NUM_THREADS=4) =="
+# The in-process workers sweep {1,4,7} plus the env-driven path must
+# agree bit for bit when the env pins a different pool width.
+DUET_NUM_THREADS=4 cargo test -q -p duet-serve --offline
+
 echo "== checkpoint kill/resume (bitwise resume + corruption rejection) =="
 # The crash-safe trainer's contract: killing a run at an epoch boundary
 # and resuming reproduces the uninterrupted weights bitwise, and any
