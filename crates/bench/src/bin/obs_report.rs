@@ -1,0 +1,125 @@
+//! Serving observability report: joins the flight-recorder stream of a
+//! `serve_bench` run into per-tenant latency waterfalls, an anomaly
+//! timeline, and histogram exemplars.
+//!
+//! Reads `results/RECORDER_serve.jsonl` (written by `serve_bench` under
+//! `DUET_RECORDER=1`), joins the events with [`duet_serve::report::join`]
+//! — which validates **balance**: every enqueue has admit, seal, exec
+//! start/end and respond, and per-request stage sums equal end-to-end
+//! latency — and writes `results/SERVE_REPORT.json`. Tenant names are
+//! recovered from the matching `results/BENCH_serve.json`. Any imbalance
+//! or missing input exits nonzero, so CI treats a truncated or wrapped
+//! stream as a failure, not a quiet partial report.
+//!
+//! Run with: `cargo run --release -p duet-bench --bin obs_report`
+//! (`--smoke` reads/writes the `_smoke` variants).
+
+use duet_obs::event;
+use duet_obs::json;
+use std::process::ExitCode;
+
+fn tenant_names(bench_path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(bench_path) else {
+        eprintln!("obs_report: note: {bench_path} missing, tenants keep index names");
+        return Vec::new();
+    };
+    let Ok(v) = json::parse(&text) else {
+        eprintln!("obs_report: note: {bench_path} unparseable, tenants keep index names");
+        return Vec::new();
+    };
+    v.get("tenants")
+        .and_then(|t| t.as_array())
+        .map(|ts| {
+            ts.iter()
+                .filter_map(|t| t.get("tenant").and_then(|n| n.as_str()))
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let (rec_path, bench_path, out_path) = if smoke {
+        (
+            "results/RECORDER_serve_smoke.jsonl",
+            "results/BENCH_serve_smoke.json",
+            "results/SERVE_REPORT_smoke.json",
+        )
+    } else {
+        (
+            "results/RECORDER_serve.jsonl",
+            "results/BENCH_serve.json",
+            "results/SERVE_REPORT.json",
+        )
+    };
+
+    let text = match std::fs::read_to_string(rec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_report: cannot read {rec_path}: {e}");
+            eprintln!("obs_report: run serve_bench with DUET_RECORDER=1 first");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match event::parse_jsonl(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("obs_report: {rec_path} is not a valid event stream: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("obs_report: {} events from {rec_path}", events.len());
+
+    let obs = match duet_serve::report::join(&events) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("obs_report: event stream does not balance: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let names = tenant_names(bench_path);
+    println!(
+        "joined {} journeys over {} batches, {} anomalies, {} latency buckets\n",
+        obs.journeys.len(),
+        obs.batches,
+        obs.anomalies.len(),
+        obs.exemplars.len()
+    );
+
+    println!("per-tenant stage waterfalls (virtual ticks, p50/p90/p99/max):");
+    for w in &obs.waterfalls {
+        let name = names
+            .get(w.tenant as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("tenant{}", w.tenant));
+        println!("  {name} ({} requests)", w.completed);
+        for (stage, q) in [
+            ("queue_wait", &w.queue_wait),
+            ("batch_wait", &w.batch_wait),
+            ("compute", &w.compute),
+            ("degraded_compute", &w.degraded_compute),
+            ("end_to_end", &w.latency),
+        ] {
+            println!(
+                "    {stage:<17} {:>6} {:>6} {:>6} {:>6}",
+                q.p50, q.p90, q.p99, q.max
+            );
+        }
+    }
+    if let Some(worst) = obs.exemplars.last() {
+        println!(
+            "\nworst latency bucket [{}, {}]: {} requests, exemplar request {} at {} ticks",
+            worst.lo, worst.hi, worst.count, worst.worst_id, worst.worst_latency
+        );
+    }
+
+    let json_out = obs.to_json(&names);
+    if let Err(e) = std::fs::write(out_path, &json_out) {
+        eprintln!("obs_report: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -33,6 +33,7 @@ const EXHIBITS: &[(&str, &str)] = &[
     ("Sensitivity", "sensitivity_analysis"),
     ("Sparse", "sparse_bench"),
     ("Serve", "serve_bench"),
+    ("Serve report", "obs_report"),
 ];
 
 /// Outcome of one exhibit binary.
@@ -87,10 +88,14 @@ fn run_exhibit(exhibit: &'static str, bin: &'static str, dir: &Path) -> RunRecor
     // Children must not inherit the telemetry env: each would overwrite
     // the same DUET_TRACE file (run_all's own finalize() writes it last)
     // and the same DUET_METRICS snapshot paths, silently losing data.
-    let result = Command::new(&exe)
-        .env_remove("DUET_TRACE")
-        .env_remove("DUET_METRICS")
-        .output();
+    let mut cmd = Command::new(&exe);
+    cmd.env_remove("DUET_TRACE").env_remove("DUET_METRICS");
+    // serve_bench records its run so the following obs_report exhibit
+    // has a flight-recorder stream to join.
+    if bin == "serve_bench" {
+        cmd.env("DUET_RECORDER", "1");
+    }
+    let result = cmd.output();
     let wall_ms = (duet_obs::span::monotonic_ns() - start) as f64 / 1e6;
     drop(span);
 

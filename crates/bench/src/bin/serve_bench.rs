@@ -87,7 +87,7 @@ fn response_checksum(responses: &[InferenceResponse]) -> u64 {
     let mut acc = 0u64;
     let mut fold = |v: u64| acc = acc.rotate_left(7) ^ v;
     for r in responses {
-        fold(r.id);
+        fold(r.id.0);
         fold(r.completion_tick);
         fold(u64::from(r.degradation_level));
         for v in r.output.data() {
@@ -104,6 +104,12 @@ fn main() {
         println!("serve_bench: --smoke (short trace)");
     }
     println!("serve_bench: seed {SEED}, {threads} threads\n");
+
+    // Flight recorder: `DUET_RECORDER=1` opts in, but model construction
+    // (`DualModuleLayer::learn`) would flood the ring with unscoped
+    // engine events, so recording starts only once the serving run does.
+    let record = duet_obs::recorder_enabled();
+    duet_obs::set_recorder_enabled(false);
 
     let mut cfg = ServeConfig::balanced();
     // Size throughput below the offered load so overload is real and
@@ -126,8 +132,29 @@ fn main() {
         server.model_dims().len()
     );
 
+    duet_obs::set_recorder_enabled(record);
     let (responses, report) = server.run_trace(&requests);
+    duet_obs::set_recorder_enabled(false);
     let checksum = response_checksum(&responses);
+
+    if record {
+        let overflow = duet_obs::event::overflow();
+        let mut events = duet_obs::event::take_global();
+        duet_obs::event::canonical_sort(&mut events);
+        let rec_path = if smoke {
+            "results/RECORDER_serve_smoke.jsonl"
+        } else {
+            "results/RECORDER_serve.jsonl"
+        };
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write(rec_path, duet_obs::event::to_jsonl(&events, true))
+            .expect("write recorder jsonl");
+        println!(
+            "recorder: {} events ({} overflowed) -> {rec_path}",
+            events.len(),
+            overflow
+        );
+    }
 
     // ---- the two serving invariants ------------------------------------
     assert_eq!(

@@ -14,10 +14,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod regress;
 pub mod suite;
 pub mod table;
 pub mod timing;
 
+pub use regress::{Finding, Severity};
 pub use suite::Suite;
 pub use table::Table;
 pub use timing::Measurement;

@@ -56,7 +56,13 @@ pub fn forward_batch(
     let mut output = Tensor::zeros(&[b, n]);
     let mut maps = Vec::with_capacity(b);
     let mut report = SavingsReport::new();
+    // Per-sample engines run on pool threads, which do not inherit this
+    // thread's recorder scope; re-install it so their EngineFinish events
+    // keep the caller's request/batch attribution. Recorder off: no TLS
+    // touched.
+    let scope = duet_obs::recorder_enabled().then(duet_obs::event::current_scope);
     let results = parallel::map_indexed(b, parallel::num_threads().min(b), |bi| {
+        let _scope = scope.map(|(request, tenant)| duet_obs::event::scoped(request, tenant));
         let row = Tensor::from_vec(x.row(bi).to_vec(), &[d]);
         layer.forward(&row, policy)
     });

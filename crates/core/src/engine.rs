@@ -314,6 +314,7 @@ impl SpeculationEngine {
         }
         let nonfinite = y_approx.data().iter().any(|v| !v.is_finite());
         let raw = policy.map(y_approx);
+        let was_tripped = guard.is_tripped();
         let obs = guard.observe(nonfinite, raw.insensitive_fraction());
 
         duet_obs::counter!("core.guard.checks").inc();
@@ -325,6 +326,21 @@ impl SpeculationEngine {
         }
         if obs.newly_tripped {
             duet_obs::counter!("core.guard.trips").inc();
+            duet_obs::event::emit_scoped(
+                duet_obs::event::EventKind::GuardTrip,
+                0,
+                u64::MAX,
+                u64::from(obs.nonfinite),
+                guard.ewma().unwrap_or(0.0),
+            );
+        } else if was_tripped && !guard.is_tripped() {
+            duet_obs::event::emit_scoped(
+                duet_obs::event::EventKind::GuardClear,
+                0,
+                u64::MAX,
+                0,
+                guard.ewma().unwrap_or(0.0),
+            );
         }
 
         let map = if obs.fallback {
@@ -464,6 +480,13 @@ impl SpeculationEngine {
         // kept the Speculator's approximate value
         duet_obs::histogram!("core.dual.switch_rate_bp")
             .record((report.approximate_fraction() * 10_000.0) as u64);
+        duet_obs::event::emit_scoped(
+            duet_obs::event::EventKind::EngineFinish,
+            report.executor_macs,
+            report.speculator_macs,
+            report.outputs_exact,
+            report.approximate_fraction() * 10_000.0,
+        );
 
         report
     }

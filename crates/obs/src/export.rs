@@ -19,6 +19,13 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(&'static str, i64)>,
     /// `(name, summary)` for every registered histogram, sorted by name.
     pub histograms: Vec<(&'static str, HistogramSummary)>,
+    /// Trace-ring events dropped because the buffer was full: nonzero
+    /// means the Chrome trace is incomplete.
+    pub trace_dropped: u64,
+    /// Flight-recorder events overwritten before being drained: nonzero
+    /// means the event stream no longer covers the whole run
+    /// (raise `DUET_RECORDER_CAP`).
+    pub recorder_overflow: u64,
 }
 
 /// Copies the current state of the registry.
@@ -27,32 +34,37 @@ pub fn snapshot() -> MetricsSnapshot {
         counters: registry::counters(),
         gauges: registry::gauges(),
         histograms: registry::histograms(),
+        trace_dropped: crate::trace::dropped_events(),
+        recorder_overflow: crate::event::overflow(),
     }
 }
 
 impl MetricsSnapshot {
-    /// Looks up a counter value by name.
+    /// Looks up a counter value by name (binary search over the
+    /// name-sorted vector).
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|&(_, v)| v)
+            .binary_search_by(|probe| probe.0.cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
     }
 
-    /// Looks up a gauge value by name.
+    /// Looks up a gauge value by name (binary search over the
+    /// name-sorted vector).
     pub fn gauge(&self, name: &str) -> Option<i64> {
         self.gauges
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|&(_, v)| v)
+            .binary_search_by(|probe| probe.0.cmp(name))
+            .ok()
+            .map(|i| self.gauges[i].1)
     }
 
-    /// Looks up a histogram summary by name.
+    /// Looks up a histogram summary by name (binary search over the
+    /// name-sorted vector).
     pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
         self.histograms
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, s)| s)
+            .binary_search_by(|probe| probe.0.cmp(name))
+            .ok()
+            .map(|i| &self.histograms[i].1)
     }
 
     /// `true` when no metric of any kind is registered.
@@ -60,11 +72,13 @@ impl MetricsSnapshot {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
-    /// Renders the snapshot as aligned plain text, one metric per line.
+    /// Renders the snapshot as aligned plain text, one metric per line,
+    /// followed by telemetry-health warnings when events were lost.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         if self.is_empty() {
             out.push_str("(no metrics registered — set DUET_METRICS=1)\n");
+            self.push_health_text(&mut out);
             return out;
         }
         let width = self
@@ -92,11 +106,28 @@ impl MetricsSnapshot {
                 s.max
             ));
         }
+        self.push_health_text(&mut out);
         out
     }
 
+    fn push_health_text(&self, out: &mut String) {
+        if self.trace_dropped > 0 {
+            out.push_str(&format!(
+                "WARNING: {} trace event(s) dropped — trace is incomplete\n",
+                self.trace_dropped
+            ));
+        }
+        if self.recorder_overflow > 0 {
+            out.push_str(&format!(
+                "WARNING: {} recorder event(s) overwritten — raise DUET_RECORDER_CAP\n",
+                self.recorder_overflow
+            ));
+        }
+    }
+
     /// Renders the snapshot as a JSON document:
-    /// `{"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}`.
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name: {...}},
+    /// "health": {"trace_dropped": N, "recorder_overflow": N}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         for (i, (name, v)) in self.counters.iter().enumerate() {
@@ -131,7 +162,12 @@ impl MetricsSnapshot {
                 s.p99
             ));
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  },\n");
+        out.push_str(&format!(
+            "  \"health\": {{\"trace_dropped\": {}, \"recorder_overflow\": {}}}\n",
+            self.trace_dropped, self.recorder_overflow
+        ));
+        out.push_str("}\n");
         out
     }
 }
@@ -190,5 +226,76 @@ mod tests {
         assert!(empty.to_text().contains("DUET_METRICS"));
         // empty JSON still parses
         assert!(parse(&empty.to_json()).is_ok());
+    }
+
+    #[test]
+    fn binary_search_lookup_agrees_with_iteration() {
+        let _g = crate::test_guard();
+        crate::set_metrics_enabled(true);
+        // Registration order deliberately not sorted: the registry sorts.
+        for name in [
+            "obs.test.bs_zeta",
+            "obs.test.bs_alpha",
+            "obs.test.bs_mid",
+            "obs.test.bs_beta",
+        ] {
+            crate::registry::counter(name).add(name.len() as u64);
+            crate::registry::gauge(name).set(-(name.len() as i64));
+            crate::registry::histogram(name).record(name.len() as u64);
+        }
+        crate::set_metrics_enabled(false);
+        let snap = snapshot();
+        for &(name, v) in &snap.counters {
+            let by_iter = snap.counters.iter().find(|(n, _)| *n == name).unwrap().1;
+            assert_eq!(snap.counter(name), Some(v));
+            assert_eq!(by_iter, v);
+        }
+        for &(name, v) in &snap.gauges {
+            let by_iter = snap.gauges.iter().find(|(n, _)| *n == name).unwrap().1;
+            assert_eq!(snap.gauge(name), Some(v));
+            assert_eq!(by_iter, v);
+        }
+        for (name, s) in &snap.histograms {
+            let by_iter = &snap.histograms.iter().find(|(n, _)| n == name).unwrap().1;
+            assert_eq!(snap.histogram(name), Some(by_iter));
+            assert_eq!(snap.histogram(name).unwrap().count, s.count);
+        }
+        assert_eq!(snap.counter("obs.test.bs_missing"), None);
+        assert_eq!(snap.gauge(""), None);
+    }
+
+    #[test]
+    fn health_fields_surface_in_text_and_json() {
+        let healthy = MetricsSnapshot::default();
+        assert!(!healthy.to_text().contains("WARNING"));
+        let h = parse(&healthy.to_json()).unwrap();
+        let health = h.get("health").expect("health object");
+        assert_eq!(
+            health.get("trace_dropped").and_then(Value::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            health.get("recorder_overflow").and_then(Value::as_f64),
+            Some(0.0)
+        );
+
+        let lossy = MetricsSnapshot {
+            trace_dropped: 3,
+            recorder_overflow: 9,
+            ..MetricsSnapshot::default()
+        };
+        let text = lossy.to_text();
+        assert!(text.contains("3 trace event(s) dropped"));
+        assert!(text.contains("raise DUET_RECORDER_CAP"));
+        let v = parse(&lossy.to_json()).unwrap();
+        let health = v.get("health").unwrap();
+        assert_eq!(
+            health.get("trace_dropped").and_then(Value::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            health.get("recorder_overflow").and_then(Value::as_f64),
+            Some(9.0)
+        );
     }
 }

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod event;
 pub mod export;
 pub mod json;
 pub mod registry;
@@ -57,6 +58,8 @@ const FLAG_INIT: u32 = 1;
 const FLAG_METRICS: u32 = 2;
 /// Bit: span tracing enabled.
 const FLAG_TRACE: u32 = 4;
+/// Bit: flight recorder ([`event`]) enabled.
+const FLAG_RECORDER: u32 = 8;
 
 /// The process-wide telemetry switch word. `0` means "not yet
 /// initialized"; after initialization [`FLAG_INIT`] is always set, so the
@@ -81,6 +84,9 @@ fn init_flags() -> u32 {
     }
     if trace_env_path().is_some() {
         f |= FLAG_TRACE;
+    }
+    if env_truthy("DUET_RECORDER") {
+        f |= FLAG_RECORDER;
     }
     // A concurrent set_*_enabled may have raced us; only install over 0.
     match FLAGS.compare_exchange(0, f, Ordering::Relaxed, Ordering::Relaxed) {
@@ -109,6 +115,14 @@ pub fn trace_enabled() -> bool {
     flags() & FLAG_TRACE != 0
 }
 
+/// Whether the flight recorder ([`event`]) is capturing. Steady state:
+/// one relaxed atomic load — the entire cost of a disabled
+/// [`event::emit`] call site.
+#[inline]
+pub fn recorder_enabled() -> bool {
+    flags() & FLAG_RECORDER != 0
+}
+
 /// Whether any telemetry sink is on (metrics or tracing).
 #[inline]
 pub fn enabled() -> bool {
@@ -135,6 +149,18 @@ pub fn set_trace_enabled(on: bool) {
         FLAGS.fetch_or(FLAG_TRACE, Ordering::Relaxed);
     } else {
         FLAGS.fetch_and(!FLAG_TRACE, Ordering::Relaxed);
+    }
+}
+
+/// Programmatically enables/disables the flight recorder (overrides
+/// `DUET_RECORDER`). The ring itself is sized once, on first use, from
+/// `DUET_RECORDER_CAP`.
+pub fn set_recorder_enabled(on: bool) {
+    let _ = flags();
+    if on {
+        FLAGS.fetch_or(FLAG_RECORDER, Ordering::Relaxed);
+    } else {
+        FLAGS.fetch_and(!FLAG_RECORDER, Ordering::Relaxed);
     }
 }
 

@@ -104,12 +104,12 @@ impl MicroBatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{ModelId, TenantId};
+    use crate::request::{ModelId, RequestId, TenantId};
     use duet_tensor::Tensor;
 
     fn req(id: u64, model: u32, tick: u64) -> InferenceRequest {
         InferenceRequest {
-            id,
+            id: RequestId(id),
             tenant: TenantId(0),
             model: ModelId(model),
             input: Tensor::zeros(&[4]),
@@ -135,7 +135,10 @@ mod tests {
         }
         assert!(b.ready(0, 5));
         let flushed = b.flush(0);
-        assert_eq!(flushed.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(
+            flushed.iter().map(|r| r.id.0).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
         assert_eq!(b.depth(0), 0);
     }
 
@@ -156,7 +159,7 @@ mod tests {
             b.push(req(i, 1, i));
         }
         let first = b.flush(1);
-        assert_eq!(first.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(first.iter().map(|r| r.id.0).collect::<Vec<_>>(), [0, 1, 2]);
         assert_eq!(b.depth(1), 2);
         assert_eq!(b.oldest_arrival(1), Some(3));
     }

@@ -36,6 +36,7 @@
 pub mod admission;
 pub mod batcher;
 pub mod replica;
+pub mod report;
 pub mod request;
 pub mod server;
 pub mod stats;
@@ -44,7 +45,8 @@ pub mod trace;
 pub use admission::{AdmissionConfig, AdmissionController};
 pub use batcher::{BatcherConfig, MicroBatcher};
 pub use replica::{OverloadPolicy, Replica};
-pub use request::{InferenceRequest, InferenceResponse, ModelId, TenantId};
+pub use report::{Journey, ServeObservability, Stages, TenantWaterfall};
+pub use request::{InferenceRequest, InferenceResponse, ModelId, RequestId, TenantId};
 pub use server::{DuetServer, ServeConfig, ServedModel};
 pub use stats::{ServeReport, TenantSlo};
 pub use trace::{TenantProfile, TraceConfig};

@@ -11,7 +11,7 @@
 use crate::request::InferenceRequest;
 use duet_core::batch::{forward_batch, BatchDualOutput};
 use duet_core::dual_layer::DualModuleLayer;
-use duet_core::guard::{DegradationPolicy, GuardConfig, SpeculationGuard};
+use duet_core::guard::{DegradationPolicy, GuardConfig, GuardObservation, SpeculationGuard};
 use duet_core::metrics::SavingsReport;
 use duet_core::switching::SwitchingPolicy;
 use duet_nn::Activation;
@@ -157,15 +157,19 @@ impl Replica {
         self.guard.is_tripped() && self.guard.config().policy == DegradationPolicy::FallbackDense
     }
 
-    /// Feeds one batch's health signals to the guard. Empty batches are
-    /// skipped — a zero-length output says nothing about speculator
-    /// health (the same rule as `SpeculationEngine::speculate_guarded`).
-    pub fn observe(&mut self, exec: &BatchExecution) {
+    /// Feeds one batch's health signals to the guard and returns what
+    /// the guard decided (so the server can emit trip/clear events).
+    /// Empty batches are skipped — a zero-length output says nothing
+    /// about speculator health (the same rule as
+    /// `SpeculationEngine::speculate_guarded`) — and return `None`.
+    pub fn observe(&mut self, exec: &BatchExecution) -> Option<GuardObservation> {
         if exec.result.output.is_empty() {
-            return;
+            return None;
         }
-        self.guard
-            .observe(exec.nonfinite, exec.insensitive_fraction);
+        Some(
+            self.guard
+                .observe(exec.nonfinite, exec.insensitive_fraction),
+        )
     }
 }
 
@@ -185,7 +189,7 @@ mod tests {
 
     fn req(id: u64, input: Tensor) -> InferenceRequest {
         InferenceRequest {
-            id,
+            id: crate::request::RequestId(id),
             tenant: TenantId(0),
             model: ModelId(0),
             input,
@@ -243,7 +247,7 @@ mod tests {
         assert_eq!(exec.result.output.shape().dims(), &[0, 12]);
         assert_eq!(exec.insensitive_fraction, 0.0);
         let mut replica = Replica::new(0, GuardConfig::fallback_dense(SwitchRateBand::any()));
-        replica.observe(&exec);
+        assert!(replica.observe(&exec).is_none());
         assert_eq!(replica.guard.stats().checks, 0);
         assert!(!replica.must_serve_dense());
     }

@@ -1,0 +1,645 @@
+//! Joining flight-recorder events into request-level observability.
+//!
+//! The server emits one [`duet_obs::event::Event`] per pipeline hop
+//! (enqueue → admit → batch-seal → execute → respond); this module joins
+//! a drained stream back into per-request **journeys**, decomposes each
+//! journey's end-to-end latency into a stage **waterfall** that sums
+//! exactly — `queue_wait + batch_wait + (compute | degraded_compute) =
+//! latency`, no sampling, no residue — and aggregates per-tenant
+//! nearest-rank percentiles, an anomaly timeline (guard trips/clears,
+//! admission level changes), and histogram-bucket exemplars (the worst
+//! request id per latency bucket, linking aggregate histograms back to
+//! replayable requests).
+//!
+//! Everything is integer virtual ticks over deterministic event fields,
+//! so a report built from a canonically sorted stream is byte-identical
+//! at any `DUET_NUM_THREADS`.
+
+use crate::stats::percentile;
+use duet_obs::event::{Event, EventKind, BATCH_SCOPE, NO_SCOPE};
+use duet_obs::trace::escape_json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One request's reconstructed lifetime, joined from its events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Journey {
+    /// Request id.
+    pub id: u64,
+    /// Tenant index.
+    pub tenant: u32,
+    /// Model index (from the enqueue event).
+    pub model: u64,
+    /// Arrival tick.
+    pub arrival: u64,
+    /// Tick the request's batch became releasable.
+    pub seal: u64,
+    /// Tick the batch started executing.
+    pub exec_start: u64,
+    /// Tick the batch completed.
+    pub exec_end: u64,
+    /// Batch id the request rode in.
+    pub batch: u64,
+    /// Degradation level the batch ran at.
+    pub level: u64,
+    /// Whether the guard forced the batch bitwise-dense.
+    pub dense: bool,
+}
+
+/// A journey's latency decomposed into stages. The stages sum exactly to
+/// [`Journey::latency`]: compute and degraded-compute are mutually
+/// exclusive (a batch either ran at level 0 without dense fallback, or
+/// it was degraded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stages {
+    /// Arrival → batch seal: waiting for batch formation.
+    pub queue_wait: u64,
+    /// Batch seal → execute start: sealed batch waiting for a replica.
+    pub batch_wait: u64,
+    /// Execute start → end at full quality (level 0, not dense-forced).
+    pub compute: u64,
+    /// Execute start → end under θ-degradation or dense fallback.
+    pub degraded_compute: u64,
+}
+
+impl Journey {
+    /// End-to-end latency in ticks.
+    pub fn latency(&self) -> u64 {
+        self.exec_end - self.arrival
+    }
+
+    /// The exact stage decomposition of this journey's latency.
+    pub fn stages(&self) -> Stages {
+        let service = self.exec_end - self.exec_start;
+        let degraded = self.level > 0 || self.dense;
+        Stages {
+            queue_wait: self.seal - self.arrival,
+            batch_wait: self.exec_start - self.seal,
+            compute: if degraded { 0 } else { service },
+            degraded_compute: if degraded { service } else { 0 },
+        }
+    }
+}
+
+/// Nearest-rank p50/p90/p99/max over one stage's samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageQuantiles {
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl StageQuantiles {
+    fn from_samples(samples: &mut [u64]) -> Self {
+        samples.sort_unstable();
+        Self {
+            p50: percentile(samples, 50),
+            p90: percentile(samples, 90),
+            p99: percentile(samples, 99),
+            max: samples.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// One tenant's latency waterfall: per-stage quantiles whose per-request
+/// samples sum exactly to the end-to-end latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantWaterfall {
+    /// Tenant index.
+    pub tenant: u32,
+    /// Requests joined for this tenant.
+    pub completed: u64,
+    /// Requests served above level 0 or dense-forced.
+    pub degraded: u64,
+    /// Queue-wait stage quantiles.
+    pub queue_wait: StageQuantiles,
+    /// Batch-wait stage quantiles.
+    pub batch_wait: StageQuantiles,
+    /// Full-quality compute stage quantiles.
+    pub compute: StageQuantiles,
+    /// Degraded compute stage quantiles.
+    pub degraded_compute: StageQuantiles,
+    /// End-to-end latency quantiles.
+    pub latency: StageQuantiles,
+}
+
+/// One entry of the anomaly timeline, ordered by tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// Virtual tick the anomaly was observed at.
+    pub tick: u64,
+    /// Event kind (`guard_trip`, `guard_clear`, `admission_level`).
+    pub kind: EventKind,
+    /// Batch id for guard events, tenant index for admission events.
+    pub subject: u64,
+    /// Replica index (guard) or new level (admission).
+    pub detail: u64,
+    /// Nonfinite flag (guard trip) or old level (admission).
+    pub extra: u64,
+    /// Guard EWMA at the transition (0 for admission events).
+    pub ewma: f64,
+}
+
+/// One pow2 latency bucket with its exemplar: the worst request in the
+/// bucket, so an aggregate histogram links back to a replayable id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Inclusive lower latency bound of the bucket.
+    pub lo: u64,
+    /// Inclusive upper latency bound of the bucket.
+    pub hi: u64,
+    /// Requests whose latency fell in the bucket.
+    pub count: u64,
+    /// Id of the worst (highest-latency; ties → lowest id) request.
+    pub worst_id: u64,
+    /// That request's latency.
+    pub worst_latency: u64,
+}
+
+/// The joined observability view of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeObservability {
+    /// Every request's journey, ordered by id.
+    pub journeys: Vec<Journey>,
+    /// Per-tenant waterfalls, ordered by tenant index.
+    pub waterfalls: Vec<TenantWaterfall>,
+    /// Guard and admission anomalies, ordered by tick.
+    pub anomalies: Vec<Anomaly>,
+    /// Non-empty latency buckets with exemplars, ordered by bound.
+    pub exemplars: Vec<Exemplar>,
+    /// Distinct batches observed.
+    pub batches: u64,
+}
+
+/// Latency bucket index: 0 holds latency 0, bucket `b ≥ 1` holds
+/// `[2^(b-1), 2^b - 1]` — the same pow2 layout as the `duet-obs`
+/// histograms, which is what lets an exemplar annotate a histogram
+/// bucket.
+fn bucket_of(latency: u64) -> u32 {
+    64 - latency.leading_zeros()
+}
+
+/// Inclusive `[lo, hi]` latency bounds of a bucket index.
+fn bucket_bounds(b: u32) -> (u64, u64) {
+    if b == 0 {
+        (0, 0)
+    } else {
+        (1 << (b - 1), (1u64 << b) - 1)
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct PartialJourney {
+    tenant: Option<u32>,
+    model: u64,
+    arrival: Option<u64>,
+    admitted: bool,
+    seal: Option<u64>,
+    exec_start: Option<u64>,
+    exec_end: Option<u64>,
+    respond_latency: Option<u64>,
+    batch: u64,
+    level: u64,
+    dense: bool,
+}
+
+/// Joins a drained event stream into the full observability view.
+///
+/// Validates **balance** — every enqueue has admit, seal, exec start/end
+/// and respond events, and no stage tick runs backwards — and returns a
+/// description of the first violation instead of a partial view, so a
+/// truncated or corrupted stream cannot masquerade as a healthy run.
+/// (A stream that wrapped the recorder will fail here: joining needs
+/// the whole run, which is what `DUET_RECORDER_CAP` sizes.)
+pub fn join(events: &[Event]) -> Result<ServeObservability, String> {
+    let mut partial: BTreeMap<u64, PartialJourney> = BTreeMap::new();
+    let mut anomalies: Vec<Anomaly> = Vec::new();
+    let mut batches: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for e in events {
+        if e.request == NO_SCOPE {
+            if e.kind == EventKind::AdmissionLevel {
+                anomalies.push(Anomaly {
+                    tick: e.a,
+                    kind: e.kind,
+                    subject: u64::from(e.tenant),
+                    detail: e.b,
+                    extra: e.c,
+                    ewma: 0.0,
+                });
+            }
+            continue;
+        }
+        if e.request & BATCH_SCOPE != 0 {
+            let batch = e.request & !BATCH_SCOPE;
+            match e.kind {
+                EventKind::GuardTrip | EventKind::GuardClear => anomalies.push(Anomaly {
+                    tick: e.a,
+                    kind: e.kind,
+                    subject: batch,
+                    detail: e.b,
+                    extra: e.c,
+                    ewma: e.f,
+                }),
+                _ => {}
+            }
+            continue;
+        }
+        let p = partial.entry(e.request).or_default();
+        match e.kind {
+            EventKind::Enqueue => {
+                p.tenant = Some(e.tenant);
+                p.arrival = Some(e.a);
+                p.model = e.c;
+            }
+            EventKind::Admit => p.admitted = true,
+            EventKind::BatchSeal => {
+                p.seal = Some(e.a);
+                p.batch = e.b;
+            }
+            EventKind::ExecStart => {
+                p.exec_start = Some(e.a);
+                p.level = e.c;
+            }
+            EventKind::ExecEnd => {
+                p.exec_end = Some(e.a);
+                p.dense = e.c != 0;
+            }
+            EventKind::Respond => {
+                p.respond_latency = Some(e.b);
+                p.level = e.c;
+            }
+            _ => {}
+        }
+    }
+
+    let mut journeys = Vec::with_capacity(partial.len());
+    for (id, p) in partial {
+        let missing = |what: &str| format!("request {id}: missing {what} event");
+        let tenant = p.tenant.ok_or_else(|| missing("enqueue"))?;
+        if !p.admitted {
+            return Err(missing("admit"));
+        }
+        let j = Journey {
+            id,
+            tenant,
+            model: p.model,
+            arrival: p.arrival.ok_or_else(|| missing("enqueue"))?,
+            seal: p.seal.ok_or_else(|| missing("batch_seal"))?,
+            exec_start: p.exec_start.ok_or_else(|| missing("exec_start"))?,
+            exec_end: p.exec_end.ok_or_else(|| missing("exec_end"))?,
+            batch: p.batch,
+            level: p.level,
+            dense: p.dense,
+        };
+        let latency = p.respond_latency.ok_or_else(|| missing("respond"))?;
+        if !(j.arrival <= j.seal && j.seal <= j.exec_start && j.exec_start <= j.exec_end) {
+            return Err(format!(
+                "request {id}: stage ticks run backwards \
+                 (arrival {}, seal {}, exec {}..{})",
+                j.arrival, j.seal, j.exec_start, j.exec_end
+            ));
+        }
+        if latency != j.latency() {
+            return Err(format!(
+                "request {id}: respond latency {latency} != exec_end - arrival {}",
+                j.latency()
+            ));
+        }
+        batches.insert(j.batch);
+        journeys.push(j);
+    }
+
+    // Per-tenant waterfalls over the exact stage decomposition.
+    let tenant_count = journeys
+        .iter()
+        .map(|j| j.tenant as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut waterfalls = Vec::with_capacity(tenant_count);
+    for t in 0..tenant_count {
+        let mut queue_wait = Vec::new();
+        let mut batch_wait = Vec::new();
+        let mut compute = Vec::new();
+        let mut degraded_compute = Vec::new();
+        let mut latency = Vec::new();
+        let mut degraded = 0u64;
+        for j in journeys.iter().filter(|j| j.tenant as usize == t) {
+            let s = j.stages();
+            queue_wait.push(s.queue_wait);
+            batch_wait.push(s.batch_wait);
+            compute.push(s.compute);
+            degraded_compute.push(s.degraded_compute);
+            latency.push(j.latency());
+            if j.level > 0 || j.dense {
+                degraded += 1;
+            }
+        }
+        waterfalls.push(TenantWaterfall {
+            tenant: t as u32,
+            completed: latency.len() as u64,
+            degraded,
+            queue_wait: StageQuantiles::from_samples(&mut queue_wait),
+            batch_wait: StageQuantiles::from_samples(&mut batch_wait),
+            compute: StageQuantiles::from_samples(&mut compute),
+            degraded_compute: StageQuantiles::from_samples(&mut degraded_compute),
+            latency: StageQuantiles::from_samples(&mut latency),
+        });
+    }
+
+    anomalies.sort_by(|x, y| {
+        (x.tick, x.kind as u8, x.subject, x.detail).cmp(&(
+            y.tick,
+            y.kind as u8,
+            y.subject,
+            y.detail,
+        ))
+    });
+
+    // Histogram → exemplar links: worst request id per pow2 bucket.
+    let mut by_bucket: BTreeMap<u32, Exemplar> = BTreeMap::new();
+    for j in &journeys {
+        let latency = j.latency();
+        let b = bucket_of(latency);
+        let (lo, hi) = bucket_bounds(b);
+        let entry = by_bucket.entry(b).or_insert(Exemplar {
+            lo,
+            hi,
+            count: 0,
+            worst_id: j.id,
+            worst_latency: latency,
+        });
+        entry.count += 1;
+        if latency > entry.worst_latency
+            || (latency == entry.worst_latency && j.id < entry.worst_id)
+        {
+            entry.worst_id = j.id;
+            entry.worst_latency = latency;
+        }
+    }
+
+    Ok(ServeObservability {
+        journeys,
+        waterfalls,
+        anomalies,
+        exemplars: by_bucket.into_values().collect(),
+        batches: batches.len() as u64,
+    })
+}
+
+fn quantiles_json(q: &StageQuantiles) -> String {
+    format!(
+        "{{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+        q.p50, q.p90, q.p99, q.max
+    )
+}
+
+impl ServeObservability {
+    /// Renders the report as deterministic JSON (`SERVE_REPORT.json`).
+    /// `tenant_names[i]` labels tenant `i`; missing entries fall back to
+    /// `tenant<i>`.
+    pub fn to_json(&self, tenant_names: &[String]) -> String {
+        let name_of = |t: u32| -> String {
+            tenant_names
+                .get(t as usize)
+                .map_or_else(|| format!("tenant{t}"), |n| escape_json(n))
+        };
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"requests\": {},", self.journeys.len());
+        let _ = writeln!(out, "  \"batches\": {},", self.batches);
+        let _ = writeln!(out, "  \"tenants\": [");
+        for (i, w) in self.waterfalls.iter().enumerate() {
+            let sep = if i + 1 < self.waterfalls.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"tenant\": \"{}\",", name_of(w.tenant));
+            let _ = writeln!(out, "      \"completed\": {},", w.completed);
+            let _ = writeln!(out, "      \"degraded\": {},", w.degraded);
+            let _ = writeln!(
+                out,
+                "      \"queue_wait_ticks\": {},",
+                quantiles_json(&w.queue_wait)
+            );
+            let _ = writeln!(
+                out,
+                "      \"batch_wait_ticks\": {},",
+                quantiles_json(&w.batch_wait)
+            );
+            let _ = writeln!(
+                out,
+                "      \"compute_ticks\": {},",
+                quantiles_json(&w.compute)
+            );
+            let _ = writeln!(
+                out,
+                "      \"degraded_compute_ticks\": {},",
+                quantiles_json(&w.degraded_compute)
+            );
+            let _ = writeln!(
+                out,
+                "      \"latency_ticks\": {}",
+                quantiles_json(&w.latency)
+            );
+            let _ = writeln!(out, "    }}{sep}");
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"anomalies\": [");
+        for (i, a) in self.anomalies.iter().enumerate() {
+            let sep = if i + 1 < self.anomalies.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"tick\": {}, \"kind\": \"{}\", \"subject\": {}, \
+                 \"detail\": {}, \"extra\": {}, \"ewma\": {}}}{sep}",
+                a.tick,
+                a.kind.name(),
+                a.subject,
+                a.detail,
+                a.extra,
+                a.ewma
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"latency_exemplars\": [");
+        for (i, x) in self.exemplars.iter().enumerate() {
+            let sep = if i + 1 < self.exemplars.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"lo_ticks\": {}, \"hi_ticks\": {}, \"count\": {}, \
+                 \"worst_request\": {}, \"worst_latency_ticks\": {}}}{sep}",
+                x.lo, x.hi, x.count, x.worst_id, x.worst_latency
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, request: u64, tenant: u32, a: u64, b: u64, c: u64) -> Event {
+        Event {
+            mono_ns: 0,
+            tid: 0,
+            kind,
+            request,
+            tenant,
+            a,
+            b,
+            c,
+            f: 0.0,
+        }
+    }
+
+    /// A full journey for request `id`: arrival 10, seal 12, exec 14..20.
+    fn full_journey(id: u64, tenant: u32, level: u64) -> Vec<Event> {
+        vec![
+            ev(EventKind::Enqueue, id, tenant, 10, 1, 0),
+            ev(EventKind::Admit, id, tenant, 10, level, 0),
+            ev(EventKind::BatchSeal, id, tenant, 12, 7, 2),
+            ev(EventKind::ExecStart, id, tenant, 14, 7, level),
+            ev(EventKind::ExecEnd, id, tenant, 20, 7, 0),
+            ev(EventKind::Respond, id, tenant, 20, 10, level),
+        ]
+    }
+
+    #[test]
+    fn joins_full_journey_and_stages_sum() {
+        let obs = join(&full_journey(3, 1, 0)).expect("joins");
+        assert_eq!(obs.journeys.len(), 1);
+        let j = obs.journeys[0];
+        assert_eq!((j.id, j.tenant, j.batch), (3, 1, 7));
+        let s = j.stages();
+        assert_eq!(s.queue_wait, 2);
+        assert_eq!(s.batch_wait, 2);
+        assert_eq!(s.compute, 6);
+        assert_eq!(s.degraded_compute, 0);
+        assert_eq!(
+            s.queue_wait + s.batch_wait + s.compute + s.degraded_compute,
+            j.latency()
+        );
+        assert_eq!(obs.batches, 1);
+    }
+
+    #[test]
+    fn degraded_journey_charges_degraded_compute() {
+        let obs = join(&full_journey(0, 0, 2)).expect("joins");
+        let s = obs.journeys[0].stages();
+        assert_eq!(s.compute, 0);
+        assert_eq!(s.degraded_compute, 6);
+        assert_eq!(obs.waterfalls[0].degraded, 1);
+    }
+
+    #[test]
+    fn missing_respond_is_an_imbalance() {
+        let mut events = full_journey(5, 0, 0);
+        events.retain(|e| e.kind != EventKind::Respond);
+        let err = join(&events).unwrap_err();
+        assert!(err.contains("request 5"), "{err}");
+        assert!(err.contains("respond"), "{err}");
+    }
+
+    #[test]
+    fn latency_mismatch_is_rejected() {
+        let mut events = full_journey(5, 0, 0);
+        for e in &mut events {
+            if e.kind == EventKind::Respond {
+                e.b = 9; // true latency is 10
+            }
+        }
+        let err = join(&events).unwrap_err();
+        assert!(err.contains("respond latency 9"), "{err}");
+    }
+
+    #[test]
+    fn anomalies_are_collected_and_ordered() {
+        let mut events = full_journey(0, 0, 0);
+        events.push(Event {
+            f: 0.75,
+            ..ev(EventKind::GuardTrip, BATCH_SCOPE | 7, u32::MAX, 15, 2, 1)
+        });
+        events.push(ev(EventKind::AdmissionLevel, NO_SCOPE, 0, 11, 1, 0));
+        let obs = join(&events).expect("joins");
+        assert_eq!(obs.anomalies.len(), 2);
+        assert_eq!(obs.anomalies[0].tick, 11);
+        assert_eq!(obs.anomalies[0].kind, EventKind::AdmissionLevel);
+        assert_eq!(obs.anomalies[1].kind, EventKind::GuardTrip);
+        assert_eq!(obs.anomalies[1].subject, 7);
+        assert_eq!(obs.anomalies[1].ewma, 0.75);
+    }
+
+    #[test]
+    fn exemplars_track_worst_request_per_bucket() {
+        let mut events = Vec::new();
+        events.extend(full_journey(0, 0, 0)); // latency 10 → bucket [8,15]
+        events.extend(full_journey(1, 0, 0)); // same bucket
+        let mut slow = full_journey(2, 0, 0); // latency 12, same bucket
+        for e in &mut slow {
+            match e.kind {
+                EventKind::ExecEnd => e.a = 22,
+                EventKind::Respond => {
+                    e.a = 22;
+                    e.b = 12;
+                }
+                _ => {}
+            }
+        }
+        events.extend(slow);
+        let obs = join(&events).expect("joins");
+        assert_eq!(obs.exemplars.len(), 1);
+        let x = obs.exemplars[0];
+        assert_eq!((x.lo, x.hi), (8, 15));
+        assert_eq!(x.count, 3);
+        assert_eq!(x.worst_id, 2);
+        assert_eq!(x.worst_latency, 12);
+    }
+
+    #[test]
+    fn json_report_parses_and_names_tenants() {
+        let obs = join(&full_journey(0, 0, 1)).expect("joins");
+        let json = obs.to_json(&["alpha".to_string()]);
+        let v = duet_obs::json::parse(&json).expect("valid json");
+        let tenants = v.get("tenants").and_then(|t| t.as_array()).expect("array");
+        assert_eq!(tenants.len(), 1);
+        assert_eq!(
+            tenants[0]
+                .get("tenant")
+                .and_then(duet_obs::json::Value::as_str),
+            Some("alpha")
+        );
+        assert_eq!(
+            v.get("requests")
+                .and_then(duet_obs::json::Value::as_f64)
+                .map(|n| n as u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn bucket_layout_is_pow2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_bounds(4), (8, 15));
+        assert_eq!(bucket_bounds(0), (0, 0));
+    }
+}

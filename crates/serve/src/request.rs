@@ -7,6 +7,21 @@
 //! performed ([`crate::replica::service_ticks`]), not of host scheduling.
 
 use duet_tensor::Tensor;
+use std::fmt;
+
+/// Identifies one request for its whole lifetime: minted at submission,
+/// carried through queue → batch → replica → response, and stamped on
+/// every flight-recorder event ([`duet_obs::event`]) the request
+/// produces, so a causal trace joins on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
 
 /// Identifies a tenant (a customer sharing the service).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -23,7 +38,7 @@ pub struct ModelId(pub u32);
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InferenceRequest {
     /// Unique, monotonically increasing request id.
-    pub id: u64,
+    pub id: RequestId,
     /// The tenant that submitted the request.
     pub tenant: TenantId,
     /// The model the request targets.
@@ -39,7 +54,7 @@ pub struct InferenceRequest {
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InferenceResponse {
     /// Id of the request this answers.
-    pub id: u64,
+    pub id: RequestId,
     /// The tenant that submitted the request.
     pub tenant: TenantId,
     /// The model that served it.
@@ -70,7 +85,7 @@ mod tests {
     #[test]
     fn latency_is_completion_minus_arrival() {
         let r = InferenceResponse {
-            id: 1,
+            id: RequestId(1),
             tenant: TenantId(0),
             model: ModelId(0),
             output: Tensor::zeros(&[2]),

@@ -20,11 +20,12 @@
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::batcher::{BatcherConfig, MicroBatcher};
 use crate::replica::{execute_batch, service_ticks, OverloadPolicy, Replica};
-use crate::request::{InferenceRequest, InferenceResponse, ModelId, TenantId};
+use crate::request::{InferenceRequest, InferenceResponse, ModelId, RequestId, TenantId};
 use crate::stats::{ServeReport, TenantSlo};
 use duet_core::dual_layer::DualModuleLayer;
 use duet_core::guard::GuardConfig;
 use duet_core::switching::SwitchingPolicy;
+use duet_obs::event::{self, EventKind};
 use duet_obs::registry::Histogram;
 use duet_obs::{counter, gauge, histogram};
 use duet_tensor::{parallel, Tensor};
@@ -84,6 +85,7 @@ impl ServeConfig {
 /// A batch occupying a replica until its completion tick.
 #[derive(Debug)]
 struct InFlight {
+    batch_id: u64,
     requests: Vec<InferenceRequest>,
     outputs: Tensor,
     level: u8,
@@ -111,6 +113,8 @@ pub struct DuetServer {
     cfg: ServeConfig,
     now: u64,
     next_id: u64,
+    batch_seq: u64,
+    last_levels: Vec<u8>,
     submitted: u64,
     batches: u64,
     occupancy_sum: u64,
@@ -167,6 +171,8 @@ impl DuetServer {
             cfg,
             now: 0,
             next_id: 0,
+            batch_seq: 0,
+            last_levels: vec![0; tenant_names.len()],
             submitted: 0,
             batches: 0,
             occupancy_sum: 0,
@@ -199,8 +205,8 @@ impl DuetServer {
     ///
     /// Panics if the tenant or model index is out of range, or the input
     /// width mismatches the model.
-    pub fn submit(&mut self, tenant: TenantId, model: ModelId, input: Tensor) -> u64 {
-        let id = self.next_id;
+    pub fn submit(&mut self, tenant: TenantId, model: ModelId, input: Tensor) -> RequestId {
+        let id = RequestId(self.next_id);
         self.next_id += 1;
         let req = InferenceRequest {
             id,
@@ -309,11 +315,54 @@ impl DuetServer {
         );
         self.submitted += 1;
         self.admission.enqueued(t);
+        let id = req.id;
+        let tenant = req.tenant;
+        let arrival = req.arrival_tick;
         self.batcher.push(req);
         let depth = self.batcher.total_depth() as u64;
         self.max_queue_depth = self.max_queue_depth.max(depth);
         counter!("serve.requests.enqueued").inc();
         gauge!("serve.queue.depth").set(depth as i64);
+        event::emit(
+            EventKind::Enqueue,
+            id.0,
+            tenant.0,
+            arrival,
+            depth,
+            m as u64,
+            0.0,
+        );
+        event::emit(
+            EventKind::Admit,
+            id.0,
+            tenant.0,
+            arrival,
+            u64::from(self.admission.level_of(t)),
+            0,
+            0.0,
+        );
+        self.note_level(t);
+    }
+
+    /// Emits an [`EventKind::AdmissionLevel`] event when a tenant's
+    /// degradation level moved since the last time it was observed.
+    /// Called after every admission state change (enqueue, completion) —
+    /// dispatch moves work without changing the outstanding count.
+    fn note_level(&mut self, t: usize) {
+        let level = self.admission.level_of(t);
+        let old = self.last_levels[t];
+        if level != old {
+            self.last_levels[t] = level;
+            event::emit(
+                EventKind::AdmissionLevel,
+                event::NO_SCOPE,
+                t as u32,
+                self.now,
+                u64::from(level),
+                u64::from(old),
+                0.0,
+            );
+        }
     }
 
     /// Releases every ready batch onto an idle replica and executes the
@@ -324,6 +373,7 @@ impl DuetServer {
     fn dispatch(&mut self) {
         struct Plan {
             replica: usize,
+            batch_id: u64,
             requests: Vec<InferenceRequest>,
             level: u8,
             policy: SwitchingPolicy,
@@ -340,17 +390,53 @@ impl DuetServer {
                 };
                 let requests = self.batcher.flush(m);
                 debug_assert!(!requests.is_empty(), "ready() implies a non-empty flush");
+                let batch_id = self.batch_seq;
+                self.batch_seq += 1;
                 let level = requests
                     .iter()
                     .map(|r| self.admission.level_of(r.tenant.0 as usize))
                     .max()
                     .unwrap_or(0);
+                // The tick this batch became releasable: full when its
+                // last member arrived, or its head waited out. Dispatch
+                // may happen later (all replicas busy); the gap is the
+                // batch-wait stage of the latency waterfall.
+                let seal = if requests.len() >= self.cfg.batcher.max_batch {
+                    requests.last().map_or(self.now, |r| r.arrival_tick)
+                } else {
+                    requests.first().map_or(self.now, |r| {
+                        r.arrival_tick + self.cfg.batcher.max_wait_ticks
+                    })
+                }
+                .min(self.now);
+                let occupancy = requests.len() as u64;
                 for r in &requests {
                     self.admission.dispatched(r.tenant.0 as usize);
+                    // A member that joined after the head waited out
+                    // cannot have sealed before it arrived.
+                    event::emit(
+                        EventKind::BatchSeal,
+                        r.id.0,
+                        r.tenant.0,
+                        seal.max(r.arrival_tick),
+                        batch_id,
+                        occupancy,
+                        0.0,
+                    );
+                    event::emit(
+                        EventKind::ExecStart,
+                        r.id.0,
+                        r.tenant.0,
+                        self.now,
+                        batch_id,
+                        u64::from(level),
+                        0.0,
+                    );
                 }
                 claimed[ri] = true;
                 plans.push(Plan {
                     replica: ri,
+                    batch_id,
                     requests,
                     level,
                     policy: self.models[m].overload.policy_for(level),
@@ -370,6 +456,9 @@ impl DuetServer {
         let replicas = &self.replicas;
         let executions = parallel::map_indexed(plans.len(), workers.min(plans.len()), |i| {
             let p = &plans[i];
+            // Attribute engine-level recorder events (EngineFinish, guard
+            // hooks) emitted during this batch to its batch scope.
+            let _scope = event::scoped(event::BATCH_SCOPE | p.batch_id, event::NO_TENANT);
             execute_batch(
                 &models[replicas[p.replica].model].layer,
                 &p.requests,
@@ -379,7 +468,32 @@ impl DuetServer {
         });
         for (plan, exec) in plans.into_iter().zip(executions) {
             let ri = plan.replica;
-            self.replicas[ri].observe(&exec);
+            let was_tripped = self.replicas[ri].guard.is_tripped();
+            let observation = self.replicas[ri].observe(&exec);
+            if let Some(obs) = observation {
+                let ewma = self.replicas[ri].guard.ewma().unwrap_or(0.0);
+                if obs.newly_tripped {
+                    event::emit(
+                        EventKind::GuardTrip,
+                        event::BATCH_SCOPE | plan.batch_id,
+                        event::NO_TENANT,
+                        self.now,
+                        ri as u64,
+                        u64::from(obs.nonfinite),
+                        ewma,
+                    );
+                } else if was_tripped && !self.replicas[ri].guard.is_tripped() {
+                    event::emit(
+                        EventKind::GuardClear,
+                        event::BATCH_SCOPE | plan.batch_id,
+                        event::NO_TENANT,
+                        self.now,
+                        ri as u64,
+                        0,
+                        ewma,
+                    );
+                }
+            }
             let cost = service_ticks(
                 &exec.result.report,
                 self.cfg.macs_per_tick,
@@ -401,7 +515,17 @@ impl DuetServer {
             }
             histogram!("serve.batch.occupancy").record(occupancy);
             histogram!("serve.batch.service_ticks").record(cost);
+            event::emit(
+                EventKind::BatchExec,
+                event::BATCH_SCOPE | plan.batch_id,
+                event::NO_TENANT,
+                self.now,
+                exec.result.report.executor_macs,
+                exec.result.report.speculator_macs,
+                exec.result.report.approximate_fraction() * 10_000.0,
+            );
             self.in_flight[ri] = Some(InFlight {
+                batch_id: plan.batch_id,
                 requests: plan.requests,
                 outputs: exec.result.output,
                 level: plan.level,
@@ -432,8 +556,27 @@ impl DuetServer {
                 }
                 self.tenants[t].latency_hist.record(latency);
                 self.admission.completed(t);
+                self.note_level(t);
                 counter!("serve.requests.completed").inc();
                 histogram!("serve.request.latency_ticks").record(latency);
+                event::emit(
+                    EventKind::ExecEnd,
+                    req.id.0,
+                    req.tenant.0,
+                    done,
+                    fl.batch_id,
+                    u64::from(fl.dense),
+                    0.0,
+                );
+                event::emit(
+                    EventKind::Respond,
+                    req.id.0,
+                    req.tenant.0,
+                    done,
+                    latency,
+                    u64::from(fl.level),
+                    0.0,
+                );
                 responses.push(InferenceResponse {
                     id: req.id,
                     tenant: req.tenant,

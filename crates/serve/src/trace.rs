@@ -7,7 +7,7 @@
 //! the tenant index), so the trace is a pure function of its config and
 //! replays byte-identically anywhere.
 
-use crate::request::{InferenceRequest, ModelId, TenantId};
+use crate::request::{InferenceRequest, ModelId, RequestId, TenantId};
 use duet_tensor::rng::{self, seeded};
 
 /// Load profile of one tenant.
@@ -72,7 +72,7 @@ pub fn generate(cfg: &TraceConfig, models: &[(ModelId, usize)]) -> Vec<Inference
     all.into_iter()
         .enumerate()
         .map(|(id, (t, ti, _, model, input))| InferenceRequest {
-            id: id as u64,
+            id: RequestId(id as u64),
             tenant: TenantId(ti),
             model,
             input,
@@ -111,7 +111,7 @@ mod tests {
         assert!(!a.is_empty());
         for w in a.windows(2) {
             assert!(w[0].arrival_tick <= w[1].arrival_tick);
-            assert_eq!(w[0].id + 1, w[1].id);
+            assert_eq!(w[0].id.0 + 1, w[1].id.0);
         }
         for r in &a {
             assert!(r.arrival_tick < 500);

@@ -85,7 +85,7 @@ fn checksum(responses: &[InferenceResponse]) -> u64 {
     let mut acc = 0u64;
     let mut fold = |v: u64| acc = acc.rotate_left(7) ^ v;
     for r in responses {
-        fold(r.id);
+        fold(r.id.0);
         fold(u64::from(r.tenant.0));
         fold(u64::from(r.model.0));
         fold(r.arrival_tick);

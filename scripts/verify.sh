@@ -63,22 +63,44 @@ cmp results/FAULTS_smoke.t1.json results/FAULTS_smoke.t4.json
 cmp results/FAULTS_smoke.t1.json results/FAULTS_smoke.json
 rm -f results/FAULTS_smoke.json results/FAULTS_smoke.t1.json results/FAULTS_smoke.t4.json
 
-echo "== serving determinism (serve_bench --smoke at 1/4/7 threads) =="
+echo "== serving determinism + flight recorder (serve_bench --smoke at 1/4/7 threads) =="
 # The serving layer charges virtual ticks from each batch's own MAC
 # accounting, so a seeded open-loop trace — responses, per-tenant
 # p50/p90/p99, occupancy — must replay byte-identically at any
 # DUET_NUM_THREADS. The binary itself asserts the two serving
 # invariants (zero dropped requests, θ-degradation under overload).
-# Smoke output is scratch.
-rm -f results/BENCH_serve_smoke.json
-DUET_NUM_THREADS=1 ./target/release/serve_bench --smoke >/dev/null
+# With DUET_RECORDER=1 the run also drains the flight recorder to
+# RECORDER_serve_smoke.jsonl, whose canonically sorted event stream must
+# be byte-identical across thread counts too. obs_report then joins the
+# stream — it exits nonzero unless every enqueue balances with a respond
+# and per-request stages sum to end-to-end latency — and its
+# SERVE_REPORT_smoke.json must parse. Smoke outputs are scratch.
+rm -f results/BENCH_serve_smoke.json results/RECORDER_serve_smoke.jsonl results/SERVE_REPORT_smoke.json
+DUET_NUM_THREADS=1 DUET_RECORDER=1 ./target/release/serve_bench --smoke >/dev/null
 mv results/BENCH_serve_smoke.json results/BENCH_serve_smoke.t1.json
-DUET_NUM_THREADS=4 ./target/release/serve_bench --smoke >/dev/null
+mv results/RECORDER_serve_smoke.jsonl results/RECORDER_serve_smoke.t1.jsonl
+DUET_NUM_THREADS=4 DUET_RECORDER=1 ./target/release/serve_bench --smoke >/dev/null
 mv results/BENCH_serve_smoke.json results/BENCH_serve_smoke.t4.json
-DUET_NUM_THREADS=7 ./target/release/serve_bench --smoke >/dev/null
+mv results/RECORDER_serve_smoke.jsonl results/RECORDER_serve_smoke.t4.jsonl
+DUET_NUM_THREADS=7 DUET_RECORDER=1 ./target/release/serve_bench --smoke >/dev/null
 cmp results/BENCH_serve_smoke.t1.json results/BENCH_serve_smoke.t4.json
 cmp results/BENCH_serve_smoke.t1.json results/BENCH_serve_smoke.json
+cmp results/RECORDER_serve_smoke.t1.jsonl results/RECORDER_serve_smoke.t4.jsonl
+cmp results/RECORDER_serve_smoke.t1.jsonl results/RECORDER_serve_smoke.jsonl
+./target/release/obs_report --smoke >/dev/null
+test -s results/SERVE_REPORT_smoke.json
 rm -f results/BENCH_serve_smoke.json results/BENCH_serve_smoke.t1.json results/BENCH_serve_smoke.t4.json
+rm -f results/RECORDER_serve_smoke.jsonl results/RECORDER_serve_smoke.t1.jsonl results/RECORDER_serve_smoke.t4.jsonl
+rm -f results/SERVE_REPORT_smoke.json
+
+echo "== bench regression gate (bench_check vs results/baselines) =="
+# Every committed results/BENCH_*.json is diffed against its checked-in
+# baseline: deterministic metrics (ticks, checksums, counts) must match;
+# hardware-dependent timings (_ns/_ms/gflops/...) only report drift.
+# After an intentional change, refresh with
+#   DUET_BENCH_BASELINE_UPDATE=1 ./target/release/bench_check
+# and commit the updated results/baselines/.
+./target/release/bench_check
 
 echo "== serve determinism test (DUET_NUM_THREADS=4) =="
 # The in-process workers sweep {1,4,7} plus the env-driven path must
