@@ -32,6 +32,7 @@ const EXHIBITS: &[(&str, &str)] = &[
     ("Faults", "fault_campaign"),
     ("Sensitivity", "sensitivity_analysis"),
     ("Sparse", "sparse_bench"),
+    ("Transformer", "transformer_bench"),
     ("Serve", "serve_bench"),
     ("Serve report", "obs_report"),
 ];

@@ -21,11 +21,14 @@
 //! `results/BENCH_serve_smoke.json` instead).
 
 use duet_core::dual_layer::DualModuleLayer;
+use duet_core::dual_proj::DualProjection;
+use duet_core::engine::MacMode;
 use duet_core::switching::SwitchingPolicy;
+use duet_core::{DualAttention, DualFfn, DualTransformerBlock};
 use duet_nn::Activation;
 use duet_serve::{
-    trace, DuetServer, InferenceResponse, OverloadPolicy, ServeConfig, ServedModel, TenantProfile,
-    TraceConfig,
+    trace, DuetServer, InferenceResponse, ModelVariant, OverloadPolicy, ServeConfig, ServedModel,
+    TenantProfile, TraceConfig,
 };
 use duet_tensor::rng::{self, seeded};
 use duet_tensor::{parallel, Tensor};
@@ -41,7 +44,7 @@ fn models(smoke: bool) -> Vec<ServedModel> {
     } else {
         &[("chat", 128, 256), ("embed", 64, 96)]
     };
-    specs
+    let mut out: Vec<ServedModel> = specs
         .iter()
         .enumerate()
         .map(|(i, &(name, n, d))| {
@@ -50,14 +53,49 @@ fn models(smoke: bool) -> Vec<ServedModel> {
             let b = Tensor::zeros(&[n]);
             ServedModel {
                 name: name.into(),
-                layer: DualModuleLayer::learn(&w, &b, Activation::Relu, n, 300, &mut r),
+                model: ModelVariant::Layer(DualModuleLayer::learn(
+                    &w,
+                    &b,
+                    Activation::Relu,
+                    n,
+                    300,
+                    &mut r,
+                )),
                 overload: OverloadPolicy {
                     base: SwitchingPolicy::relu(0.0),
                     theta_step: 0.5,
                 },
             }
         })
-        .collect()
+        .collect();
+    // A dual transformer block ("lm"): per-position Q/K/V/output and FFN
+    // projections speculate, the softmax mixer stays dense; overload
+    // degrades through the FFN GELU band.
+    let (m, f, seq_len) = if smoke { (8, 16, 4) } else { (16, 32, 8) };
+    let mut r = seeded(SEED ^ 0x4c4d);
+    let mut proj = |n: usize, d: usize| {
+        let w = rng::normal(&mut r, &[n, d], 0.0, 0.3);
+        let b = rng::normal(&mut r, &[n], 0.0, 0.05);
+        DualProjection::learn(&w, &b, MacMode::SkipZeroWeights, m / 2, 300, &mut r)
+    };
+    let block = DualTransformerBlock::new(
+        DualAttention::new(proj(m, m), proj(m, m), proj(m, m), proj(m, m)),
+        DualFfn::new(proj(f, m), proj(m, f)),
+    );
+    out.push(ServedModel {
+        name: "lm".into(),
+        model: ModelVariant::Transformer {
+            block: Box::new(block),
+            seq_len,
+            theta_attn: 0.05,
+            theta_ffn_out: 0.05,
+        },
+        overload: OverloadPolicy {
+            base: SwitchingPolicy::gelu(-0.5),
+            theta_step: 0.5,
+        },
+    });
+    out
 }
 
 fn trace_config(smoke: bool) -> TraceConfig {

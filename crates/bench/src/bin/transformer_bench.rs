@@ -1,0 +1,232 @@
+//! Transformer exhibit: the distilled dual transformer LM end to end.
+//!
+//! A tiny decoder-only transformer LM is trained on a seeded Markov
+//! source, distilled per-projection into a dual transformer block
+//! (speculated Q/K/V/output and FFN projections, dense softmax mixer),
+//! and swept over the block thresholds θ. The run pins the two
+//! structural invariants of the dual-attention refactor — θ = −∞ is
+//! bitwise the dense model, and MAC savings exceed 1.0× within a 1%
+//! next-token-accuracy budget — and feeds one window's real switching
+//! maps into `duet_sim`'s transformer block model for the cycle-level
+//! view.
+//!
+//! Everything downstream of the seed is bitwise deterministic, so
+//! `results/BENCH_transformer.json` — accuracies, savings ratios,
+//! switching-map-driven cycle counts — is byte-identical at any
+//! `DUET_NUM_THREADS`; CI pins this by diffing smoke runs at 1/4/7
+//! threads and gates the full artifact against
+//! `results/baselines/BENCH_transformer.json`.
+//!
+//! Run with: `cargo run --release -p duet-bench --bin transformer_bench`
+//! (`--smoke` shrinks training and evaluation for a seconds-scale run
+//! and writes `results/BENCH_transformer_smoke.json` instead).
+
+use duet_bench::table::{ratio, Table};
+use duet_core::dual_attention::TransformerThresholds;
+use duet_core::tuning::{best_within_budget, SweepPoint};
+use duet_sim::config::ArchConfig;
+use duet_sim::energy::EnergyTable;
+use duet_sim::transformer::{run_transformer_block, TransformerBlockTrace};
+use duet_tensor::rng::seeded;
+use duet_tensor::{parallel, Tensor};
+use duet_workloads::datasets::MarkovText;
+use duet_workloads::transformer::{train_transformer, DualTransformerLm};
+use std::fmt::Write as _;
+
+/// Master seed for source, training, and distillation.
+const SEED: u64 = 4242;
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let threads = parallel::num_threads();
+    if smoke {
+        println!("transformer_bench: --smoke (short training)");
+    }
+    println!("transformer_bench: seed {SEED}, {threads} threads\n");
+
+    let (vocab, model, hidden, ctx) = (12usize, 16usize, 32usize, 8usize);
+    let train_windows = if smoke { 150 } else { 400 };
+    let eval_tokens = if smoke { 257 } else { 1025 };
+
+    let mut r = seeded(SEED);
+    let source = MarkovText::new(vocab, 3, &mut r);
+    let lm = train_transformer(&source, model, hidden, ctx, train_windows, &mut r);
+    let tokens = source.sample(eval_tokens, &mut r);
+    let dense_acc = lm.next_token_accuracy(&tokens);
+    let dense_ppl = lm.perplexity(&tokens);
+    println!(
+        "trained LM: vocab {vocab}, m {model}, f {hidden}, ctx {ctx}, {train_windows} windows"
+    );
+    println!("dense quality: accuracy {dense_acc:.4}, perplexity {dense_ppl:.3} (source entropy {:.3} nats)\n", source.entropy_nats());
+
+    let dual = DualTransformerLm::from_lm(&lm, &source, 0.5, 24, &mut r);
+
+    // ---- invariant 1: θ = −∞ is bitwise the dense model ----------------
+    let never = TransformerThresholds::never_switch();
+    let (ns_logits, ns_report) = dual.forward_logits(&tokens, &never);
+    let reference = dual.reference_logits(&tokens);
+    assert_eq!(ns_logits.len(), reference.len());
+    for (a, b) in ns_logits.iter().zip(&reference) {
+        assert_eq!(a.data(), b.data(), "θ=-inf must be bitwise dense");
+    }
+    assert_eq!(ns_report.approximate_fraction(), 0.0);
+    let (ns_acc, _) = dual.next_token_accuracy(&tokens, &never);
+    println!("θ=-inf: bitwise-identical to dense attend (accuracy {ns_acc:.4})\n");
+
+    // ---- accuracy vs θ curve -------------------------------------------
+    let thetas: &[f32] = &[0.01, 0.02, 0.05, 0.1, 0.2, 0.4];
+    let mut t = Table::new([
+        "theta",
+        "accuracy",
+        "acc loss",
+        "MAC reduction",
+        "weight access",
+        "approx frac",
+    ]);
+    let mut points = Vec::new();
+    for &theta in thetas {
+        let th = TransformerThresholds::uniform(theta);
+        let (acc, rep) = dual.next_token_accuracy(&tokens, &th);
+        t.row([
+            format!("{theta:+.2}"),
+            format!("{acc:.4}"),
+            format!("{:+.2}%", (ns_acc - acc) * 100.0),
+            ratio(rep.flops_reduction()),
+            ratio(rep.weight_access_reduction()),
+            format!("{:.3}", rep.approximate_fraction()),
+        ]);
+        points.push(SweepPoint {
+            theta,
+            quality: acc,
+            report: rep,
+        });
+    }
+    println!("accuracy vs θ (uniform thresholds):");
+    println!("{t}");
+
+    let best = best_within_budget(&points, ns_acc - 0.01)
+        .expect("at least one θ must stay within the 1% accuracy budget");
+    println!(
+        "best MAC reduction within 1% accuracy loss: {} at θ {:+.2} (accuracy {:.4})\n",
+        ratio(best.flops_reduction()),
+        best.theta,
+        best.quality
+    );
+    assert!(
+        best.flops_reduction() > 1.0,
+        "dual transformer must save MACs within the accuracy budget"
+    );
+
+    // ---- cycle-level view: real maps through duet_sim ------------------
+    // One context window's block pass at the best θ; its switching maps
+    // drive the simulator's transformer block model.
+    let m = lm.model_dim();
+    let mut xs = Tensor::zeros(&[ctx, m]);
+    for (pos, &tok) in tokens[..ctx].iter().enumerate() {
+        let row = xs.row_mut(pos);
+        for (i, slot) in row.iter_mut().enumerate() {
+            *slot = lm.embed.value.data()[i * vocab + tok] + lm.pos.value.data()[pos * m + i];
+        }
+    }
+    let th = TransformerThresholds::uniform(best.theta);
+    let out = dual.block().forward(&xs, &th);
+    let reduced_dim = (m / 2).max(4);
+    let trace = TransformerBlockTrace::from_block_maps("lm", m, hidden, out.maps, reduced_dim);
+    let cfg = ArchConfig::duet();
+    let energy = EnergyTable::default();
+    let base = run_transformer_block(&trace, &cfg, &energy, false);
+    let dual_sim = run_transformer_block(&trace, &cfg, &energy, true);
+    let sim_speedup = base.perf.latency_cycles as f64 / dual_sim.perf.latency_cycles.max(1) as f64;
+    println!(
+        "cycle model (one ctx-{ctx} window at θ {:+.2}):",
+        best.theta
+    );
+    println!(
+        "  BASE: latency {} cycles, {} weight bytes fetched",
+        base.perf.latency_cycles, base.weight_bytes_fetched
+    );
+    println!(
+        "  DUET: latency {} cycles, {} weight bytes fetched ({:.2}x latency)",
+        dual_sim.perf.latency_cycles, dual_sim.weight_bytes_fetched, sim_speedup
+    );
+    assert!(
+        dual_sim.weight_bytes_fetched <= base.weight_bytes_fetched,
+        "dual must never fetch more weight rows than BASE"
+    );
+
+    // ---- JSON (deterministic: seeded math only, no wall clock) ----------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"exhibit\": \"transformer_bench\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"vocab\": {vocab},");
+    let _ = writeln!(json, "  \"model_dim\": {model},");
+    let _ = writeln!(json, "  \"hidden_dim\": {hidden},");
+    let _ = writeln!(json, "  \"context\": {ctx},");
+    let _ = writeln!(json, "  \"train_windows\": {train_windows},");
+    let _ = writeln!(json, "  \"eval_tokens\": {eval_tokens},");
+    let _ = writeln!(json, "  \"dense_accuracy\": {dense_acc:.6},");
+    let _ = writeln!(json, "  \"dense_perplexity\": {dense_ppl:.6},");
+    let _ = writeln!(json, "  \"never_switch_bitwise_dense\": true,");
+    let _ = writeln!(json, "  \"curve\": [");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"theta\": {:.2}, \"accuracy\": {:.6}, \"mac_reduction\": {:.6}, \
+             \"weight_access_reduction\": {:.6}, \"approx_fraction\": {:.6}}}{sep}",
+            p.theta,
+            p.quality,
+            p.flops_reduction(),
+            p.report.weight_access_reduction(),
+            p.report.approximate_fraction()
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"best_theta\": {:.2},", best.theta);
+    let _ = writeln!(
+        json,
+        "  \"best_mac_reduction\": {:.6},",
+        best.flops_reduction()
+    );
+    let _ = writeln!(json, "  \"best_accuracy\": {:.6},", best.quality);
+    let _ = writeln!(
+        json,
+        "  \"sim_base_latency_cycles\": {},",
+        base.perf.latency_cycles
+    );
+    let _ = writeln!(
+        json,
+        "  \"sim_dual_latency_cycles\": {},",
+        dual_sim.perf.latency_cycles
+    );
+    let _ = writeln!(
+        json,
+        "  \"sim_base_weight_bytes\": {},",
+        base.weight_bytes_fetched
+    );
+    let _ = writeln!(
+        json,
+        "  \"sim_dual_weight_bytes\": {},",
+        dual_sim.weight_bytes_fetched
+    );
+    let _ = writeln!(json, "  \"sim_latency_speedup\": {sim_speedup:.6}");
+    json.push_str("}\n");
+
+    let path = if smoke {
+        "results/BENCH_transformer_smoke.json"
+    } else {
+        "results/BENCH_transformer.json"
+    };
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(path, &json).expect("write BENCH_transformer json");
+    println!("\nwrote {path}");
+
+    if let Some((obs_path, events)) = duet_obs::finalize() {
+        println!("trace: {events} events -> {obs_path}");
+    }
+}

@@ -1,0 +1,583 @@
+//! Dual-module attention and FFN blocks — speculated projections around
+//! a dense softmax mixer.
+//!
+//! A single-head causal transformer block is, per position, six GEMVs
+//! and one softmax mix:
+//!
+//! ```text
+//! q_t = W_q·x_t + b_q   k_t = W_k·x_t + b_k   v_t = W_v·x_t + b_v
+//! ctx_t = Σ_{s≤t} softmax(q_t·k_s / √m) v_s          (dense mixer)
+//! attn_t = W_o·ctx_t + b_o
+//! a_t = x_t + attn_t                                  (residual)
+//! y_t = a_t + W_2·gelu(W_1·a_t + b_1) + b_2           (FFN + residual)
+//! ```
+//!
+//! Every GEMV is a [`DualProjection`] and speculates under Eq. 2–3:
+//!
+//! * **Q/K/V and the output projection** use the *magnitude* rule
+//!   (`|y'| < θ` keeps the approximate value). The mixer bounds their
+//!   influence: attention logits pass through a `1/√m`-scaled softmax,
+//!   so a small-magnitude entry of `q`/`k` moves the weights little,
+//!   and small entries of `v`/`ctx` contribute proportionally little
+//!   to the convex combination — the Precision Gating observation.
+//! * **The FFN expand projection** uses the *GELU* band (`y' < θ` dies
+//!   in the one-sided tail), exactly ReLU's rule in the paper.
+//! * **The FFN contract projection** uses the magnitude rule again
+//!   (its output feeds a residual sum).
+//!
+//! The softmax itself stays dense: it is O(T·m) against the
+//! projections' O(T·m²), has no insensitive region (weights must sum
+//! to 1, and a wrong max shifts every weight), and reuses no weight
+//! bytes — there is nothing for a speculator to save.
+
+use crate::dual_proj::{DualProjection, ProjectionCosts};
+use crate::engine::SpeculationEngine;
+use crate::guard::SpeculationGuard;
+use crate::metrics::SavingsReport;
+use crate::switching::{SwitchingMap, SwitchingPolicy};
+use duet_nn::attention::attend;
+use duet_nn::Activation;
+use duet_tensor::Tensor;
+
+/// Per-band thresholds for a dual transformer block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TransformerThresholds {
+    /// θ for the magnitude rule on Q/K/V and output projections
+    /// (insensitive iff `|y'| < theta_attn`).
+    pub theta_attn: f32,
+    /// θ for the GELU band on the FFN expand projection (insensitive
+    /// iff `y' < theta_gelu`).
+    pub theta_gelu: f32,
+    /// θ for the magnitude rule on the FFN contract projection.
+    pub theta_ffn_out: f32,
+}
+
+impl TransformerThresholds {
+    /// Thresholds that never switch (dense baseline): `−∞` satisfies
+    /// neither `|y'| < θ` nor `y' < θ`, so every lane is sensitive.
+    pub fn never_switch() -> Self {
+        Self {
+            theta_attn: f32::NEG_INFINITY,
+            theta_gelu: f32::NEG_INFINITY,
+            theta_ffn_out: f32::NEG_INFINITY,
+        }
+    }
+
+    /// A uniform starting point: magnitude bands at `theta`, GELU band
+    /// at `-theta` (the one-sided analogue).
+    pub fn uniform(theta: f32) -> Self {
+        Self {
+            theta_attn: theta,
+            theta_gelu: -theta,
+            theta_ffn_out: theta,
+        }
+    }
+}
+
+/// Single-head causal self-attention with speculated Q/K/V/output
+/// projections and a dense softmax mixer.
+#[derive(Debug, Clone)]
+pub struct DualAttention {
+    wq: DualProjection,
+    wk: DualProjection,
+    wv: DualProjection,
+    wo: DualProjection,
+    m: usize,
+}
+
+impl DualAttention {
+    /// Composes four pre-built `[m, m]` projections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any projection is not square `[m, m]` with a shared
+    /// model dimension.
+    pub fn new(
+        wq: DualProjection,
+        wk: DualProjection,
+        wv: DualProjection,
+        wo: DualProjection,
+    ) -> Self {
+        let m = wq.input_dim();
+        for (name, p) in [("wq", &wq), ("wk", &wk), ("wv", &wv), ("wo", &wo)] {
+            assert_eq!(p.input_dim(), m, "{name} input dim mismatch");
+            assert_eq!(p.output_dim(), m, "{name} output dim mismatch");
+        }
+        Self { wq, wk, wv, wo, m }
+    }
+
+    /// Model dimension `m`.
+    pub fn model_dim(&self) -> usize {
+        self.m
+    }
+
+    /// The query projection.
+    pub fn wq(&self) -> &DualProjection {
+        &self.wq
+    }
+
+    /// The key projection.
+    pub fn wk(&self) -> &DualProjection {
+        &self.wk
+    }
+
+    /// The value projection.
+    pub fn wv(&self) -> &DualProjection {
+        &self.wv
+    }
+
+    /// The output projection.
+    pub fn wo(&self) -> &DualProjection {
+        &self.wo
+    }
+
+    /// Speculator-side costs of one *position* (all four projections);
+    /// scale by the sequence length for a whole pass.
+    pub fn costs(&self) -> ProjectionCosts {
+        self.wq.costs() + self.wk.costs() + self.wv.costs() + self.wo.costs()
+    }
+
+    /// Causal forward over a `[T, m]` sequence on a shared engine:
+    /// Q/K/V per position (speculated), dense causal
+    /// [`attend`] mix, speculated output projection. Returns the
+    /// `[T, m]` attention outputs and the switching maps in
+    /// (q, k, v, o) order per position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is not `[T, m]`.
+    pub fn forward_with(
+        &self,
+        engine: &mut SpeculationEngine,
+        xs: &Tensor,
+        theta_attn: f32,
+        mut guard: Option<&mut SpeculationGuard>,
+    ) -> (Tensor, Vec<SwitchingMap>) {
+        assert_eq!(xs.shape().rank(), 2, "input must be [T, m]");
+        assert_eq!(xs.shape().dim(1), self.m, "model dim mismatch");
+        let t_len = xs.shape().dim(0);
+        let m = self.m;
+        let policy = SwitchingPolicy::magnitude(theta_attn);
+
+        let mut q_all = Vec::with_capacity(t_len * m);
+        let mut k_all = Vec::with_capacity(t_len * m);
+        let mut v_all = Vec::with_capacity(t_len * m);
+        let mut maps = Vec::with_capacity(4 * t_len);
+        for t in 0..t_len {
+            let x_t = Tensor::from_vec(xs.data()[t * m..(t + 1) * m].to_vec(), &[m]);
+            let (q, mq) = self.wq.forward(engine, &policy, &x_t, guard.as_deref_mut());
+            let (k, mk) = self.wk.forward(engine, &policy, &x_t, guard.as_deref_mut());
+            let (v, mv) = self.wv.forward(engine, &policy, &x_t, guard.as_deref_mut());
+            q_all.extend_from_slice(q.data());
+            k_all.extend_from_slice(k.data());
+            v_all.extend_from_slice(v.data());
+            maps.push(mq);
+            maps.push(mk);
+            maps.push(mv);
+        }
+
+        let mut out = Tensor::zeros(&[t_len, m]);
+        for t in 0..t_len {
+            let q_t = Tensor::from_vec(q_all[t * m..(t + 1) * m].to_vec(), &[m]);
+            let keys = Tensor::from_vec(k_all[..(t + 1) * m].to_vec(), &[t + 1, m]);
+            let values = Tensor::from_vec(v_all[..(t + 1) * m].to_vec(), &[t + 1, m]);
+            let (ctx, _) = attend(&q_t, &keys, &values);
+            let (attn, mo) = self.wo.forward(engine, &policy, &ctx, guard.as_deref_mut());
+            out.data_mut()[t * m..(t + 1) * m].copy_from_slice(attn.data());
+            maps.push(mo);
+        }
+        (out, maps)
+    }
+
+    /// Dense reference over the sequence, in the exact arithmetic order
+    /// of the sparse path — bitwise-equal to
+    /// [`DualAttention::forward_with`] when every lane is sensitive
+    /// (θ = −∞).
+    pub fn forward_reference(&self, xs: &Tensor) -> Tensor {
+        assert_eq!(xs.shape().rank(), 2, "input must be [T, m]");
+        assert_eq!(xs.shape().dim(1), self.m, "model dim mismatch");
+        let t_len = xs.shape().dim(0);
+        let m = self.m;
+        let mut k_all = Vec::with_capacity(t_len * m);
+        let mut v_all = Vec::with_capacity(t_len * m);
+        let mut q_all = Vec::with_capacity(t_len * m);
+        for t in 0..t_len {
+            let x_t = Tensor::from_vec(xs.data()[t * m..(t + 1) * m].to_vec(), &[m]);
+            q_all.extend_from_slice(self.wq.forward_reference(&x_t).data());
+            k_all.extend_from_slice(self.wk.forward_reference(&x_t).data());
+            v_all.extend_from_slice(self.wv.forward_reference(&x_t).data());
+        }
+        let mut out = Tensor::zeros(&[t_len, m]);
+        for t in 0..t_len {
+            let q_t = Tensor::from_vec(q_all[t * m..(t + 1) * m].to_vec(), &[m]);
+            let keys = Tensor::from_vec(k_all[..(t + 1) * m].to_vec(), &[t + 1, m]);
+            let values = Tensor::from_vec(v_all[..(t + 1) * m].to_vec(), &[t + 1, m]);
+            let (ctx, _) = attend(&q_t, &keys, &values);
+            out.data_mut()[t * m..(t + 1) * m]
+                .copy_from_slice(self.wo.forward_reference(&ctx).data());
+        }
+        out
+    }
+}
+
+/// A position-wise feed-forward block: a speculated expand projection
+/// with a GELU band and a speculated contract projection with a
+/// magnitude band.
+#[derive(Debug, Clone)]
+pub struct DualFfn {
+    expand: DualProjection,   // [f, m]
+    contract: DualProjection, // [m, f]
+}
+
+impl DualFfn {
+    /// Composes a pre-built expand/contract pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions don't chain (`[f, m]` then `[m, f]`).
+    pub fn new(expand: DualProjection, contract: DualProjection) -> Self {
+        assert_eq!(
+            expand.output_dim(),
+            contract.input_dim(),
+            "hidden dim mismatch"
+        );
+        assert_eq!(
+            expand.input_dim(),
+            contract.output_dim(),
+            "model dim mismatch"
+        );
+        Self { expand, contract }
+    }
+
+    /// Model dimension `m`.
+    pub fn model_dim(&self) -> usize {
+        self.expand.input_dim()
+    }
+
+    /// Hidden (expanded) dimension `f`.
+    pub fn hidden_dim(&self) -> usize {
+        self.expand.output_dim()
+    }
+
+    /// The expand projection `[f, m]`.
+    pub fn expand(&self) -> &DualProjection {
+        &self.expand
+    }
+
+    /// The contract projection `[m, f]`.
+    pub fn contract(&self) -> &DualProjection {
+        &self.contract
+    }
+
+    /// Speculator-side costs of one position (both projections).
+    pub fn costs(&self) -> ProjectionCosts {
+        self.expand.costs() + self.contract.costs()
+    }
+
+    /// One position through the FFN on a shared engine:
+    /// `W_2·gelu(W_1·x + b_1) + b_2`, both GEMVs speculated. Returns
+    /// the `[m]` output and the (expand, contract) maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[m]`.
+    pub fn forward_with(
+        &self,
+        engine: &mut SpeculationEngine,
+        x: &Tensor,
+        theta_gelu: f32,
+        theta_out: f32,
+        mut guard: Option<&mut SpeculationGuard>,
+    ) -> (Tensor, [SwitchingMap; 2]) {
+        let (h_pre, m1) = self.expand.forward(
+            engine,
+            &SwitchingPolicy::gelu(theta_gelu),
+            x,
+            guard.as_deref_mut(),
+        );
+        let h = Activation::Gelu.apply(&h_pre);
+        let (y, m2) =
+            self.contract
+                .forward(engine, &SwitchingPolicy::magnitude(theta_out), &h, guard);
+        (y, [m1, m2])
+    }
+
+    /// Dense reference in the sparse path's arithmetic order —
+    /// bitwise-equal to [`DualFfn::forward_with`] at θ = −∞.
+    pub fn forward_reference(&self, x: &Tensor) -> Tensor {
+        let h = Activation::Gelu.apply(&self.expand.forward_reference(x));
+        self.contract.forward_reference(&h)
+    }
+}
+
+/// Result of one dual transformer block pass over a sequence.
+#[derive(Debug, Clone)]
+pub struct DualBlockOutput {
+    /// Block outputs `[T, m]` (after both residual sums).
+    pub output: Tensor,
+    /// All switching maps: attention maps (q, k, v per position, then o
+    /// per position), then (expand, contract) per position.
+    pub maps: Vec<SwitchingMap>,
+    /// Operation / byte accounting for the whole pass.
+    pub report: SavingsReport,
+}
+
+/// One pre-norm-free transformer block: dual attention + residual +
+/// dual FFN + residual, accounted on a single [`SpeculationEngine`].
+#[derive(Debug, Clone)]
+pub struct DualTransformerBlock {
+    attn: DualAttention,
+    ffn: DualFfn,
+}
+
+impl DualTransformerBlock {
+    /// Composes an attention and an FFN block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if model dimensions disagree.
+    pub fn new(attn: DualAttention, ffn: DualFfn) -> Self {
+        assert_eq!(
+            attn.model_dim(),
+            ffn.model_dim(),
+            "attention/FFN model dim mismatch"
+        );
+        Self { attn, ffn }
+    }
+
+    /// The attention half.
+    pub fn attention(&self) -> &DualAttention {
+        &self.attn
+    }
+
+    /// The FFN half.
+    pub fn ffn(&self) -> &DualFfn {
+        &self.ffn
+    }
+
+    /// Model dimension `m`.
+    pub fn model_dim(&self) -> usize {
+        self.attn.model_dim()
+    }
+
+    /// Speculator-side costs of one position (all six projections).
+    pub fn costs(&self) -> ProjectionCosts {
+        self.attn.costs() + self.ffn.costs()
+    }
+
+    /// Full dual pass over a `[T, m]` sequence.
+    pub fn forward(&self, xs: &Tensor, thresholds: &TransformerThresholds) -> DualBlockOutput {
+        self.forward_impl(xs, thresholds, None)
+    }
+
+    /// [`DualTransformerBlock::forward`] watched by a
+    /// [`SpeculationGuard`]: the guard observes every projection's
+    /// speculation round; tripped under `FallbackDense` the rest of the
+    /// pass runs bitwise-dense.
+    pub fn forward_guarded(
+        &self,
+        xs: &Tensor,
+        thresholds: &TransformerThresholds,
+        guard: &mut SpeculationGuard,
+    ) -> DualBlockOutput {
+        self.forward_impl(xs, thresholds, Some(guard))
+    }
+
+    fn forward_impl(
+        &self,
+        xs: &Tensor,
+        thresholds: &TransformerThresholds,
+        mut guard: Option<&mut SpeculationGuard>,
+    ) -> DualBlockOutput {
+        assert_eq!(xs.shape().rank(), 2, "input must be [T, m]");
+        let (t_len, m) = (xs.shape().dim(0), self.model_dim());
+        assert_eq!(xs.shape().dim(1), m, "model dim mismatch");
+        let mut engine = SpeculationEngine::new();
+
+        let (attn_out, mut maps) =
+            self.attn
+                .forward_with(&mut engine, xs, thresholds.theta_attn, guard.as_deref_mut());
+
+        // residual 1: a = x + attn(x)
+        let mut a = xs.clone();
+        for (av, &bv) in a.data_mut().iter_mut().zip(attn_out.data()) {
+            *av += bv;
+        }
+
+        // FFN per position + residual 2
+        let mut out = a.clone();
+        for t in 0..t_len {
+            let a_t = Tensor::from_vec(a.data()[t * m..(t + 1) * m].to_vec(), &[m]);
+            let (y_t, [m1, m2]) = self.ffn.forward_with(
+                &mut engine,
+                &a_t,
+                thresholds.theta_gelu,
+                thresholds.theta_ffn_out,
+                guard.as_deref_mut(),
+            );
+            for (ov, &yv) in out.data_mut()[t * m..(t + 1) * m]
+                .iter_mut()
+                .zip(y_t.data())
+            {
+                *ov += yv;
+            }
+            maps.push(m1);
+            maps.push(m2);
+        }
+
+        let report = engine.finish(self.costs().times(t_len as u64).engine_costs());
+        DualBlockOutput {
+            output: out,
+            maps,
+            report,
+        }
+    }
+
+    /// Dense reference for the whole block, in the sparse path's
+    /// arithmetic order — bitwise-equal to
+    /// [`DualTransformerBlock::forward`] at
+    /// [`TransformerThresholds::never_switch`].
+    pub fn forward_dense(&self, xs: &Tensor) -> Tensor {
+        assert_eq!(xs.shape().rank(), 2, "input must be [T, m]");
+        let (t_len, m) = (xs.shape().dim(0), self.model_dim());
+        assert_eq!(xs.shape().dim(1), m, "model dim mismatch");
+        let attn_out = self.attn.forward_reference(xs);
+        let mut a = xs.clone();
+        for (av, &bv) in a.data_mut().iter_mut().zip(attn_out.data()) {
+            *av += bv;
+        }
+        let mut out = a.clone();
+        for t in 0..t_len {
+            let a_t = Tensor::from_vec(a.data()[t * m..(t + 1) * m].to_vec(), &[m]);
+            let y_t = self.ffn.forward_reference(&a_t);
+            for (ov, &yv) in out.data_mut()[t * m..(t + 1) * m]
+                .iter_mut()
+                .zip(y_t.data())
+            {
+                *ov += yv;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::MacMode;
+    use duet_tensor::rng::{self, seeded, Rng};
+
+    fn proj(r: &mut Rng, n: usize, d: usize, k: usize) -> DualProjection {
+        let w = rng::normal(r, &[n, d], 0.0, 0.3);
+        let b = rng::normal(r, &[n], 0.0, 0.05);
+        DualProjection::learn(&w, &b, MacMode::SkipZeroWeights, k, 200, r)
+    }
+
+    fn block(seed: u64, m: usize, f: usize) -> (DualTransformerBlock, Rng) {
+        let mut r = seeded(seed);
+        let k = (m / 2).max(4);
+        let attn = DualAttention::new(
+            proj(&mut r, m, m, k),
+            proj(&mut r, m, m, k),
+            proj(&mut r, m, m, k),
+            proj(&mut r, m, m, k),
+        );
+        let ffn = DualFfn::new(proj(&mut r, f, m, k), proj(&mut r, m, f, (f / 2).max(4)));
+        (DualTransformerBlock::new(attn, ffn), r)
+    }
+
+    #[test]
+    fn never_switch_is_bitwise_dense() {
+        let (blk, mut r) = block(1, 16, 32);
+        let xs = rng::normal(&mut r, &[5, 16], 0.0, 1.0);
+        let out = blk.forward(&xs, &TransformerThresholds::never_switch());
+        let dense = blk.forward_dense(&xs);
+        assert_eq!(out.output.data(), dense.data());
+        assert_eq!(out.report.outputs_exact, out.report.outputs_total);
+        assert_eq!(out.report.executor_macs, out.report.dense_macs);
+    }
+
+    #[test]
+    fn switching_saves_macs_with_bounded_error() {
+        let (blk, mut r) = block(2, 16, 32);
+        let xs = rng::normal(&mut r, &[6, 16], 0.0, 1.0);
+        let th = TransformerThresholds {
+            theta_attn: 0.05,
+            theta_gelu: -1.0,
+            theta_ffn_out: 0.05,
+        };
+        let out = blk.forward(&xs, &th);
+        let dense = blk.forward_dense(&xs);
+        assert!(
+            out.report.executor_macs < out.report.dense_macs,
+            "no MACs saved"
+        );
+        assert!(out.report.flops_reduction() > 1.0);
+        let mut err = 0.0f32;
+        let mut norm = 0.0f32;
+        for (a, b) in out.output.data().iter().zip(dense.data()) {
+            err += (a - b) * (a - b);
+            norm += b * b;
+        }
+        assert!(
+            err / norm.max(1e-9) < 0.1,
+            "error too large: {}",
+            err / norm
+        );
+    }
+
+    #[test]
+    fn map_and_cost_accounting_match_shape() {
+        let (blk, mut r) = block(3, 8, 16);
+        let t_len = 4;
+        let xs = rng::normal(&mut r, &[t_len, 8], 0.0, 1.0);
+        let out = blk.forward(&xs, &TransformerThresholds::never_switch());
+        // 4 attention maps + 2 FFN maps per position
+        assert_eq!(out.maps.len(), 6 * t_len);
+        // outputs: 4 [m] projections + expand [f] + contract [m] per pos
+        assert_eq!(out.report.outputs_total, (t_len * (4 * 8 + 16 + 8)) as u64);
+        assert_eq!(
+            out.report.dense_macs,
+            blk.costs().times(t_len as u64).dense_macs
+        );
+    }
+
+    #[test]
+    fn empty_sequence_is_well_defined() {
+        let (blk, _) = block(4, 8, 16);
+        let xs = Tensor::zeros(&[0, 8]);
+        let out = blk.forward(&xs, &TransformerThresholds::never_switch());
+        assert_eq!(out.output.shape().dims(), &[0, 8]);
+        assert!(out.maps.is_empty());
+        assert_eq!(out.report.outputs_total, 0);
+        assert_eq!(out.report.flops_reduction(), 1.0);
+        assert_eq!(blk.forward_dense(&xs).shape().dims(), &[0, 8]);
+    }
+
+    #[test]
+    fn guard_fallback_runs_block_dense() {
+        use crate::guard::{GuardConfig, SwitchRateBand};
+        let (blk, mut r) = block(5, 8, 16);
+        let xs = rng::normal(&mut r, &[3, 8], 0.0, 1.0);
+        // A band nothing satisfies: the first projection's observation
+        // trips the guard and the whole pass runs dense.
+        let mut guard = SpeculationGuard::new(GuardConfig {
+            trip_after: 1,
+            ..GuardConfig::fallback_dense(SwitchRateBand { lo: 2.0, hi: 3.0 })
+        });
+        let out = blk.forward_guarded(&xs, &TransformerThresholds::uniform(10.0), &mut guard);
+        assert!(guard.is_tripped());
+        assert_eq!(out.output.data(), blk.forward_dense(&xs).data());
+    }
+
+    #[test]
+    fn higher_theta_saves_more() {
+        let (blk, mut r) = block(6, 16, 32);
+        let xs = rng::normal(&mut r, &[5, 16], 0.0, 1.0);
+        let low = blk.forward(&xs, &TransformerThresholds::uniform(0.02));
+        let high = blk.forward(&xs, &TransformerThresholds::uniform(0.2));
+        assert!(high.report.executor_macs <= low.report.executor_macs);
+        assert!(high.report.approximate_fraction() >= low.report.approximate_fraction());
+    }
+}

@@ -3,11 +3,9 @@
 //! The flow is: approximate module → switching map → sparse accurate
 //! GEMV over sensitive rows only → Eq. (2) mix → activation.
 
-use crate::approx::{ApproxConfig, ApproxLinear};
-use crate::distill;
-use crate::engine::{
-    EngineCosts, ExecutorWeightBytes, Gather, MacMode, RowSegment, SpeculationEngine,
-};
+use crate::approx::ApproxLinear;
+use crate::dual_proj::DualProjection;
+use crate::engine::{MacMode, SpeculationEngine};
 use crate::guard::SpeculationGuard;
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
@@ -28,13 +26,12 @@ pub struct DualOutput {
     pub report: SavingsReport,
 }
 
-/// A feed-forward layer with its distilled approximate module.
+/// A feed-forward layer with its distilled approximate module: one
+/// [`DualProjection`] plus an activation.
 #[derive(Debug, Clone)]
 pub struct DualModuleLayer {
-    weight: Tensor, // [n, d]
-    bias: Tensor,   // [n]
+    proj: DualProjection,
     activation: Activation,
-    approx: ApproxLinear,
 }
 
 impl DualModuleLayer {
@@ -45,23 +42,13 @@ impl DualModuleLayer {
     ///
     /// Panics if shapes disagree.
     pub fn new(weight: Tensor, bias: Tensor, activation: Activation, approx: ApproxLinear) -> Self {
-        assert_eq!(weight.shape().rank(), 2, "weight must be [n, d]");
-        assert_eq!(weight.shape().dim(0), bias.len(), "bias length mismatch");
-        assert_eq!(
-            weight.shape().dim(1),
-            approx.input_dim(),
-            "approximate module input dim mismatch"
-        );
-        assert_eq!(
-            weight.shape().dim(0),
-            approx.output_dim(),
-            "approximate module output dim mismatch"
-        );
         Self {
-            weight,
-            bias,
+            // Zero weights (from a pruned accurate module, §VI) are
+            // statically removed from the MAC-instruction LUT, so they
+            // cost neither a MAC nor a weight fetch — dual-module
+            // processing composes with static compression for free.
+            proj: DualProjection::new(weight, bias, approx, MacMode::SkipZeroWeights),
             activation,
-            approx,
         }
     }
 
@@ -76,9 +63,17 @@ impl DualModuleLayer {
         samples: usize,
         rng: &mut Rng,
     ) -> Self {
-        let cfg = ApproxConfig::paper_default(reduced_dim);
-        let approx = distill::distill_linear(weight, bias, cfg, samples, rng);
-        Self::new(weight.clone(), bias.clone(), activation, approx)
+        Self {
+            proj: DualProjection::learn(
+                weight,
+                bias,
+                MacMode::SkipZeroWeights,
+                reduced_dim,
+                samples,
+                rng,
+            ),
+            activation,
+        }
     }
 
     /// Distills using recorded calibration activations `[s, d]`.
@@ -90,19 +85,27 @@ impl DualModuleLayer {
         activations: &Tensor,
         rng: &mut Rng,
     ) -> Self {
-        let cfg = ApproxConfig::paper_default(reduced_dim);
-        let approx = distill::distill_linear_from_activations(weight, bias, cfg, activations, rng);
-        Self::new(weight.clone(), bias.clone(), activation, approx)
+        Self {
+            proj: DualProjection::learn_from_activations(
+                weight,
+                bias,
+                MacMode::SkipZeroWeights,
+                reduced_dim,
+                activations,
+                rng,
+            ),
+            activation,
+        }
     }
 
     /// The accurate weight matrix `[n, d]`.
     pub fn weight(&self) -> &Tensor {
-        &self.weight
+        self.proj.weight()
     }
 
     /// The bias vector.
     pub fn bias(&self) -> &Tensor {
-        &self.bias
+        self.proj.bias()
     }
 
     /// The activation function.
@@ -112,7 +115,12 @@ impl DualModuleLayer {
 
     /// The approximate module.
     pub fn approx(&self) -> &ApproxLinear {
-        &self.approx
+        self.proj.approx()
+    }
+
+    /// The underlying speculated projection.
+    pub fn projection(&self) -> &DualProjection {
+        &self.proj
     }
 
     /// Replaces the approximate module — the write-back half of fault
@@ -123,29 +131,23 @@ impl DualModuleLayer {
     ///
     /// Panics if the replacement's dimensions disagree with the layer.
     pub fn set_approx(&mut self, approx: ApproxLinear) {
-        assert_eq!(approx.input_dim(), self.input_dim(), "input dim mismatch");
-        assert_eq!(
-            approx.output_dim(),
-            self.output_dim(),
-            "output dim mismatch"
-        );
-        self.approx = approx;
+        self.proj.set_approx(approx);
     }
 
     /// Output dimension `n`.
     pub fn output_dim(&self) -> usize {
-        self.weight.shape().dim(0)
+        self.proj.output_dim()
     }
 
     /// Input dimension `d`.
     pub fn input_dim(&self) -> usize {
-        self.weight.shape().dim(1)
+        self.proj.input_dim()
     }
 
     /// Dense (single-module) reference execution.
     pub fn forward_dense(&self, x: &Tensor) -> Tensor {
         self.activation
-            .apply(&ops::affine(&self.weight, x, &self.bias))
+            .apply(&ops::affine(self.proj.weight(), x, self.proj.bias()))
     }
 
     /// Dual-module forward pass.
@@ -180,46 +182,17 @@ impl DualModuleLayer {
         policy: &SwitchingPolicy,
         guard: Option<&mut SpeculationGuard>,
     ) -> DualOutput {
-        let (n, d) = (self.output_dim(), self.input_dim());
-        assert_eq!(x.len(), d, "input length mismatch");
         let mut engine = SpeculationEngine::new();
 
-        // 1. Speculator: approximate module.
-        let y_approx = self.approx.forward(x);
+        // Speculate → switching map → sparse exact rows over the
+        // approximate buffer (Eq. 2 mix) — the single-projection
+        // lifecycle, owned by DualProjection.
+        let (pre, map) = self.proj.forward(&mut engine, policy, x, guard);
 
-        // 2. Switching map.
-        let map = match guard {
-            Some(g) => engine.speculate_guarded(policy, &y_approx, g),
-            None => engine.speculate(policy, &y_approx),
-        };
-
-        // 3. Executor + Eq. (2) mix: accurate rows for sensitive neurons
-        // overwrite the approximate buffer in place. Zero weights (from a
-        // pruned accurate module, §VI) are statically removed from the
-        // MAC-instruction LUT, so they cost neither a MAC nor a weight
-        // fetch — dual-module processing composes with static compression
-        // for free.
-        let mut pre = y_approx;
-        let segments = [RowSegment {
-            weights: self.weight.data(),
-            d,
-            x: Gather::Dense(x.data()),
-            mode: MacMode::SkipZeroWeights,
-        }];
-        engine.execute_rows_into(&map, pre.data_mut(), 0, self.bias.data(), &segments);
-
-        // 4. Activation on the mixed pre-activations.
+        // Activation on the mixed pre-activations.
         let output = self.activation.apply(&pre);
 
-        let k = self.approx.config().reduced_dim;
-        let report = engine.finish(EngineCosts {
-            dense_macs: (n * d) as u64,
-            dense_weight_bytes: (n * d * 2) as u64, // INT16 weights
-            speculator_macs: (n * k) as u64,
-            speculator_adds: self.approx.projection().additions_per_projection() as u64,
-            speculator_weight_bytes: self.approx.weight_bytes() as u64,
-            executor_weight_bytes: ExecutorWeightBytes::CountedWords,
-        });
+        let report = engine.finish(self.proj.costs().engine_costs());
 
         DualOutput {
             output,

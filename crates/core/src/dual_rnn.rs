@@ -9,11 +9,9 @@
 //! The crucial memory effect (§IV-B): a weight **row** is fetched from
 //! DRAM only when its output neuron is sensitive.
 
-use crate::approx::{ApproxConfig, ApproxLinear};
-use crate::distill;
-use crate::engine::{
-    EngineCosts, ExecutorWeightBytes, Gather, MacMode, RowSegment, SpeculationEngine,
-};
+use crate::approx::ApproxLinear;
+use crate::dual_proj::DualProjection;
+use crate::engine::{MacMode, SpeculationEngine};
 use crate::guard::SpeculationGuard;
 use crate::metrics::SavingsReport;
 use crate::switching::{SwitchingMap, SwitchingPolicy};
@@ -55,14 +53,13 @@ pub struct DualRnnStepOutput {
     pub report: SavingsReport,
 }
 
-/// An LSTM cell with distilled approximate modules.
+/// An LSTM cell with distilled approximate modules: an input-to-hidden
+/// and a hidden-to-hidden [`DualProjection`] whose row segments chain
+/// per gate.
 #[derive(Debug, Clone)]
 pub struct DualLstmCell {
-    w_ih: Tensor, // [4h, d]
-    w_hh: Tensor, // [4h, h]
-    bias: Tensor, // [4h]
-    approx_ih: ApproxLinear,
-    approx_hh: ApproxLinear,
+    proj_ih: DualProjection, // [4h, d], carries the gate bias
+    proj_hh: DualProjection, // [4h, h], zero bias
     input: usize,
     hidden: usize,
 }
@@ -71,34 +68,32 @@ impl DualLstmCell {
     /// Distills approximate modules from a trained [`LstmCell`].
     pub fn learn(cell: &LstmCell, reduced_dim: usize, samples: usize, rng: &mut Rng) -> Self {
         let (d, h) = (cell.input_size(), cell.hidden_size());
-        let w_ih = cell.w_ih.value.clone();
-        let w_hh = cell.w_hh.value.clone();
-        let bias = cell.bias.value.clone();
 
         let k_ih = reduced_dim.min(d);
         let k_hh = reduced_dim.min(h);
         // The input-side student carries the gate bias; the hidden-side
-        // student is purely linear so the sum matches the teacher.
-        let approx_ih = distill::distill_linear(
-            &w_ih,
-            &bias,
-            ApproxConfig::paper_default(k_ih),
+        // student is purely linear so the sum matches the teacher. The
+        // rows are dense (no static pruning in the recurrent teachers),
+        // so the §IV-B saving is whole skipped rows.
+        let proj_ih = DualProjection::learn(
+            &cell.w_ih.value,
+            &cell.bias.value,
+            MacMode::Dense,
+            k_ih,
             samples,
             rng,
         );
-        let approx_hh = distill::distill_linear(
-            &w_hh,
+        let proj_hh = DualProjection::learn(
+            &cell.w_hh.value,
             &Tensor::zeros(&[4 * h]),
-            ApproxConfig::paper_default(k_hh),
+            MacMode::Dense,
+            k_hh,
             samples,
             rng,
         );
         Self {
-            w_ih,
-            w_hh,
-            bias,
-            approx_ih,
-            approx_hh,
+            proj_ih,
+            proj_hh,
             input: d,
             hidden: h,
         }
@@ -116,12 +111,12 @@ impl DualLstmCell {
 
     /// The input-to-hidden approximate module.
     pub fn approx_ih(&self) -> &ApproxLinear {
-        &self.approx_ih
+        self.proj_ih.approx()
     }
 
     /// The hidden-to-hidden approximate module.
     pub fn approx_hh(&self) -> &ApproxLinear {
-        &self.approx_hh
+        self.proj_hh.approx()
     }
 
     /// Replaces both approximate modules (fault injection / corrupted-
@@ -131,36 +126,24 @@ impl DualLstmCell {
     ///
     /// Panics if the replacements' dimensions disagree with the cell.
     pub fn set_approx(&mut self, approx_ih: ApproxLinear, approx_hh: ApproxLinear) {
-        assert_eq!(approx_ih.input_dim(), self.input, "ih input dim mismatch");
-        assert_eq!(
-            approx_ih.output_dim(),
-            4 * self.hidden,
-            "ih output dim mismatch"
-        );
-        assert_eq!(approx_hh.input_dim(), self.hidden, "hh input dim mismatch");
-        assert_eq!(
-            approx_hh.output_dim(),
-            4 * self.hidden,
-            "hh output dim mismatch"
-        );
-        self.approx_ih = approx_ih;
-        self.approx_hh = approx_hh;
+        self.proj_ih.set_approx(approx_ih);
+        self.proj_hh.set_approx(approx_hh);
     }
 
     /// Approximate gate pre-activations `a' = A_ih(x) + A_hh(h)`.
     pub fn approx_preactivations(&self, x: &Tensor, h_prev: &Tensor) -> Tensor {
-        let mut a = self.approx_ih.forward(x);
-        let ah = self.approx_hh.forward(h_prev);
+        let mut a = self.proj_ih.speculate(x);
+        let ah = self.proj_hh.speculate(h_prev);
         ops::axpy(1.0, &ah, &mut a);
         a
     }
 
     /// Dense (single-module) reference step.
     pub fn step_dense(&self, x: &Tensor, state: &LstmState) -> LstmState {
-        let mut a = ops::gemv(&self.w_ih, x);
-        let ah = ops::gemv(&self.w_hh, &state.h);
+        let mut a = ops::gemv(self.proj_ih.weight(), x);
+        let ah = ops::gemv(self.proj_hh.weight(), &state.h);
         ops::axpy(1.0, &ah, &mut a);
-        ops::axpy(1.0, &self.bias, &mut a);
+        ops::axpy(1.0, self.proj_ih.bias(), &mut a);
         self.combine(&a, state)
     }
 
@@ -215,7 +198,6 @@ impl DualLstmCell {
         assert_eq!(x.len(), self.input, "input length mismatch");
         assert_eq!(state.h.len(), self.hidden, "state length mismatch");
         let h = self.hidden;
-        let d = self.input;
 
         let mut engine = SpeculationEngine::new();
         let mut a = self.approx_preactivations(x, &state.h);
@@ -237,31 +219,16 @@ impl DualLstmCell {
                 Some(g) => engine.speculate_guarded(policy, &slice, g),
                 None => engine.speculate(policy, &slice),
             };
-            // The rows are dense (no static pruning in the recurrent
-            // teachers), so the §IV-B saving is whole skipped rows: a
-            // weight row is fetched only when its gate lane is sensitive.
-            // Gate lane `r` maps to weight/bias row `gi * h + r`; the two
-            // segments chain bias -> W_ih·x -> W_hh·h exactly as the old
-            // closure did.
-            let segments = [
-                RowSegment {
-                    weights: self.w_ih.data(),
-                    d,
-                    x: Gather::Dense(xd),
-                    mode: MacMode::Dense,
-                },
-                RowSegment {
-                    weights: self.w_hh.data(),
-                    d: h,
-                    x: Gather::Dense(hd),
-                    mode: MacMode::Dense,
-                },
-            ];
+            // A weight row is fetched only when its gate lane is
+            // sensitive. Gate lane `r` maps to weight/bias row
+            // `gi * h + r`; the two projections' segments chain
+            // bias -> W_ih·x -> W_hh·h exactly as the old closure did.
+            let segments = [self.proj_ih.segment(xd), self.proj_hh.segment(hd)];
             engine.execute_rows_into(
                 &map,
                 &mut a.data_mut()[gi * h..(gi + 1) * h],
                 gi * h,
-                self.bias.data(),
+                self.proj_ih.bias().data(),
                 &segments,
             );
             gate_maps.push(map);
@@ -269,21 +236,7 @@ impl DualLstmCell {
 
         let next = self.combine(&a, state);
 
-        let row_cost = (d + h) as u64;
-        let n = (4 * h) as u64;
-        let k_ih = self.approx_ih.config().reduced_dim as u64;
-        let k_hh = self.approx_hh.config().reduced_dim as u64;
-        let report = engine.finish(EngineCosts {
-            dense_macs: n * row_cost,
-            dense_weight_bytes: n * row_cost * 2,
-            speculator_macs: n * (k_ih + k_hh),
-            speculator_adds: (self.approx_ih.projection().additions_per_projection()
-                + self.approx_hh.projection().additions_per_projection())
-                as u64,
-            speculator_weight_bytes: (self.approx_ih.weight_bytes() + self.approx_hh.weight_bytes())
-                as u64,
-            executor_weight_bytes: ExecutorWeightBytes::CountedWords,
-        });
+        let report = engine.finish((self.proj_ih.costs() + self.proj_hh.costs()).engine_costs());
 
         DualRnnStepOutput {
             h: next.h,
@@ -294,15 +247,14 @@ impl DualLstmCell {
     }
 }
 
-/// A GRU cell with distilled approximate modules.
+/// A GRU cell with distilled approximate modules: two
+/// [`DualProjection`]s (input-to-hidden with `b_ih`, hidden-to-hidden
+/// with `b_hh`) whose sensitive lanes recompute both halves of a gate's
+/// sum.
 #[derive(Debug, Clone)]
 pub struct DualGruCell {
-    w_ih: Tensor, // [3h, d]
-    w_hh: Tensor, // [3h, h]
-    b_ih: Tensor, // [3h]
-    b_hh: Tensor, // [3h]
-    approx_ih: ApproxLinear,
-    approx_hh: ApproxLinear,
+    proj_ih: DualProjection, // [3h, d], bias b_ih
+    proj_hh: DualProjection, // [3h, h], bias b_hh
     input: usize,
     hidden: usize,
 }
@@ -311,29 +263,25 @@ impl DualGruCell {
     /// Distills approximate modules from a trained [`GruCell`].
     pub fn learn(cell: &GruCell, reduced_dim: usize, samples: usize, rng: &mut Rng) -> Self {
         let (d, h) = (cell.input_size(), cell.hidden_size());
-        let w_ih = cell.w_ih.value.clone();
-        let w_hh = cell.w_hh.value.clone();
-        let approx_ih = distill::distill_linear(
-            &w_ih,
+        let proj_ih = DualProjection::learn(
+            &cell.w_ih.value,
             &cell.b_ih.value,
-            ApproxConfig::paper_default(reduced_dim.min(d)),
+            MacMode::Dense,
+            reduced_dim.min(d),
             samples,
             rng,
         );
-        let approx_hh = distill::distill_linear(
-            &w_hh,
+        let proj_hh = DualProjection::learn(
+            &cell.w_hh.value,
             &cell.b_hh.value,
-            ApproxConfig::paper_default(reduced_dim.min(h)),
+            MacMode::Dense,
+            reduced_dim.min(h),
             samples,
             rng,
         );
         Self {
-            w_ih,
-            w_hh,
-            b_ih: cell.b_ih.value.clone(),
-            b_hh: cell.b_hh.value.clone(),
-            approx_ih,
-            approx_hh,
+            proj_ih,
+            proj_hh,
             input: d,
             hidden: h,
         }
@@ -346,12 +294,12 @@ impl DualGruCell {
 
     /// The input-to-hidden approximate module.
     pub fn approx_ih(&self) -> &ApproxLinear {
-        &self.approx_ih
+        self.proj_ih.approx()
     }
 
     /// The hidden-to-hidden approximate module.
     pub fn approx_hh(&self) -> &ApproxLinear {
-        &self.approx_hh
+        self.proj_hh.approx()
     }
 
     /// Replaces both approximate modules (fault injection / corrupted-
@@ -361,32 +309,20 @@ impl DualGruCell {
     ///
     /// Panics if the replacements' dimensions disagree with the cell.
     pub fn set_approx(&mut self, approx_ih: ApproxLinear, approx_hh: ApproxLinear) {
-        assert_eq!(approx_ih.input_dim(), self.input, "ih input dim mismatch");
-        assert_eq!(
-            approx_ih.output_dim(),
-            3 * self.hidden,
-            "ih output dim mismatch"
-        );
-        assert_eq!(approx_hh.input_dim(), self.hidden, "hh input dim mismatch");
-        assert_eq!(
-            approx_hh.output_dim(),
-            3 * self.hidden,
-            "hh output dim mismatch"
-        );
-        self.approx_ih = approx_ih;
-        self.approx_hh = approx_hh;
+        self.proj_ih.set_approx(approx_ih);
+        self.proj_hh.set_approx(approx_hh);
     }
 
     /// Dense reference step.
     pub fn step_dense(&self, x: &Tensor, h_prev: &Tensor) -> Tensor {
         let ax = {
-            let mut t = ops::gemv(&self.w_ih, x);
-            ops::axpy(1.0, &self.b_ih, &mut t);
+            let mut t = ops::gemv(self.proj_ih.weight(), x);
+            ops::axpy(1.0, self.proj_ih.bias(), &mut t);
             t
         };
         let ah = {
-            let mut t = ops::gemv(&self.w_hh, h_prev);
-            ops::axpy(1.0, &self.b_hh, &mut t);
+            let mut t = ops::gemv(self.proj_hh.weight(), h_prev);
+            ops::axpy(1.0, self.proj_hh.bias(), &mut t);
             t
         };
         self.combine(&ax, &ah, h_prev)
@@ -446,11 +382,10 @@ impl DualGruCell {
         assert_eq!(x.len(), self.input, "input length mismatch");
         assert_eq!(h_prev.len(), self.hidden, "state length mismatch");
         let h = self.hidden;
-        let d = self.input;
 
         let mut engine = SpeculationEngine::new();
-        let mut ax = self.approx_ih.forward(x);
-        let mut ah = self.approx_hh.forward(h_prev);
+        let mut ax = self.proj_ih.speculate(x);
+        let mut ah = self.proj_hh.speculate(h_prev);
 
         let mut gate_maps = Vec::with_capacity(3);
 
@@ -473,20 +408,8 @@ impl DualGruCell {
             let (axd, ahd) = (ax.data_mut(), ah.data_mut());
             engine.execute(&map, |rr, kernel| {
                 let row = gi * h + rr;
-                let wrow_ih = &self.w_ih.data()[row * d..(row + 1) * d];
-                let wrow_hh = &self.w_hh.data()[row * h..(row + 1) * h];
-                axd[row] = kernel.dot(
-                    self.b_ih.data()[row],
-                    wrow_ih,
-                    Gather::Dense(x.data()),
-                    MacMode::Dense,
-                );
-                ahd[row] = kernel.dot(
-                    self.b_hh.data()[row],
-                    wrow_hh,
-                    Gather::Dense(h_prev.data()),
-                    MacMode::Dense,
-                );
+                axd[row] = self.proj_ih.dot_row(kernel, row, x.data());
+                ahd[row] = self.proj_hh.dot_row(kernel, row, h_prev.data());
             });
             gate_maps.push(map);
         }
@@ -513,40 +436,14 @@ impl DualGruCell {
         let (axd, ahd) = (ax.data_mut(), ah.data_mut());
         engine.execute(&n_map, |rr, kernel| {
             let row = 2 * h + rr;
-            let wrow_ih = &self.w_ih.data()[row * d..(row + 1) * d];
-            let wrow_hh = &self.w_hh.data()[row * h..(row + 1) * h];
-            axd[row] = kernel.dot(
-                self.b_ih.data()[row],
-                wrow_ih,
-                Gather::Dense(x.data()),
-                MacMode::Dense,
-            );
-            ahd[row] = kernel.dot(
-                self.b_hh.data()[row],
-                wrow_hh,
-                Gather::Dense(h_prev.data()),
-                MacMode::Dense,
-            );
+            axd[row] = self.proj_ih.dot_row(kernel, row, x.data());
+            ahd[row] = self.proj_hh.dot_row(kernel, row, h_prev.data());
         });
         gate_maps.push(n_map);
 
         let h_new = self.combine(&ax, &ah, h_prev);
 
-        let row_cost = (d + h) as u64;
-        let n_out = (3 * h) as u64;
-        let k_ih = self.approx_ih.config().reduced_dim as u64;
-        let k_hh = self.approx_hh.config().reduced_dim as u64;
-        let report = engine.finish(EngineCosts {
-            dense_macs: n_out * row_cost,
-            dense_weight_bytes: n_out * row_cost * 2,
-            speculator_macs: n_out * (k_ih + k_hh),
-            speculator_adds: (self.approx_ih.projection().additions_per_projection()
-                + self.approx_hh.projection().additions_per_projection())
-                as u64,
-            speculator_weight_bytes: (self.approx_ih.weight_bytes() + self.approx_hh.weight_bytes())
-                as u64,
-            executor_weight_bytes: ExecutorWeightBytes::CountedWords,
-        });
+        let report = engine.finish((self.proj_ih.costs() + self.proj_hh.costs()).engine_costs());
 
         DualRnnStepOutput {
             h: h_new,

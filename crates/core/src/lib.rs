@@ -19,9 +19,15 @@
 //!   modules from their teachers (Eq. 1),
 //! * [`SwitchingPolicy`] / [`SwitchingMap`] — Eq. (2)–(3) dynamic
 //!   switching,
+//! * [`DualProjection`] — one speculated GEMV (weights + INT4
+//!   speculator + engine call site + guard hook); every layer below is
+//!   a composition of projections,
 //! * [`DualModuleLayer`], [`DualConvLayer`], [`DualLstmCell`],
 //!   [`DualGruCell`] — dual-module execution for FF, CONV, LSTM and GRU
 //!   layers,
+//! * [`DualAttention`], [`DualFfn`], [`DualTransformerBlock`] —
+//!   speculated Q/K/V/output and FFN projections around a dense
+//!   softmax mixer,
 //! * [`metrics`] — FLOP and byte accounting behind every savings number in
 //!   the evaluation,
 //! * [`tuning`] — threshold calibration against a quality budget
@@ -51,9 +57,11 @@ pub mod approx;
 pub mod batch;
 pub mod calibration;
 pub mod distill;
+pub mod dual_attention;
 pub mod dual_conv;
 pub mod dual_layer;
 pub mod dual_net;
+pub mod dual_proj;
 pub mod dual_rnn;
 pub mod engine;
 pub mod guard;
@@ -63,8 +71,10 @@ pub mod switching;
 pub mod tuning;
 
 pub use approx::{ApproxConfig, ApproxLinear};
+pub use dual_attention::{DualAttention, DualFfn, DualTransformerBlock, TransformerThresholds};
 pub use dual_conv::{DualConvLayer, DualConvOutput};
 pub use dual_layer::{DualModuleLayer, DualOutput};
+pub use dual_proj::{DualProjection, ProjectionCosts};
 pub use dual_rnn::{DualGruCell, DualLstmCell};
 pub use engine::SpeculationEngine;
 pub use guard::{DegradationPolicy, GuardConfig, SpeculationGuard, SwitchRateBand};

@@ -5,9 +5,12 @@
 //! the Executor) and which are **insensitive** (`m_i = 0`: keep the cheap
 //! approximate value):
 //!
-//! * ReLU: `y'_i < θ  ⇒  m_i = 0` (deep negative pre-activations die in
-//!   ReLU anyway),
-//! * sigmoid / tanh: `|y'_i| > θ  ⇒  m_i = 0` (saturation regions).
+//! * ReLU / GELU: `y'_i < θ  ⇒  m_i = 0` (deep negative pre-activations
+//!   die in the one-sided tail anyway),
+//! * sigmoid / tanh: `|y'_i| > θ  ⇒  m_i = 0` (saturation regions),
+//! * magnitude (identity): `|y'_i| < θ  ⇒  m_i = 0` — the
+//!   Precision-Gating-style rule for projections feeding scale-bounded
+//!   mixers such as attention logits.
 //!
 //! The map is stored bit-packed in `u64` words — the same one-bit-per-
 //! neuron artifact the hardware keeps in the GLB. Bit `i` lives in word
@@ -49,6 +52,28 @@ impl SwitchingPolicy {
     pub fn tanh(theta: f32) -> Self {
         Self {
             activation: Activation::Tanh,
+            theta,
+        }
+    }
+
+    /// GELU policy: outputs with `y' < theta` are insensitive — the same
+    /// one-sided band as ReLU (deep-negative pre-activations die in the
+    /// GELU tail).
+    pub fn gelu(theta: f32) -> Self {
+        Self {
+            activation: Activation::Gelu,
+            theta,
+        }
+    }
+
+    /// Magnitude policy for linear projections feeding scale-bounded
+    /// mixers (attention Q/K/V/output GEMVs): outputs with
+    /// `|y'| < theta` are insensitive — small entries barely move the
+    /// scaled-dot-product softmax, so the cheap approximate value is
+    /// kept. `theta <= 0` keeps everything sensitive (dense).
+    pub fn magnitude(theta: f32) -> Self {
+        Self {
+            activation: Activation::Identity,
             theta,
         }
     }
@@ -430,6 +455,31 @@ mod tests {
         let p = SwitchingPolicy::never_switch();
         let y = Tensor::from_vec(vec![-100.0, 0.0, 100.0], &[3]);
         assert_eq!(p.map(&y).sensitive_count(), 3);
+    }
+
+    #[test]
+    fn gelu_rule_is_one_sided_like_relu() {
+        let p = SwitchingPolicy::gelu(0.0);
+        let y = Tensor::from_vec(vec![-1.0, -0.01, 0.0, 0.5], &[4]);
+        assert_eq!(flags_of(&p.map(&y)), &[false, false, true, true]);
+        // θ = −∞ keeps everything sensitive (dense)
+        let dense = SwitchingPolicy::gelu(f32::NEG_INFINITY);
+        assert_eq!(dense.map(&y).sensitive_count(), 4);
+    }
+
+    #[test]
+    fn magnitude_rule_gates_small_entries() {
+        let p = SwitchingPolicy::magnitude(0.5);
+        let y = Tensor::from_vec(vec![-1.0, -0.2, 0.0, 0.4, 0.6], &[5]);
+        assert_eq!(flags_of(&p.map(&y)), &[true, false, false, false, true]);
+        // θ = 0 and θ = −∞ are both all-sensitive — never_switch() is
+        // literally magnitude(0.0)
+        assert_eq!(
+            SwitchingPolicy::magnitude(0.0),
+            SwitchingPolicy::never_switch()
+        );
+        let dense = SwitchingPolicy::magnitude(f32::NEG_INFINITY);
+        assert_eq!(dense.map(&y).sensitive_count(), 5);
     }
 
     #[test]

@@ -17,9 +17,18 @@ pub enum Activation {
     Sigmoid,
     /// Hyperbolic tangent — LSTM/GRU candidate states.
     Tanh,
+    /// Gaussian error linear unit (tanh approximation) — transformer
+    /// FFN workhorse. Like ReLU it collapses deep-negative inputs, so
+    /// its insensitive region is the same one-sided band.
+    Gelu,
     /// Identity (no non-linearity).
     Identity,
 }
+
+/// `√(2/π)`, the constant in the tanh approximation of GELU.
+const GELU_C: f32 = 0.797_884_6;
+/// Cubic coefficient of the tanh approximation of GELU.
+const GELU_A: f32 = 0.044_715;
 
 impl Activation {
     /// Applies the function to a scalar.
@@ -28,6 +37,7 @@ impl Activation {
             Activation::Relu => x.max(0.0),
             Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
             Activation::Tanh => x.tanh(),
+            Activation::Gelu => 0.5 * x * (1.0 + (GELU_C * (x + GELU_A * x * x * x)).tanh()),
             Activation::Identity => x,
         }
     }
@@ -55,6 +65,11 @@ impl Activation {
                 let t = x.tanh();
                 1.0 - t * t
             }
+            Activation::Gelu => {
+                let u = GELU_C * (x + GELU_A * x * x * x);
+                let t = u.tanh();
+                0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * GELU_C * (1.0 + 3.0 * GELU_A * x * x)
+            }
             Activation::Identity => 1.0,
         }
     }
@@ -76,13 +91,18 @@ impl Activation {
 
     /// Whether a *pre-activation* value lies in the paper's insensitive
     /// region for this function, given switching threshold `theta`
-    /// (Eq. 3): ReLU ⇒ `x < theta`; sigmoid/tanh ⇒ `|x| > theta`;
-    /// identity has no insensitive region.
+    /// (Eq. 3): ReLU/GELU ⇒ `x < theta`; sigmoid/tanh ⇒ `|x| > theta`;
+    /// identity ⇒ `|x| < theta` — the Precision-Gating-style magnitude
+    /// rule for linear projections feeding scale-bounded mixers (e.g.
+    /// attention logits: small-magnitude entries move the softmax
+    /// little). At `theta = 0` this is vacuous (nothing satisfies
+    /// `|x| < 0`), so [`crate::Activation::Identity`]-based
+    /// never-switch policies stay all-sensitive.
     pub fn is_insensitive(self, x: f32, theta: f32) -> bool {
         match self {
-            Activation::Relu => x < theta,
+            Activation::Relu | Activation::Gelu => x < theta,
             Activation::Sigmoid | Activation::Tanh => x.abs() > theta,
-            Activation::Identity => false,
+            Activation::Identity => x.abs() < theta,
         }
     }
 
@@ -92,6 +112,7 @@ impl Activation {
             Activation::Relu => "relu",
             Activation::Sigmoid => "sigmoid",
             Activation::Tanh => "tanh",
+            Activation::Gelu => "gelu",
             Activation::Identity => "identity",
         }
     }
@@ -156,9 +177,25 @@ mod tests {
     }
 
     #[test]
+    fn gelu_values() {
+        let g = Activation::Gelu;
+        // GELU(0) = 0; deep negative inputs die; large positives pass through
+        assert_eq!(g.apply_scalar(0.0), 0.0);
+        assert!(g.apply_scalar(-6.0).abs() < 1e-4);
+        assert!((g.apply_scalar(6.0) - 6.0).abs() < 1e-4);
+        // reference value: GELU(1) ≈ 0.8412 (tanh approximation)
+        assert!((g.apply_scalar(1.0) - 0.8412).abs() < 1e-3);
+    }
+
+    #[test]
     fn derivatives_match_finite_difference() {
         let eps = 1e-3f32;
-        for act in [Activation::Relu, Activation::Sigmoid, Activation::Tanh] {
+        for act in [
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Gelu,
+        ] {
             for &x in &[-2.0f32, -0.5, 0.7, 1.5, 3.0] {
                 let fd = (act.apply_scalar(x + eps) - act.apply_scalar(x - eps)) / (2.0 * eps);
                 let an = act.derivative_scalar(x);
@@ -178,6 +215,9 @@ mod tests {
         assert!(Activation::Sigmoid.noise_gain(0.0, eps) > 0.02);
         assert!(Activation::Tanh.noise_gain(4.0, eps) < 0.001);
         assert!(Activation::Tanh.noise_gain(0.0, eps) > 0.09);
+        // GELU shares ReLU's one-sided insensitive region
+        assert!(Activation::Gelu.noise_gain(-6.0, eps) < 0.001);
+        assert!(Activation::Gelu.noise_gain(1.0, eps) > 0.09);
     }
 
     #[test]
@@ -187,7 +227,20 @@ mod tests {
         assert!(Activation::Sigmoid.is_insensitive(5.0, 3.0));
         assert!(Activation::Sigmoid.is_insensitive(-5.0, 3.0));
         assert!(!Activation::Tanh.is_insensitive(1.0, 3.0));
+        assert!(Activation::Gelu.is_insensitive(-0.1, 0.0));
+        assert!(!Activation::Gelu.is_insensitive(0.1, 0.0));
         assert!(!Activation::Identity.is_insensitive(100.0, 0.0));
+    }
+
+    #[test]
+    fn identity_magnitude_rule() {
+        // |x| < θ is insensitive; θ = 0 (never-switch) and θ = −∞ keep
+        // everything sensitive.
+        assert!(Activation::Identity.is_insensitive(0.05, 0.1));
+        assert!(Activation::Identity.is_insensitive(-0.05, 0.1));
+        assert!(!Activation::Identity.is_insensitive(0.2, 0.1));
+        assert!(!Activation::Identity.is_insensitive(0.0, 0.0));
+        assert!(!Activation::Identity.is_insensitive(0.0, f32::NEG_INFINITY));
     }
 
     #[test]

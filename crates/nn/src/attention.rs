@@ -3,8 +3,30 @@
 //! The GNMT-class models the paper evaluates on machine translation
 //! attend over encoder states from each decoder step. This is the
 //! minimal single-head form: `ctx = Σ_t softmax(q·k_t / √h) v_t`.
+//!
+//! Both passes are instrumented like `tensor::ops`: a call counter, a
+//! MAC-convention FLOP counter (`2·T·h` per matrix-vector-like stage),
+//! and a `nn.attention.*` span. When telemetry is off each instrument
+//! costs one relaxed atomic load.
+//!
+//! Degenerate shapes are well-defined rather than panics or NaNs:
+//! `T = 0` (no keys) yields a zero context and an empty weight vector,
+//! and `h = 0` (zero-width heads) yields uniform weights — both with
+//! finite gradients — matching the zero-sized-dim guarantees of
+//! `tensor::ops`.
 
 use duet_tensor::{ops, Tensor};
+
+/// Softmax scale `1/√h`, with the zero-width head pinned to 0 so the
+/// scores stay finite (`inf · 0` would be NaN) — any finite value works
+/// because every dot product over zero lanes is 0.
+fn attend_scale(h: usize) -> f32 {
+    if h == 0 {
+        0.0
+    } else {
+        1.0 / (h as f32).sqrt()
+    }
+}
 
 /// Cache from an attention forward pass, needed for backprop.
 #[derive(Debug, Clone)]
@@ -24,6 +46,10 @@ impl AttentionCache {
 
 /// Forward pass: returns `(context [h], cache)`.
 ///
+/// With zero keys (`T = 0`) the context is the zero vector and the
+/// weight vector is empty; with zero-width heads (`h = 0`) the weights
+/// are the uniform distribution. Neither produces NaNs.
+///
 /// # Panics
 ///
 /// Panics if `keys`/`values` are not `[T, h]` matching the query length.
@@ -34,7 +60,13 @@ pub fn attend(query: &Tensor, keys: &Tensor, values: &Tensor) -> (Tensor, Attent
     assert_eq!(values.shape().dims(), &[t, h], "keys/values shape mismatch");
     assert_eq!(query.len(), h, "query length mismatch");
 
-    let scale = 1.0 / (h as f32).sqrt();
+    duet_obs::counter!("nn.attention.calls").inc();
+    // scores (2Th) + context (2Th), MAC convention as in tensor::ops;
+    // softmax is ~4 ops per key.
+    duet_obs::counter!("nn.attention.flops").add((4 * t * h + 4 * t) as u64);
+    let _call = duet_obs::span("nn.attention.attend");
+
+    let scale = attend_scale(h);
     // scores
     let mut scores = Tensor::zeros(&[t]);
     for ti in 0..t {
@@ -85,13 +117,22 @@ pub struct AttentionGrads {
 
 /// Backward pass given the gradient w.r.t. the context vector.
 ///
+/// Degenerate caches (`T = 0` or `h = 0`) yield all-zero gradients of
+/// the matching shapes.
+///
 /// # Panics
 ///
 /// Panics if `d_ctx` length mismatches the cache.
 pub fn attend_backward(cache: &AttentionCache, d_ctx: &Tensor) -> AttentionGrads {
     let (t, h) = (cache.keys.shape().dim(0), cache.keys.shape().dim(1));
     assert_eq!(d_ctx.len(), h, "context gradient length mismatch");
-    let scale = 1.0 / (h as f32).sqrt();
+
+    duet_obs::counter!("nn.attention.backward_calls").inc();
+    // d_values/d_weights (4Th) + d_query/d_keys (4Th) + jacobian (~4T).
+    duet_obs::counter!("nn.attention.backward_flops").add((8 * t * h + 4 * t) as u64);
+    let _call = duet_obs::span("nn.attention.attend_backward");
+
+    let scale = attend_scale(h);
 
     // dv_t = a_t · dctx ; da_t = dctx · v_t
     let mut d_values = Tensor::zeros(&[t, h]);
@@ -241,6 +282,96 @@ mod tests {
                 grads.d_values.data()[idx]
             );
         }
+    }
+
+    #[test]
+    fn zero_length_sequence_yields_zero_context() {
+        // T = 0: nothing to attend over — context is the zero vector,
+        // the weight vector is empty, and gradients are all-zero with
+        // the right shapes. No NaNs anywhere.
+        let mut r = seeded(4);
+        let q = rng::normal(&mut r, &[6], 0.0, 1.0);
+        let keys = Tensor::zeros(&[0, 6]);
+        let vals = Tensor::zeros(&[0, 6]);
+        let (ctx, cache) = attend(&q, &keys, &vals);
+        assert_eq!(ctx.shape().dims(), &[6]);
+        assert!(ctx.data().iter().all(|&c| c == 0.0));
+        assert_eq!(cache.weights().len(), 0);
+
+        let d_ctx = rng::normal(&mut r, &[6], 0.0, 1.0);
+        let grads = attend_backward(&cache, &d_ctx);
+        assert_eq!(grads.d_query.shape().dims(), &[6]);
+        assert!(grads.d_query.data().iter().all(|&g| g == 0.0));
+        assert_eq!(grads.d_keys.shape().dims(), &[0, 6]);
+        assert_eq!(grads.d_values.shape().dims(), &[0, 6]);
+
+        let (dq, denc) = attend_backward_self(&cache, &d_ctx);
+        assert!(dq.data().iter().all(|&g| g == 0.0));
+        assert_eq!(denc.shape().dims(), &[0, 6]);
+    }
+
+    #[test]
+    fn zero_width_heads_are_nan_free() {
+        // h = 0: every score is an empty dot product. The naive
+        // 1/√0 = ∞ scale would turn 0·∞ into NaN scores; the pinned
+        // scale keeps them at 0, so the weights are uniform.
+        let q = Tensor::zeros(&[0]);
+        let keys = Tensor::zeros(&[3, 0]);
+        let vals = Tensor::zeros(&[3, 0]);
+        let (ctx, cache) = attend(&q, &keys, &vals);
+        assert_eq!(ctx.len(), 0);
+        for &w in cache.weights().data() {
+            assert!(w.is_finite(), "weight is not finite: {w}");
+            assert!((w - 1.0 / 3.0).abs() < 1e-6, "not uniform: {w}");
+        }
+        let grads = attend_backward(&cache, &Tensor::zeros(&[0]));
+        assert_eq!(grads.d_query.len(), 0);
+        assert_eq!(grads.d_keys.shape().dims(), &[3, 0]);
+        assert_eq!(grads.d_values.shape().dims(), &[3, 0]);
+    }
+
+    #[test]
+    fn telemetry_counters_are_inert_when_disabled() {
+        // The instrumented hot path must cost nothing when telemetry is
+        // off: counters stay at zero and no span samples are recorded.
+        let mut r = seeded(5);
+        let q = rng::normal(&mut r, &[4], 0.0, 1.0);
+        let keys = rng::normal(&mut r, &[3, 4], 0.0, 1.0);
+        let vals = rng::normal(&mut r, &[3, 4], 0.0, 1.0);
+
+        duet_obs::set_metrics_enabled(false);
+        duet_obs::set_trace_enabled(false);
+        let (ctx, cache) = attend(&q, &keys, &vals);
+        attend_backward(&cache, &ctx);
+        assert_eq!(duet_obs::registry::counter("nn.attention.calls").get(), 0);
+        assert_eq!(
+            duet_obs::registry::counter("nn.attention.backward_calls").get(),
+            0
+        );
+        assert_eq!(
+            duet_obs::registry::histogram("nn.attention.attend").count(),
+            0
+        );
+
+        // ... and must actually count when telemetry is on. Deltas are
+        // lower bounds: sibling tests may run attend concurrently while
+        // the registry is enabled.
+        let calls0 = duet_obs::registry::counter("nn.attention.calls").get();
+        let flops0 = duet_obs::registry::counter("nn.attention.flops").get();
+        let bflops0 = duet_obs::registry::counter("nn.attention.backward_flops").get();
+        duet_obs::set_metrics_enabled(true);
+        let (ctx, cache) = attend(&q, &keys, &vals);
+        attend_backward(&cache, &ctx);
+        duet_obs::set_metrics_enabled(false);
+        assert!(duet_obs::registry::counter("nn.attention.calls").get() > calls0);
+        assert!(
+            duet_obs::registry::counter("nn.attention.flops").get()
+                >= flops0 + (4 * 3 * 4 + 4 * 3) as u64
+        );
+        assert!(
+            duet_obs::registry::counter("nn.attention.backward_flops").get()
+                >= bflops0 + (8 * 3 * 4 + 4 * 3) as u64
+        );
     }
 
     #[test]

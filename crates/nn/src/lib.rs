@@ -6,8 +6,8 @@
 //! accurate modules in a standard framework and distill approximate modules
 //! from them). This crate is that substrate, implemented from scratch:
 //!
-//! * [`Activation`] — ReLU / sigmoid / tanh with derivatives and the
-//!   noise-sensitivity analysis behind Fig. 1,
+//! * [`Activation`] — ReLU / sigmoid / tanh / GELU with derivatives and
+//!   the noise-sensitivity analysis behind Fig. 1,
 //! * [`Linear`], [`Conv2d`], [`MaxPool2d`] — layers with full backprop,
 //! * [`LstmCell`], [`GruCell`] — recurrent cells with BPTT,
 //! * [`loss`] — MSE and softmax cross-entropy (+ perplexity),

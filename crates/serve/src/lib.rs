@@ -15,7 +15,9 @@
 //!   batch-parallel [`duet_core::batch::forward_batch`] path,
 //! * [`replica::Replica`] shards each model over cloned replicas, each
 //!   with its own [`SpeculationGuard`](duet_core::guard::SpeculationGuard)
-//!   (non-finite outputs force bitwise-dense service until cleared),
+//!   (non-finite outputs force bitwise-dense service until cleared);
+//!   a [`replica::ModelVariant`] is either a dual FC layer or a dual
+//!   transformer block served over fixed-length token windows,
 //! * [`admission::AdmissionController`] maps per-tenant backlog to a
 //!   degradation level; [`replica::OverloadPolicy`] maps the level to a
 //!   θ shift toward the activation's insensitive region — saturation
@@ -44,7 +46,7 @@ pub mod trace;
 
 pub use admission::{AdmissionConfig, AdmissionController};
 pub use batcher::{BatcherConfig, MicroBatcher};
-pub use replica::{OverloadPolicy, Replica};
+pub use replica::{ModelVariant, OverloadPolicy, Replica};
 pub use report::{Journey, ServeObservability, Stages, TenantWaterfall};
 pub use request::{InferenceRequest, InferenceResponse, ModelId, RequestId, TenantId};
 pub use server::{DuetServer, ServeConfig, ServedModel};

@@ -1,6 +1,7 @@
 //! Model replicas: batch execution, overload → θ mapping, guard wiring.
 //!
-//! Each replica owns a clone of its model's [`DualModuleLayer`] plus its
+//! Each replica executes batches against its model's [`ModelVariant`] —
+//! a dual-module FC layer or a dual transformer block — with its
 //! own [`SpeculationGuard`]. Under overload the admission level shifts
 //! the switching threshold θ toward the activation's insensitive region
 //! (more outputs keep the speculator value → cheaper batch); a tripped
@@ -10,12 +11,89 @@
 
 use crate::request::InferenceRequest;
 use duet_core::batch::{forward_batch, BatchDualOutput};
+use duet_core::dual_attention::{DualTransformerBlock, TransformerThresholds};
 use duet_core::dual_layer::DualModuleLayer;
 use duet_core::guard::{DegradationPolicy, GuardConfig, GuardObservation, SpeculationGuard};
 use duet_core::metrics::SavingsReport;
 use duet_core::switching::SwitchingPolicy;
 use duet_nn::Activation;
 use duet_tensor::Tensor;
+
+/// The executable model a [`crate::server::ServedModel`] deploys.
+///
+/// Speculation is a property of a projection, not a layer type, so the
+/// serving layer is agnostic to what it hosts: anything that turns a
+/// flat input vector into a flat output vector under a
+/// [`SwitchingPolicy`] fits behind the same queue → batcher → replica
+/// pipeline.
+// One variant per served model, built once at configuration time and
+// only ever borrowed afterwards — the size spread between an FC layer
+// and a boxed transformer block never moves per request.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum ModelVariant {
+    /// A single dual-module FC layer, executed batch-parallel through
+    /// [`duet_core::batch::forward_batch`].
+    Layer(DualModuleLayer),
+    /// A dual transformer block served over fixed-length token windows.
+    /// Request inputs are flattened `[seq_len * m]` sequences; the
+    /// overload policy's θ drives the FFN GELU band while the magnitude
+    /// bands stay at their tuned values.
+    Transformer {
+        /// The block replicas execute (boxed: the six projections make
+        /// the variant an order of magnitude larger than `Layer`).
+        block: Box<DualTransformerBlock>,
+        /// Fixed sequence length per request.
+        seq_len: usize,
+        /// Tuned magnitude-band θ for the Q/K/V/output projections.
+        theta_attn: f32,
+        /// Tuned magnitude-band θ for the FFN contract projection.
+        theta_ffn_out: f32,
+    },
+}
+
+impl ModelVariant {
+    /// Flat input width `d` a request must carry.
+    pub fn input_dim(&self) -> usize {
+        match self {
+            ModelVariant::Layer(layer) => layer.input_dim(),
+            ModelVariant::Transformer { block, seq_len, .. } => seq_len * block.model_dim(),
+        }
+    }
+
+    /// Flat output width `n` a response carries.
+    pub fn output_dim(&self) -> usize {
+        match self {
+            ModelVariant::Layer(layer) => layer.output_dim(),
+            ModelVariant::Transformer { block, seq_len, .. } => seq_len * block.model_dim(),
+        }
+    }
+
+    /// The block thresholds a degraded [`SwitchingPolicy`] maps to:
+    /// the policy θ drives the GELU band, the magnitude bands are fixed
+    /// per model. `never_switch` policies map to `never_switch`
+    /// thresholds so the dense fallback stays bitwise-dense end to end.
+    fn thresholds_for(&self, policy: &SwitchingPolicy) -> TransformerThresholds {
+        match self {
+            ModelVariant::Layer(_) => TransformerThresholds::never_switch(),
+            ModelVariant::Transformer {
+                theta_attn,
+                theta_ffn_out,
+                ..
+            } => {
+                if *policy == SwitchingPolicy::never_switch() {
+                    TransformerThresholds::never_switch()
+                } else {
+                    TransformerThresholds {
+                        theta_attn: *theta_attn,
+                        theta_gelu: policy.theta,
+                        theta_ffn_out: *theta_ffn_out,
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// How overload degrades θ, per admission level.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,14 +109,16 @@ pub struct OverloadPolicy {
 impl OverloadPolicy {
     /// The switching policy for a given degradation level.
     ///
-    /// ReLU marks `y' < θ` insensitive, so degradation *raises* θ;
+    /// ReLU/GELU mark `y' < θ` insensitive, so degradation *raises* θ;
     /// sigmoid/tanh mark `|y'| > θ` insensitive, so degradation *lowers*
-    /// θ (floored at 0). The never-switch baseline (Identity) has no
-    /// insensitive region to widen and is returned unchanged.
+    /// θ (floored at 0). The never-switch baseline (Identity with θ = 0)
+    /// has no insensitive region to widen and is returned unchanged —
+    /// transformer models degrade through their GELU-band FFN policy
+    /// instead.
     pub fn policy_for(&self, level: u8) -> SwitchingPolicy {
         let shift = self.theta_step * f32::from(level);
         let theta = match self.base.activation {
-            Activation::Relu => self.base.theta + shift,
+            Activation::Relu | Activation::Gelu => self.base.theta + shift,
             Activation::Sigmoid | Activation::Tanh => (self.base.theta - shift).max(0.0),
             Activation::Identity => self.base.theta,
         };
@@ -76,21 +156,20 @@ pub struct BatchExecution {
 }
 
 /// Packs a batch of requests into a `[B, d]` tensor (possibly `[0, d]`)
-/// and runs it through the layer under `policy`.
+/// and runs it through the model under `policy`.
 ///
 /// # Panics
 ///
 /// Panics if any request's input is not `[d]` with `d` matching the
-/// layer.
+/// model.
 pub fn execute_batch(
-    layer: &DualModuleLayer,
+    model: &ModelVariant,
     requests: &[InferenceRequest],
     policy: &SwitchingPolicy,
     dense: bool,
 ) -> BatchExecution {
-    let d = layer.input_dim();
+    let d = model.input_dim();
     let b = requests.len();
-    let mut data = Vec::with_capacity(b * d);
     for req in requests {
         assert_eq!(
             req.input.shape().dims(),
@@ -98,15 +177,41 @@ pub fn execute_batch(
             "request {} input must be [{d}]",
             req.id
         );
-        data.extend_from_slice(req.input.data());
     }
-    let x = Tensor::from_vec(data, &[b, d]);
     let effective = if dense {
         SwitchingPolicy::never_switch()
     } else {
         *policy
     };
-    let result = forward_batch(layer, &x, &effective);
+    let result = match model {
+        ModelVariant::Layer(layer) => {
+            let mut data = Vec::with_capacity(b * d);
+            for req in requests {
+                data.extend_from_slice(req.input.data());
+            }
+            let x = Tensor::from_vec(data, &[b, d]);
+            forward_batch(layer, &x, &effective)
+        }
+        ModelVariant::Transformer { block, seq_len, .. } => {
+            let thresholds = model.thresholds_for(&effective);
+            let m = block.model_dim();
+            let mut data = Vec::with_capacity(b * d);
+            let mut maps = Vec::new();
+            let mut report = SavingsReport::new();
+            for req in requests {
+                let xs = Tensor::from_vec(req.input.data().to_vec(), &[*seq_len, m]);
+                let out = block.forward(&xs, &thresholds);
+                data.extend_from_slice(out.output.data());
+                maps.extend(out.maps);
+                report += out.report;
+            }
+            BatchDualOutput {
+                output: Tensor::from_vec(data, &[b, d]),
+                maps,
+                report,
+            }
+        }
+    };
     let nonfinite = result.output.data().iter().any(|v| !v.is_finite());
     let insensitive_fraction = if result.maps.is_empty() {
         0.0
@@ -180,11 +285,42 @@ mod tests {
     use duet_core::guard::SwitchRateBand;
     use duet_tensor::rng::{self, seeded};
 
-    fn layer() -> DualModuleLayer {
+    fn layer() -> ModelVariant {
         let mut r = seeded(11);
         let w = rng::normal(&mut r, &[12, 20], 0.0, 0.3);
         let b = Tensor::zeros(&[12]);
-        DualModuleLayer::learn(&w, &b, Activation::Relu, 12, 200, &mut r)
+        ModelVariant::Layer(DualModuleLayer::learn(
+            &w,
+            &b,
+            Activation::Relu,
+            12,
+            200,
+            &mut r,
+        ))
+    }
+
+    fn transformer(seq_len: usize) -> ModelVariant {
+        use duet_core::dual_proj::DualProjection;
+        use duet_core::engine::MacMode;
+        use duet_core::{DualAttention, DualFfn};
+        let m = 6usize;
+        let f = 12usize;
+        let mut r = seeded(23);
+        let mut proj = |n: usize, d: usize| {
+            let w = rng::normal(&mut r, &[n, d], 0.0, 0.3);
+            let b = rng::normal(&mut r, &[n], 0.0, 0.05);
+            DualProjection::learn(&w, &b, MacMode::SkipZeroWeights, 3, 200, &mut r)
+        };
+        let block = DualTransformerBlock::new(
+            DualAttention::new(proj(m, m), proj(m, m), proj(m, m), proj(m, m)),
+            DualFfn::new(proj(f, m), proj(m, f)),
+        );
+        ModelVariant::Transformer {
+            block: Box::new(block),
+            seq_len,
+            theta_attn: 0.05,
+            theta_ffn_out: 0.05,
+        }
     }
 
     fn req(id: u64, input: Tensor) -> InferenceRequest {
@@ -278,5 +414,52 @@ mod tests {
             exec.result.report.outputs_exact,
             exec.result.report.outputs_total
         );
+    }
+
+    #[test]
+    fn transformer_variant_shapes_and_dense_fallback() {
+        let seq = 4usize;
+        let model = transformer(seq);
+        let d = model.input_dim();
+        assert_eq!(d, seq * 6);
+        assert_eq!(model.output_dim(), d);
+        let mut r = seeded(31);
+        let reqs: Vec<_> = (0..3)
+            .map(|i| req(i, rng::normal(&mut r, &[d], 0.0, 1.0)))
+            .collect();
+        let dense = execute_batch(&model, &reqs, &SwitchingPolicy::gelu(0.1), true);
+        assert!(dense.dense);
+        assert_eq!(dense.result.output.shape().dims(), &[3, d]);
+        // dense fallback is bitwise the never-switch block
+        let ModelVariant::Transformer { block, .. } = &model else {
+            unreachable!()
+        };
+        for (bi, rq) in reqs.iter().enumerate() {
+            let xs = Tensor::from_vec(rq.input.data().to_vec(), &[seq, 6]);
+            let want = block.forward_dense(&xs);
+            assert_eq!(dense.result.output.row(bi), want.data());
+        }
+        assert_eq!(
+            dense.result.report.outputs_exact,
+            dense.result.report.outputs_total
+        );
+    }
+
+    #[test]
+    fn transformer_degradation_widens_the_gelu_band() {
+        let model = transformer(5);
+        let d = model.input_dim();
+        let mut r = seeded(37);
+        let reqs: Vec<_> = (0..4)
+            .map(|i| req(i, rng::normal(&mut r, &[d], 0.0, 1.0)))
+            .collect();
+        let p = OverloadPolicy {
+            base: SwitchingPolicy::gelu(-0.5),
+            theta_step: 0.5,
+        };
+        let full = execute_batch(&model, &reqs, &p.policy_for(0), false);
+        let degraded = execute_batch(&model, &reqs, &p.policy_for(4), false);
+        assert!(degraded.insensitive_fraction >= full.insensitive_fraction);
+        assert!(degraded.result.report.executor_macs <= full.result.report.executor_macs);
     }
 }

@@ -19,10 +19,9 @@
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::batcher::{BatcherConfig, MicroBatcher};
-use crate::replica::{execute_batch, service_ticks, OverloadPolicy, Replica};
+use crate::replica::{execute_batch, service_ticks, ModelVariant, OverloadPolicy, Replica};
 use crate::request::{InferenceRequest, InferenceResponse, ModelId, RequestId, TenantId};
 use crate::stats::{ServeReport, TenantSlo};
-use duet_core::dual_layer::DualModuleLayer;
 use duet_core::guard::GuardConfig;
 use duet_core::switching::SwitchingPolicy;
 use duet_obs::event::{self, EventKind};
@@ -35,8 +34,8 @@ use duet_tensor::{parallel, Tensor};
 pub struct ServedModel {
     /// Display name (reports only).
     pub name: String,
-    /// The dual-module layer replicas are cloned from.
-    pub layer: DualModuleLayer,
+    /// What the replicas execute: an FC layer or a transformer block.
+    pub model: ModelVariant,
     /// How admission levels map to θ for this model.
     pub overload: OverloadPolicy,
 }
@@ -193,7 +192,7 @@ impl DuetServer {
         self.models
             .iter()
             .enumerate()
-            .map(|(i, m)| (ModelId(i as u32), m.layer.input_dim()))
+            .map(|(i, m)| (ModelId(i as u32), m.model.input_dim()))
             .collect()
     }
 
@@ -309,7 +308,7 @@ impl DuetServer {
         assert!(m < self.models.len(), "model {m} out of range");
         assert_eq!(
             req.input.shape().dims(),
-            [self.models[m].layer.input_dim()],
+            [self.models[m].model.input_dim()],
             "request {} input width mismatch for model {m}",
             req.id
         );
@@ -460,7 +459,7 @@ impl DuetServer {
             // hooks) emitted during this batch to its batch scope.
             let _scope = event::scoped(event::BATCH_SCOPE | p.batch_id, event::NO_TENANT);
             execute_batch(
-                &models[replicas[p.replica].model].layer,
+                &models[replicas[p.replica].model].model,
                 &p.requests,
                 &p.policy,
                 p.dense,
@@ -546,7 +545,7 @@ impl DuetServer {
                 continue;
             };
             let done = self.replicas[ri].busy_until;
-            let n = self.models[self.replicas[ri].model].layer.output_dim();
+            let n = self.models[self.replicas[ri].model].model.output_dim();
             for (bi, req) in fl.requests.iter().enumerate() {
                 let t = req.tenant.0 as usize;
                 let latency = done - req.arrival_tick;
@@ -599,14 +598,53 @@ mod tests {
     use duet_tensor::rng::{self, seeded};
 
     fn model(name: &str, seed: u64) -> ServedModel {
+        use duet_core::dual_layer::DualModuleLayer;
         let mut r = seeded(seed);
         let w = rng::normal(&mut r, &[16, 24], 0.0, 0.3);
         let b = Tensor::zeros(&[16]);
         ServedModel {
             name: name.into(),
-            layer: DualModuleLayer::learn(&w, &b, Activation::Relu, 16, 200, &mut r),
+            model: ModelVariant::Layer(DualModuleLayer::learn(
+                &w,
+                &b,
+                Activation::Relu,
+                16,
+                200,
+                &mut r,
+            )),
             overload: OverloadPolicy {
                 base: SwitchingPolicy::relu(0.0),
+                theta_step: 0.5,
+            },
+        }
+    }
+
+    fn transformer_model(name: &str, seed: u64) -> ServedModel {
+        use duet_core::dual_proj::DualProjection;
+        use duet_core::engine::MacMode;
+        use duet_core::{DualAttention, DualFfn, DualTransformerBlock};
+        let m = 6usize;
+        let f = 12usize;
+        let mut r = seeded(seed);
+        let mut proj = |n: usize, d: usize| {
+            let w = rng::normal(&mut r, &[n, d], 0.0, 0.3);
+            let b = rng::normal(&mut r, &[n], 0.0, 0.05);
+            DualProjection::learn(&w, &b, MacMode::SkipZeroWeights, 3, 200, &mut r)
+        };
+        let block = DualTransformerBlock::new(
+            DualAttention::new(proj(m, m), proj(m, m), proj(m, m), proj(m, m)),
+            DualFfn::new(proj(f, m), proj(m, f)),
+        );
+        ServedModel {
+            name: name.into(),
+            model: ModelVariant::Transformer {
+                block: Box::new(block),
+                seq_len: 4,
+                theta_attn: 0.05,
+                theta_ffn_out: 0.05,
+            },
+            overload: OverloadPolicy {
+                base: SwitchingPolicy::gelu(-0.5),
                 theta_step: 0.5,
             },
         }
@@ -700,6 +738,61 @@ mod tests {
             outcomes.push(s.run_trace(&trace));
         }
         let (ref base_resp, ref base_rep) = outcomes[0];
+        for (resp, rep) in &outcomes[1..] {
+            assert_eq!(resp, base_resp);
+            assert_eq!(rep, base_rep);
+        }
+    }
+
+    #[test]
+    fn transformer_model_serves_degrades_and_replays_identically() {
+        let mk = |workers: usize| {
+            let mut cfg = ServeConfig::balanced();
+            cfg.workers = workers;
+            cfg.admission = AdmissionConfig {
+                backlog_target: 2,
+                level_step: 2,
+                max_level: 3,
+            };
+            cfg.macs_per_tick = 64; // slow service so backlog builds
+            DuetServer::new(
+                vec![model("m0", 1), transformer_model("tiny-lm", 5)],
+                &["alpha".to_string()],
+                cfg,
+            )
+        };
+        let trace = {
+            let s = mk(1);
+            let cfg = crate::trace::TraceConfig {
+                seed: 41,
+                horizon_ticks: 200,
+                tenants: vec![crate::trace::TenantProfile {
+                    name: "alpha".into(),
+                    mean_interarrival_ticks: 2,
+                }],
+            };
+            crate::trace::generate(&cfg, &s.model_dims())
+        };
+        assert!(
+            trace.iter().any(|r| r.model == ModelId(1)),
+            "trace must exercise the transformer model"
+        );
+        let mut outcomes = Vec::new();
+        for workers in [1, 4, 7] {
+            let mut s = mk(workers);
+            outcomes.push(s.run_trace(&trace));
+        }
+        let (ref base_resp, ref base_rep) = outcomes[0];
+        assert_eq!(base_rep.completed, base_rep.submitted);
+        assert_eq!(base_rep.dropped, 0);
+        assert!(
+            base_rep.degraded_batches > 0,
+            "sustained overload must degrade the transformer too: {base_rep:?}"
+        );
+        let d = mk(1).model_dims()[1].1;
+        assert!(base_resp
+            .iter()
+            .any(|r| r.model == ModelId(1) && r.output.len() == d));
         for (resp, rep) in &outcomes[1..] {
             assert_eq!(resp, base_resp);
             assert_eq!(rep, base_rep);

@@ -8,18 +8,21 @@
 //! {1, 4, 7}, so together the two checks pin byte-identical responses
 //! for every combination the threading model allows.
 
+use duet_core::dual_proj::DualProjection;
+use duet_core::engine::MacMode;
 use duet_core::switching::SwitchingPolicy;
+use duet_core::{DualAttention, DualFfn, DualTransformerBlock};
 use duet_nn::Activation;
 use duet_serve::{
-    DuetServer, InferenceResponse, OverloadPolicy, ServeConfig, ServeReport, ServedModel,
-    TenantProfile, TraceConfig,
+    DuetServer, InferenceResponse, ModelVariant, OverloadPolicy, ServeConfig, ServeReport,
+    ServedModel, TenantProfile, TraceConfig,
 };
 use duet_tensor::rng::{self, seeded};
 use duet_tensor::Tensor;
 
 fn models() -> Vec<ServedModel> {
     let specs: [(&str, u64, usize, usize); 2] = [("chat", 21, 32, 48), ("embed", 22, 24, 40)];
-    specs
+    let mut out: Vec<ServedModel> = specs
         .iter()
         .map(|&(name, seed, n, d)| {
             let mut r = seeded(seed);
@@ -27,21 +30,46 @@ fn models() -> Vec<ServedModel> {
             let b = Tensor::zeros(&[n]);
             ServedModel {
                 name: name.into(),
-                layer: duet_core::dual_layer::DualModuleLayer::learn(
+                model: ModelVariant::Layer(duet_core::dual_layer::DualModuleLayer::learn(
                     &w,
                     &b,
                     Activation::Relu,
                     n,
                     250,
                     &mut r,
-                ),
+                )),
                 overload: OverloadPolicy {
                     base: SwitchingPolicy::relu(0.0),
                     theta_step: 0.5,
                 },
             }
         })
-        .collect()
+        .collect();
+    let (m, f) = (8usize, 16usize);
+    let mut r = seeded(23);
+    let mut proj = |n: usize, d: usize| {
+        let w = rng::normal(&mut r, &[n, d], 0.0, 0.3);
+        let b = rng::normal(&mut r, &[n], 0.0, 0.05);
+        DualProjection::learn(&w, &b, MacMode::SkipZeroWeights, 4, 250, &mut r)
+    };
+    let block = DualTransformerBlock::new(
+        DualAttention::new(proj(m, m), proj(m, m), proj(m, m), proj(m, m)),
+        DualFfn::new(proj(f, m), proj(m, f)),
+    );
+    out.push(ServedModel {
+        name: "lm".into(),
+        model: ModelVariant::Transformer {
+            block: Box::new(block),
+            seq_len: 4,
+            theta_attn: 0.05,
+            theta_ffn_out: 0.05,
+        },
+        overload: OverloadPolicy {
+            base: SwitchingPolicy::gelu(-0.5),
+            theta_step: 0.5,
+        },
+    });
+    out
 }
 
 fn tenants() -> Vec<String> {
@@ -133,7 +161,9 @@ fn empty_micro_batch_flush_is_harmless() {
     assert_eq!(report.submitted, 0);
     assert_eq!(report.batches, 0);
     // the direct seam: a [0, d] batch through the dual path
-    let layer = &models()[0].layer;
+    let ModelVariant::Layer(ref layer) = models()[0].model else {
+        unreachable!("first model is a layer")
+    };
     let out = duet_core::batch::forward_batch(
         layer,
         &Tensor::zeros(&[0, layer.input_dim()]),

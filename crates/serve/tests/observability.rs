@@ -31,13 +31,15 @@ fn models() -> Vec<ServedModel> {
             let b = Tensor::zeros(&[n]);
             ServedModel {
                 name: name.into(),
-                layer: duet_core::dual_layer::DualModuleLayer::learn(
-                    &w,
-                    &b,
-                    Activation::Relu,
-                    n,
-                    200,
-                    &mut r,
+                model: duet_serve::ModelVariant::Layer(
+                    duet_core::dual_layer::DualModuleLayer::learn(
+                        &w,
+                        &b,
+                        Activation::Relu,
+                        n,
+                        200,
+                        &mut r,
+                    ),
                 ),
                 overload: OverloadPolicy {
                     base: SwitchingPolicy::relu(0.0),

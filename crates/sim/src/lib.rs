@@ -16,6 +16,9 @@
 //! * [`cnn`] / [`rnn`] — the layer-pipelined CNN dataflow and the
 //!   gate-pipelined memory-bound RNN dataflow (both two-phase: parallel
 //!   simulate, serial compose),
+//! * [`fc`] / [`transformer`] — the memory-bound FC GEMV and the dual
+//!   transformer block (six speculated projections per position plus a
+//!   dense softmax mixer), driven by real `DualBlockOutput` maps,
 //! * [`sweep`] — the design-space-exploration driver fanning a
 //!   (config × workload) grid out over `duet_tensor::parallel`,
 //! * [`glb`] / [`dram`] / [`noc`] — memory-system components,
@@ -67,6 +70,7 @@ pub mod sweep;
 pub mod systolic;
 pub mod trace;
 pub mod trace_io;
+pub mod transformer;
 
 pub use area::{AreaModel, AreaReport};
 pub use config::{ArchConfig, ExecutorFeatures, SpeculatorConfig};

@@ -14,7 +14,10 @@
 //! * [`trainer`] — real end-to-end training of small classifiers and
 //!   language models whose layers become dual-module teachers,
 //! * [`dualize`] — converting trained networks into dual-module form and
-//!   measuring true accuracy/perplexity vs. savings (the Fig. 10 data).
+//!   measuring true accuracy/perplexity vs. savings (the Fig. 10 data),
+//! * [`transformer`] — a tiny decoder-only transformer LM trained
+//!   end-to-end and distilled per-projection into a dual transformer
+//!   block (speculated Q/K/V/output and FFN projections, dense softmax).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +29,7 @@ pub mod models;
 pub mod seq2seq;
 pub mod sparsity;
 pub mod trainer;
+pub mod transformer;
 
 pub use models::{ConvShape, ModelZoo, RnnShape};
 pub use sparsity::SparsityCalibration;

@@ -93,6 +93,27 @@ rm -f results/BENCH_serve_smoke.json results/BENCH_serve_smoke.t1.json results/B
 rm -f results/RECORDER_serve_smoke.jsonl results/RECORDER_serve_smoke.t1.jsonl results/RECORDER_serve_smoke.t4.jsonl
 rm -f results/SERVE_REPORT_smoke.json
 
+echo "== dual transformer (equivalence at 1/4/7 threads + transformer_bench --smoke) =="
+# The dual-attention refactor's contract: θ = −∞ is bitwise the dense
+# model for every piece (DualProjection, DualAttention, DualFfn, the
+# whole block, and the re-backed DualModuleLayer), at any engine pool
+# width. The smoke exhibit then runs the distilled transformer LM end
+# to end — it asserts the bitwise pin and the MAC-savings invariant
+# in-binary — and its artifact must be byte-identical at 1/4/7
+# threads. Smoke outputs are scratch.
+DUET_NUM_THREADS=1 cargo test -q -p duet-core --offline --test transformer_equivalence
+DUET_NUM_THREADS=4 cargo test -q -p duet-core --offline --test transformer_equivalence
+DUET_NUM_THREADS=7 cargo test -q -p duet-core --offline --test transformer_equivalence
+rm -f results/BENCH_transformer_smoke.json
+DUET_NUM_THREADS=1 ./target/release/transformer_bench --smoke >/dev/null
+mv results/BENCH_transformer_smoke.json results/BENCH_transformer_smoke.t1.json
+DUET_NUM_THREADS=4 ./target/release/transformer_bench --smoke >/dev/null
+mv results/BENCH_transformer_smoke.json results/BENCH_transformer_smoke.t4.json
+DUET_NUM_THREADS=7 ./target/release/transformer_bench --smoke >/dev/null
+cmp results/BENCH_transformer_smoke.t1.json results/BENCH_transformer_smoke.t4.json
+cmp results/BENCH_transformer_smoke.t1.json results/BENCH_transformer_smoke.json
+rm -f results/BENCH_transformer_smoke.json results/BENCH_transformer_smoke.t1.json results/BENCH_transformer_smoke.t4.json
+
 echo "== bench regression gate (bench_check vs results/baselines) =="
 # Every committed results/BENCH_*.json is diffed against its checked-in
 # baseline: deterministic metrics (ticks, checksums, counts) must match;
