@@ -34,6 +34,7 @@ const EXHIBITS: &[(&str, &str)] = &[
     ("Sparse", "sparse_bench"),
     ("Transformer", "transformer_bench"),
     ("Serve", "serve_bench"),
+    ("Control", "control_bench"),
     ("Serve report", "obs_report"),
 ];
 

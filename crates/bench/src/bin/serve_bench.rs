@@ -65,6 +65,7 @@ fn models(smoke: bool) -> Vec<ServedModel> {
                     base: SwitchingPolicy::relu(0.0),
                     theta_step: 0.5,
                 },
+                band: None,
             }
         })
         .collect();
@@ -94,6 +95,7 @@ fn models(smoke: bool) -> Vec<ServedModel> {
             base: SwitchingPolicy::gelu(-0.5),
             theta_step: 0.5,
         },
+        band: None,
     });
     out
 }
@@ -103,19 +105,11 @@ fn trace_config(smoke: bool) -> TraceConfig {
         seed: SEED,
         horizon_ticks: if smoke { 1_500 } else { 20_000 },
         tenants: vec![
-            TenantProfile {
-                name: "alpha".into(),
-                mean_interarrival_ticks: 3,
-            },
-            TenantProfile {
-                name: "beta".into(),
-                mean_interarrival_ticks: 6,
-            },
-            TenantProfile {
-                name: "gamma".into(),
-                mean_interarrival_ticks: 12,
-            },
+            TenantProfile::uniform("alpha", 3),
+            TenantProfile::uniform("beta", 6),
+            TenantProfile::uniform("gamma", 12),
         ],
+        diurnal: None,
     }
 }
 

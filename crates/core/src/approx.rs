@@ -221,6 +221,26 @@ impl ApproxLinear {
         self.weights.payload_bytes()
     }
 
+    /// Re-quantizes the module's weights at `weight_bits`, keeping the
+    /// projection, bias and activation precision — the θ-controller's
+    /// graduated-degradation actuator (a saturated controller trades
+    /// speculator precision for throughput one bit at a time instead of
+    /// falling back dense). Pure and deterministic: requantizing back at
+    /// the original width after a round trip through the float domain
+    /// reproduces the quantizer's output for that width.
+    pub fn requantized(&self, weight_bits: u32) -> Self {
+        let config = ApproxConfig {
+            weight_bits,
+            ..self.config
+        };
+        Self::from_parts(
+            self.projection.clone(),
+            &self.weights.dequantize(),
+            self.bias.clone(),
+            config,
+        )
+    }
+
     /// Builds a *random* (undistilled) approximate module — only useful as
     /// a baseline to show distillation matters.
     pub fn random(d: usize, n: usize, config: ApproxConfig, rng: &mut Rng) -> Self {
@@ -295,6 +315,27 @@ mod tests {
         );
         let y = m.forward(&Tensor::zeros(&[8]));
         assert_eq!(y.data(), &[1.5, -2.5]);
+    }
+
+    #[test]
+    fn requantized_narrows_storage_and_round_trips() {
+        let mut r = seeded(6);
+        let m4 = ApproxLinear::random(24, 8, ApproxConfig::paper_default(12), &mut r);
+        let m2 = m4.requantized(2);
+        assert_eq!(m2.config().weight_bits, 2);
+        assert_eq!(m2.config().reduced_dim, m4.config().reduced_dim);
+        // storage never grows (sub-nibble widths still pack as nibbles)
+        assert!(m2.weight_bytes() <= m4.weight_bytes());
+        // 2-bit weights are a strictly coarser grid: outputs still finite
+        // and shaped right.
+        let x = rng::normal(&mut r, &[24], 0.0, 1.0);
+        let y = m2.forward(&x);
+        assert_eq!(y.len(), 8);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        // Requantizing back at the original width is the identity on the
+        // already-quantized grid.
+        let back = m2.requantized(2);
+        assert_eq!(back.weights().data(), m2.weights().data());
     }
 
     #[test]

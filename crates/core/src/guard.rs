@@ -200,6 +200,21 @@ impl SpeculationGuard {
         self.ewma
     }
 
+    /// Trips the guard from outside the observation path — the fault-
+    /// injection hook chaos campaigns use to quarantine a healthy
+    /// replica. Counted in [`GuardStats::trips`] like an observed trip;
+    /// recovery goes through the normal hysteretic clear (a run of
+    /// [`GuardConfig::clear_after`] healthy observations). A no-op when
+    /// already tripped.
+    pub fn force_trip(&mut self) {
+        if self.tripped {
+            return;
+        }
+        self.tripped = true;
+        self.healthy_streak = 0;
+        self.stats.trips += 1;
+    }
+
     /// Clears the trip state and streaks (counters are kept).
     pub fn reset(&mut self) {
         self.ewma = None;
@@ -359,6 +374,24 @@ mod tests {
         // one wild observation barely moves the smoothed rate
         let obs = g.observe(false, 1.0);
         assert!(!obs.anomalous, "ewma {:?}", g.ewma());
+        assert!(!g.is_tripped());
+    }
+
+    #[test]
+    fn force_trip_counts_once_and_clears_hysteretically() {
+        let cfg = GuardConfig {
+            ewma_alpha: 1.0,
+            clear_after: 2,
+            ..GuardConfig::fallback_dense(band())
+        };
+        let mut g = SpeculationGuard::new(cfg);
+        g.force_trip();
+        g.force_trip(); // idempotent while tripped
+        assert!(g.is_tripped());
+        assert_eq!(g.trips(), 1);
+        // recovery is the normal healthy-streak clear
+        assert!(g.observe(false, 0.4).fallback);
+        g.observe(false, 0.4);
         assert!(!g.is_tripped());
     }
 

@@ -56,6 +56,7 @@
 pub mod approx;
 pub mod batch;
 pub mod calibration;
+pub mod control;
 pub mod distill;
 pub mod dual_attention;
 pub mod dual_conv;
@@ -71,6 +72,9 @@ pub mod switching;
 pub mod tuning;
 
 pub use approx::{ApproxConfig, ApproxLinear};
+pub use control::{
+    ControlAction, ControlConfig, ControlDecision, ControlStats, PrecisionLadder, ThetaController,
+};
 pub use dual_attention::{DualAttention, DualFfn, DualTransformerBlock, TransformerThresholds};
 pub use dual_conv::{DualConvLayer, DualConvOutput};
 pub use dual_layer::{DualModuleLayer, DualOutput};

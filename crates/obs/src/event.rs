@@ -58,10 +58,13 @@ pub enum EventKind {
     /// `b` = batch id, `c` = degradation level applied.
     ExecStart = 3,
     /// A guard tripped (batch scope). `a` = tick, `b` = replica index,
-    /// `c` = 1 when caused by a non-finite output, `f` = guard EWMA.
+    /// `c` = 1 when caused by a non-finite output, `f` = guard EWMA
+    /// (−1.0 when the guard has no finite observation yet — fractions
+    /// live in [0, 1], so "no signal" is never conflated with a 0.0
+    /// switch rate).
     GuardTrip = 4,
     /// A tripped guard cleared (batch scope). `a` = tick,
-    /// `b` = replica index, `f` = guard EWMA.
+    /// `b` = replica index, `f` = guard EWMA (−1.0 when no signal yet).
     GuardClear = 5,
     /// A tenant's admission level changed (tenant scope). `a` = tick,
     /// `b` = new level, `c` = old level.
@@ -80,10 +83,15 @@ pub enum EventKind {
     /// The response left the server. `a` = completion tick,
     /// `b` = end-to-end latency in ticks, `c` = degradation level.
     Respond = 10,
+    /// One θ-controller update (batch scope). `a` = tick, `b` = replica
+    /// index, `c` = θ in milli-units as two's-complement `i64`,
+    /// `f` = setpoint error (setpoint − EWMA). The per-batch stream of
+    /// these events is the controller's θ trajectory.
+    ControlUpdate = 11,
 }
 
 /// Every kind, in discriminant order (used by codecs and tests).
-pub const KINDS: [EventKind; 11] = [
+pub const KINDS: [EventKind; 12] = [
     EventKind::Enqueue,
     EventKind::Admit,
     EventKind::BatchSeal,
@@ -95,6 +103,7 @@ pub const KINDS: [EventKind; 11] = [
     EventKind::BatchExec,
     EventKind::ExecEnd,
     EventKind::Respond,
+    EventKind::ControlUpdate,
 ];
 
 impl EventKind {
@@ -112,6 +121,7 @@ impl EventKind {
             EventKind::BatchExec => "batch_exec",
             EventKind::ExecEnd => "exec_end",
             EventKind::Respond => "respond",
+            EventKind::ControlUpdate => "control_update",
         }
     }
 

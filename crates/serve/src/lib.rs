@@ -24,7 +24,17 @@
 //!   degrades precision instead of dropping requests,
 //! * [`server::DuetServer`] ties it together as a virtual-time
 //!   discrete-event loop whose same-round batches fan out over the
-//!   [`duet_tensor::parallel`] scoped-thread pool.
+//!   [`duet_tensor::parallel`] scoped-thread pool,
+//! * with [`server::ServeControl`] set, each replica carries a
+//!   closed-loop [`ThetaController`](duet_core::control::ThetaController)
+//!   steering its switch rate toward the calibrated band midpoint —
+//!   admission pressure shifts the *setpoint* instead of stepping a
+//!   static θ table, and saturation degrades speculator precision
+//!   (INT4 → INT3 → INT2) before anything falls back dense,
+//! * [`chaos`] plans seeded fault campaigns (injected guard trips,
+//!   mid-flight weight corruption, batcher stalls, backlog spikes)
+//!   that replay byte-identically at any thread count; tripped
+//!   replicas are quarantined and re-admitted once their guard clears.
 //!
 //! Everything is accounted in **virtual ticks** derived from the
 //! batches' own MAC counts, so a seeded trace ([`trace::generate`])
@@ -37,6 +47,7 @@
 
 pub mod admission;
 pub mod batcher;
+pub mod chaos;
 pub mod replica;
 pub mod report;
 pub mod request;
@@ -46,9 +57,10 @@ pub mod trace;
 
 pub use admission::{AdmissionConfig, AdmissionController};
 pub use batcher::{BatcherConfig, MicroBatcher};
+pub use chaos::{ChaosConfig, ChaosEvent, ChaosKind, ChaosReport, ChaosTopology};
 pub use replica::{ModelVariant, OverloadPolicy, Replica};
 pub use report::{Journey, ServeObservability, Stages, TenantWaterfall};
 pub use request::{InferenceRequest, InferenceResponse, ModelId, RequestId, TenantId};
-pub use server::{DuetServer, ServeConfig, ServedModel};
+pub use server::{ControlSample, DuetServer, ServeConfig, ServeControl, ServedModel, SubmitError};
 pub use stats::{ServeReport, TenantSlo};
-pub use trace::{TenantProfile, TraceConfig};
+pub use trace::{ArrivalModel, Diurnal, TenantProfile, TraceConfig};

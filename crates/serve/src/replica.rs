@@ -8,9 +8,21 @@
 //! guard overrides everything and serves bitwise-dense until it clears
 //! ([`DegradationPolicy::FallbackDense`]), exactly the degradation
 //! ladder the guard defines for the training path.
+//!
+//! With the closed loop on ([`crate::server::ServeControl`]) each
+//! replica additionally carries a [`ThetaController`] that replaces the
+//! static level → θ table, plus an optionally bit-degraded copy of its
+//! model's speculator (the controller's precision ladder). Even while a
+//! replica is quarantined dense, the guard keeps observing the **raw**
+//! policy map ([`BatchExecution::raw_insensitive_fraction`]) — the same
+//! rule as `SpeculationEngine::speculate_guarded` — which is what makes
+//! hysteretic re-admission possible at all: the post-override fraction
+//! of a dense batch is always 0, and a guard fed that under a real band
+//! would never clear.
 
 use crate::request::InferenceRequest;
 use duet_core::batch::{forward_batch, BatchDualOutput};
+use duet_core::control::ThetaController;
 use duet_core::dual_attention::{DualTransformerBlock, TransformerThresholds};
 use duet_core::dual_layer::DualModuleLayer;
 use duet_core::guard::{DegradationPolicy, GuardConfig, GuardObservation, SpeculationGuard};
@@ -30,7 +42,7 @@ use duet_tensor::Tensor;
 // only ever borrowed afterwards — the size spread between an FC layer
 // and a boxed transformer block never moves per request.
 #[allow(clippy::large_enum_variant)]
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum ModelVariant {
     /// A single dual-module FC layer, executed batch-parallel through
     /// [`duet_core::batch::forward_batch`].
@@ -137,8 +149,31 @@ impl OverloadPolicy {
 /// only — this is what keeps replayed latencies byte-identical at any
 /// thread count.
 pub fn service_ticks(report: &SavingsReport, macs_per_tick: u64, overhead_ticks: u64) -> u64 {
+    service_ticks_scaled(report, macs_per_tick, overhead_ticks, 4)
+}
+
+/// [`service_ticks`] with an explicit speculator weight width: a `b`-bit
+/// speculator MAC costs `b/64` of an executor MAC (the INT4 default is
+/// the familiar 1/16), so the controller's precision ladder buys real
+/// virtual throughput, not just a smaller weight buffer.
+///
+/// # Panics
+///
+/// Panics (debug) unless `1 ≤ weight_bits ≤ 16`.
+pub fn service_ticks_scaled(
+    report: &SavingsReport,
+    macs_per_tick: u64,
+    overhead_ticks: u64,
+    weight_bits: u32,
+) -> u64 {
     debug_assert!(macs_per_tick > 0, "macs_per_tick must be positive");
-    let work = report.executor_macs + report.speculator_macs / 16 + report.speculator_adds / 32;
+    debug_assert!(
+        (1..=16).contains(&weight_bits),
+        "weight_bits out of range: {weight_bits}"
+    );
+    let work = report.executor_macs
+        + report.speculator_macs * u64::from(weight_bits) / 64
+        + report.speculator_adds / 32;
     overhead_ticks + work.div_ceil(macs_per_tick)
 }
 
@@ -151,8 +186,17 @@ pub struct BatchExecution {
     pub dense: bool,
     /// Whether any output element was non-finite.
     pub nonfinite: bool,
-    /// Mean insensitive fraction over the batch's maps (0 for empty).
+    /// Mean insensitive fraction over the batch's *executed* maps
+    /// (0 for empty; always 0 for a dense batch, whose effective map is
+    /// all-sensitive).
     pub insensitive_fraction: f64,
+    /// Mean insensitive fraction the **raw** policy would have produced
+    /// — equal to [`BatchExecution::insensitive_fraction`] for a
+    /// non-dense batch, and measured by a speculation probe for a dense
+    /// one. This is the guard's observation signal: it keeps watching
+    /// speculator health through the fallback, so a quarantined replica
+    /// can earn hysteretic re-admission.
+    pub raw_insensitive_fraction: f64,
 }
 
 /// Packs a batch of requests into a `[B, d]` tensor (possibly `[0, d]`)
@@ -183,51 +227,78 @@ pub fn execute_batch(
     } else {
         *policy
     };
-    let result = match model {
-        ModelVariant::Layer(layer) => {
-            let mut data = Vec::with_capacity(b * d);
-            for req in requests {
-                data.extend_from_slice(req.input.data());
+    let run = |eff: &SwitchingPolicy| -> BatchDualOutput {
+        match model {
+            ModelVariant::Layer(layer) => {
+                let mut data = Vec::with_capacity(b * d);
+                for req in requests {
+                    data.extend_from_slice(req.input.data());
+                }
+                let x = Tensor::from_vec(data, &[b, d]);
+                forward_batch(layer, &x, eff)
             }
-            let x = Tensor::from_vec(data, &[b, d]);
-            forward_batch(layer, &x, &effective)
-        }
-        ModelVariant::Transformer { block, seq_len, .. } => {
-            let thresholds = model.thresholds_for(&effective);
-            let m = block.model_dim();
-            let mut data = Vec::with_capacity(b * d);
-            let mut maps = Vec::new();
-            let mut report = SavingsReport::new();
-            for req in requests {
-                let xs = Tensor::from_vec(req.input.data().to_vec(), &[*seq_len, m]);
-                let out = block.forward(&xs, &thresholds);
-                data.extend_from_slice(out.output.data());
-                maps.extend(out.maps);
-                report += out.report;
-            }
-            BatchDualOutput {
-                output: Tensor::from_vec(data, &[b, d]),
-                maps,
-                report,
+            ModelVariant::Transformer { block, seq_len, .. } => {
+                let thresholds = model.thresholds_for(eff);
+                let m = block.model_dim();
+                let mut data = Vec::with_capacity(b * d);
+                let mut maps = Vec::new();
+                let mut report = SavingsReport::new();
+                for req in requests {
+                    let xs = Tensor::from_vec(req.input.data().to_vec(), &[*seq_len, m]);
+                    let out = block.forward(&xs, &thresholds);
+                    data.extend_from_slice(out.output.data());
+                    maps.extend(out.maps);
+                    report += out.report;
+                }
+                BatchDualOutput {
+                    output: Tensor::from_vec(data, &[b, d]),
+                    maps,
+                    report,
+                }
             }
         }
     };
+    let fraction = |maps: &[duet_core::switching::SwitchingMap]| {
+        if maps.is_empty() {
+            0.0
+        } else {
+            maps.iter().map(|m| m.insensitive_fraction()).sum::<f64>() / maps.len() as f64
+        }
+    };
+    let result = run(&effective);
     let nonfinite = result.output.data().iter().any(|v| !v.is_finite());
-    let insensitive_fraction = if result.maps.is_empty() {
-        0.0
+    let insensitive_fraction = fraction(&result.maps);
+    // A dense batch's executed maps are all-sensitive by construction,
+    // which says nothing about speculator health. Probe the raw policy
+    // (same path a non-dense batch would take; outputs and accounting
+    // are discarded, so service cost and responses are untouched) so
+    // the guard observes the pre-override fraction.
+    let raw_insensitive_fraction = if dense && *policy != SwitchingPolicy::never_switch() {
+        fraction(&run(policy).maps)
     } else {
-        result
-            .maps
-            .iter()
-            .map(|m| m.insensitive_fraction())
-            .sum::<f64>()
-            / result.maps.len() as f64
+        insensitive_fraction
     };
     BatchExecution {
         result,
         dense,
         nonfinite,
         insensitive_fraction,
+        raw_insensitive_fraction,
+    }
+}
+
+/// Rebuilds `model` with its speculator re-quantized at `weight_bits`
+/// — the serving-side actuator of the controller's precision ladder.
+/// Returns `None` for variants without a per-layer speculator write-back
+/// hook (the transformer block degrades through θ only).
+pub fn degrade_variant(model: &ModelVariant, weight_bits: u32) -> Option<ModelVariant> {
+    match model {
+        ModelVariant::Layer(layer) => {
+            let mut degraded = layer.clone();
+            degraded.set_approx(layer.approx().requantized(weight_bits));
+            Some(ModelVariant::Layer(degraded))
+        }
+        ModelVariant::Transformer { .. } => None,
     }
 }
 
@@ -238,11 +309,19 @@ pub struct Replica {
     pub model: usize,
     /// Watchdog deciding when this replica must fall back dense.
     pub guard: SpeculationGuard,
+    /// Closed-loop θ-controller (present when the server runs with
+    /// [`crate::server::ServeControl`]; `None` replays the static
+    /// level → θ table bitwise).
+    pub controller: Option<ThetaController>,
     /// Virtual tick at which the current batch completes (idle when no
     /// batch is in flight).
     pub busy_until: u64,
     /// Batches this replica has served.
     pub served_batches: u64,
+    /// Bit-degraded copy of the shared model at the controller's current
+    /// width, rebuilt on every width transition (and after chaos
+    /// corruption/repair of the shared speculator).
+    degraded: Option<(u32, ModelVariant)>,
 }
 
 impl Replica {
@@ -251,8 +330,10 @@ impl Replica {
         Self {
             model,
             guard: SpeculationGuard::new(guard),
+            controller: None,
             busy_until: 0,
             served_batches: 0,
+            degraded: None,
         }
     }
 
@@ -262,18 +343,52 @@ impl Replica {
         self.guard.is_tripped() && self.guard.config().policy == DegradationPolicy::FallbackDense
     }
 
+    /// The speculator width batches on this replica execute at.
+    pub fn effective_bits(&self) -> u32 {
+        self.degraded.as_ref().map_or(4, |(bits, _)| *bits)
+    }
+
+    /// The model this replica executes: the bit-degraded copy when the
+    /// precision ladder is engaged, the shared variant otherwise.
+    pub fn effective_model<'a>(&'a self, shared: &'a ModelVariant) -> &'a ModelVariant {
+        self.degraded.as_ref().map_or(shared, |(_, m)| m)
+    }
+
+    /// Re-derives this replica's execution copy of `shared` at
+    /// `weight_bits`: a degraded clone below full width, the shared
+    /// variant itself at 4 bits or for variants without a speculator
+    /// write-back hook.
+    pub fn set_precision(&mut self, shared: &ModelVariant, weight_bits: u32) {
+        self.degraded = if weight_bits >= 4 {
+            None
+        } else {
+            degrade_variant(shared, weight_bits).map(|m| (weight_bits, m))
+        };
+    }
+
+    /// Rebuilds any degraded copy from the (possibly mutated) shared
+    /// variant — called after chaos corrupts or repairs the shared
+    /// speculator so the low-bit copy tracks it.
+    pub fn refresh_degraded(&mut self, shared: &ModelVariant) {
+        if let Some((bits, _)) = self.degraded {
+            self.set_precision(shared, bits);
+        }
+    }
+
     /// Feeds one batch's health signals to the guard and returns what
     /// the guard decided (so the server can emit trip/clear events).
     /// Empty batches are skipped — a zero-length output says nothing
     /// about speculator health (the same rule as
     /// `SpeculationEngine::speculate_guarded`) — and return `None`.
+    /// The switch-rate signal is the **raw** policy fraction, so the
+    /// guard keeps observing speculator health through a dense fallback.
     pub fn observe(&mut self, exec: &BatchExecution) -> Option<GuardObservation> {
         if exec.result.output.is_empty() {
             return None;
         }
         Some(
             self.guard
-                .observe(exec.nonfinite, exec.insensitive_fraction),
+                .observe(exec.nonfinite, exec.raw_insensitive_fraction),
         )
     }
 }

@@ -19,15 +19,19 @@
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::batcher::{BatcherConfig, MicroBatcher};
-use crate::replica::{execute_batch, service_ticks, ModelVariant, OverloadPolicy, Replica};
+use crate::chaos::{self, ChaosEvent, ChaosKind, ChaosReport, ChaosTopology};
+use crate::replica::{execute_batch, service_ticks_scaled, ModelVariant, OverloadPolicy, Replica};
 use crate::request::{InferenceRequest, InferenceResponse, ModelId, RequestId, TenantId};
 use crate::stats::{ServeReport, TenantSlo};
-use duet_core::guard::GuardConfig;
+use duet_core::control::{ControlAction, ControlConfig, PrecisionLadder, ThetaController};
+use duet_core::guard::{GuardConfig, SwitchRateBand};
 use duet_core::switching::SwitchingPolicy;
+use duet_nn::Activation;
 use duet_obs::event::{self, EventKind};
-use duet_obs::registry::Histogram;
+use duet_obs::registry::{Gauge, Histogram};
 use duet_obs::{counter, gauge, histogram};
 use duet_tensor::{parallel, Tensor};
+use std::fmt;
 
 /// One model as deployed on the server.
 #[derive(Debug)]
@@ -38,6 +42,131 @@ pub struct ServedModel {
     pub model: ModelVariant,
     /// How admission levels map to θ for this model.
     pub overload: OverloadPolicy,
+    /// Healthy switch-rate operating band from offline calibration
+    /// ([`duet_core::calibration::Calibration::insensitive_band`]).
+    /// Tightens each replica's guard and, when the server runs with
+    /// [`ServeControl`], centers the θ-controller's setpoint. `None`
+    /// keeps the server-wide guard band and disables the controller for
+    /// this model.
+    pub band: Option<SwitchRateBand>,
+}
+
+/// Why [`DuetServer::submit`] rejected a request before it entered the
+/// queue. Rejection here is *validation*, not load shedding — admission
+/// still never drops a request that made it into the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Tenant index out of range.
+    UnknownTenant {
+        /// The offending tenant id.
+        tenant: u32,
+        /// How many tenants the server was built with.
+        tenants: usize,
+    },
+    /// Model index out of range.
+    UnknownModel {
+        /// The offending model id.
+        model: u32,
+        /// How many models are deployed.
+        models: usize,
+    },
+    /// Input width does not match the model's input dimension.
+    ShapeMismatch {
+        /// The submitted input's length.
+        got: usize,
+        /// The model's expected input width.
+        want: usize,
+    },
+    /// The input carries a NaN or infinity. Accepting it would poison
+    /// the batch it lands in (one bad request trips the replica guard
+    /// for seven innocent neighbours), so it is refused at the door.
+    NonFiniteInput {
+        /// Index of the first non-finite element.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTenant { tenant, tenants } => {
+                write!(f, "tenant {tenant} out of range (server has {tenants})")
+            }
+            Self::UnknownModel { model, models } => {
+                write!(f, "model {model} out of range (server has {models})")
+            }
+            Self::ShapeMismatch { got, want } => {
+                write!(f, "input width {got} does not match model input dim {want}")
+            }
+            Self::NonFiniteInput { index } => {
+                write!(f, "input element {index} is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Closed-loop θ-control knobs (see [`duet_core::control`]).
+///
+/// With `Some(ServeControl)` in [`ServeConfig`], every replica of a
+/// model with a calibration band runs its own [`ThetaController`]: the
+/// guard's EWMA switch rate is the measurement, the band midpoint the
+/// setpoint, and admission pressure shifts the setpoint toward the
+/// insensitive region instead of jumping θ through the static
+/// level table. `None` (the default) replays the static
+/// level → θ table bitwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ServeControl {
+    /// Proportional gain mapping switch-rate error to a θ step.
+    pub gain: f32,
+    /// Per-update slew limit on θ.
+    pub max_step: f32,
+    /// θ clamp half-width around each model's base policy θ.
+    pub theta_span: f32,
+    /// Setpoint shift per admission degradation level (graduated
+    /// pressure response replacing the static `level → θ-step` table).
+    pub setpoint_step: f64,
+    /// Optional speculator bit-width ladder engaged when θ saturates
+    /// (FC-layer models only — the transformer block has no per-layer
+    /// speculator write-back and degrades through θ alone).
+    pub precision: Option<PrecisionLadder>,
+}
+
+impl ServeControl {
+    /// Gentle defaults: half gain, a 0.1 slew limit, θ clamped to ±1 of
+    /// the base policy, 5 points of setpoint per admission level, and
+    /// the INT4 → INT2 precision ladder.
+    pub fn balanced() -> Self {
+        Self {
+            gain: 0.5,
+            max_step: 0.1,
+            theta_span: 1.0,
+            setpoint_step: 0.05,
+            precision: Some(PrecisionLadder::int4_to_int2()),
+        }
+    }
+}
+
+/// One controller observation, appended every time a replica's
+/// controller runs (batch commit). The control bench reads this log to
+/// assert setpoint tracking and post-fault recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlSample {
+    /// Virtual tick of the update.
+    pub tick: u64,
+    /// Replica index.
+    pub replica: usize,
+    /// θ after the update.
+    pub theta: f32,
+    /// Setpoint error (setpoint − EWMA); `None` while the guard has no
+    /// finite observation yet.
+    pub error: Option<f64>,
+    /// Speculator weight width after the update.
+    pub bits: u32,
+    /// Whether the replica's guard was tripped at the update.
+    pub tripped: bool,
 }
 
 /// Server-wide configuration.
@@ -59,6 +188,8 @@ pub struct ServeConfig {
     /// Worker threads for same-round batch fan-out; 0 means
     /// [`parallel::num_threads`] (the `DUET_NUM_THREADS` setting).
     pub workers: usize,
+    /// Closed-loop θ-control; `None` keeps the static level → θ table.
+    pub control: Option<ServeControl>,
 }
 
 impl ServeConfig {
@@ -77,6 +208,7 @@ impl ServeConfig {
             macs_per_tick: 4096,
             dispatch_overhead_ticks: 2,
             workers: 0,
+            control: None,
         }
     }
 }
@@ -120,6 +252,21 @@ pub struct DuetServer {
     degraded_batches: u64,
     dense_fallback_batches: u64,
     max_queue_depth: u64,
+    /// Per-replica θ gauges, interned once at construction (the metric
+    /// registry leaks names on first use; interning in the commit loop
+    /// would leak one string per batch). Empty when control is off.
+    replica_theta: Vec<&'static Gauge>,
+    control_log: Vec<ControlSample>,
+    /// Dispatch is frozen until this tick (chaos batcher stall).
+    stall_until: u64,
+    /// Tick-sorted chaos schedule; empty outside chaos runs.
+    chaos_plan: Vec<ChaosEvent>,
+    /// Next unapplied entry of `chaos_plan`.
+    chaos_next: usize,
+    chaos_report: ChaosReport,
+    /// Pristine speculator copies, saved per model at first corruption
+    /// so a repair restores the exact original.
+    pristine: Vec<Option<ModelVariant>>,
 }
 
 /// Interns a runtime-built metric name. The registry is keyed by string
@@ -128,6 +275,46 @@ pub struct DuetServer {
 /// matching the registry's own leak-on-first-use design.
 fn intern(name: String) -> &'static str {
     Box::leak(name.into_boxed_str())
+}
+
+/// Builds the per-replica θ-controller for one served model, or `None`
+/// when the model cannot be actuated (Identity activation never
+/// switches, so θ has nothing to control).
+///
+/// # Panics
+///
+/// Panics when the model has an actuatable activation but no
+/// calibration band — the controller would have no setpoint.
+fn controller_for(model: &ServedModel, ctl: ServeControl) -> Option<ThetaController> {
+    let base = model.overload.base;
+    if base.activation == Activation::Identity {
+        return None;
+    }
+    let band = model.band.unwrap_or_else(|| {
+        panic!(
+            "control requires a calibration band (ServedModel::band) for model {}",
+            model.name
+        )
+    });
+    let (lo, hi) = match base.activation {
+        Activation::Relu | Activation::Gelu => {
+            (base.theta - ctl.theta_span, base.theta + ctl.theta_span)
+        }
+        // sigmoid/tanh actuate downward and the magnitude rule floors
+        // θ at 0, mirroring OverloadPolicy::policy_for.
+        Activation::Sigmoid | Activation::Tanh => (
+            (base.theta - ctl.theta_span).max(0.0),
+            base.theta + ctl.theta_span,
+        ),
+        Activation::Identity => unreachable!(),
+    };
+    let mut cfg = ControlConfig::for_band(band).with_theta_bounds(lo, hi);
+    cfg.gain = ctl.gain;
+    cfg.max_step = ctl.max_step;
+    if let (ModelVariant::Layer(_), Some(ladder)) = (&model.model, ctl.precision) {
+        cfg = cfg.with_precision(ladder);
+    }
+    Some(ThetaController::new(base, cfg))
 }
 
 impl DuetServer {
@@ -144,8 +331,35 @@ impl DuetServer {
         assert!(cfg.macs_per_tick >= 1, "macs_per_tick must be positive");
         let replicas: Vec<Replica> = (0..models.len())
             .flat_map(|m| (0..cfg.replicas_per_model).map(move |_| m))
-            .map(|m| Replica::new(m, cfg.guard))
+            .map(|m| {
+                let guard = models[m].band.map_or(cfg.guard, |b| {
+                    let mut band = b;
+                    // The controller may *command* a switch rate up to
+                    // setpoint_step · max_level above the calibrated
+                    // band (graduated overload degradation); the guard
+                    // must not read that intentional shift as anomaly.
+                    if let Some(ctl) = cfg.control {
+                        let reach = ctl.setpoint_step * f64::from(cfg.admission.max_level);
+                        band.hi = (band.hi + reach).min(1.0);
+                    }
+                    cfg.guard.with_band(band)
+                });
+                let mut replica = Replica::new(m, guard);
+                if let Some(ctl) = cfg.control {
+                    replica.controller = controller_for(&models[m], ctl);
+                }
+                replica
+            })
             .collect();
+        let replica_theta = if cfg.control.is_some() {
+            (0..replicas.len())
+                .map(|ri| {
+                    duet_obs::registry::gauge(intern(format!("serve.replica.{ri}.theta_milli")))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let in_flight = (0..replicas.len()).map(|_| None).collect();
         let tenants = tenant_names
             .iter()
@@ -160,6 +374,7 @@ impl DuetServer {
             .collect();
         let batcher = MicroBatcher::new(models.len(), cfg.batcher);
         let admission = AdmissionController::new(tenant_names.len(), cfg.admission);
+        let pristine = (0..models.len()).map(|_| None).collect();
         Self {
             models,
             tenants,
@@ -178,6 +393,13 @@ impl DuetServer {
             degraded_batches: 0,
             dense_fallback_batches: 0,
             max_queue_depth: 0,
+            replica_theta,
+            control_log: Vec::new(),
+            stall_until: 0,
+            chaos_plan: Vec::new(),
+            chaos_next: 0,
+            chaos_report: ChaosReport::default(),
+            pristine,
         }
     }
 
@@ -197,14 +419,47 @@ impl DuetServer {
     }
 
     /// Submits one request at the current tick and returns its id.
-    /// Admission never rejects — under pressure the request is served
-    /// degraded instead.
+    /// Admission never rejects for *load* — under pressure the request
+    /// is served degraded instead. Submission only refuses invalid
+    /// requests (unknown ids, wrong shape, non-finite values), before
+    /// any server state changes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the tenant or model index is out of range, or the input
-    /// width mismatches the model.
-    pub fn submit(&mut self, tenant: TenantId, model: ModelId, input: Tensor) -> RequestId {
+    /// [`SubmitError`] when the tenant or model index is out of range,
+    /// the input width mismatches the model, or the input carries a NaN
+    /// or infinity.
+    pub fn submit(
+        &mut self,
+        tenant: TenantId,
+        model: ModelId,
+        input: Tensor,
+    ) -> Result<RequestId, SubmitError> {
+        let t = tenant.0 as usize;
+        let m = model.0 as usize;
+        if t >= self.tenants.len() {
+            return Err(SubmitError::UnknownTenant {
+                tenant: tenant.0,
+                tenants: self.tenants.len(),
+            });
+        }
+        if m >= self.models.len() {
+            return Err(SubmitError::UnknownModel {
+                model: model.0,
+                models: self.models.len(),
+            });
+        }
+        let want = self.models[m].model.input_dim();
+        if input.shape().dims() != [want] {
+            return Err(SubmitError::ShapeMismatch {
+                got: input.len(),
+                want,
+            });
+        }
+        if let Some(index) = input.data().iter().position(|v| !v.is_finite()) {
+            counter!("serve.requests.rejected_nonfinite").inc();
+            return Err(SubmitError::NonFiniteInput { index });
+        }
         let id = RequestId(self.next_id);
         self.next_id += 1;
         let req = InferenceRequest {
@@ -215,7 +470,27 @@ impl DuetServer {
             arrival_tick: self.now,
         };
         self.ingest(req);
-        id
+        Ok(id)
+    }
+
+    /// The θ-controller observation log, one sample per controller
+    /// update, in commit order.
+    pub fn control_samples(&self) -> &[ControlSample] {
+        &self.control_log
+    }
+
+    /// Read access to a replica (guard and controller state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ri` is out of range.
+    pub fn replica(&self, ri: usize) -> &Replica {
+        &self.replicas[ri]
+    }
+
+    /// How many replicas the server runs (models × replicas-per-model).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
     }
 
     /// Replays a trace (sorted by arrival tick, as
@@ -243,6 +518,7 @@ impl DuetServer {
         let mut next_arrival = 0usize;
         loop {
             self.complete_due(&mut responses);
+            self.apply_chaos_due();
             while next_arrival < trace.len() && trace[next_arrival].arrival_tick <= self.now {
                 self.ingest(trace[next_arrival].clone());
                 next_arrival += 1;
@@ -259,6 +535,16 @@ impl DuetServer {
                 if let Some(t) = self.batcher.next_expiry() {
                     next_tick = Some(next_tick.map_or(t, |n| n.min(t)));
                 }
+                // a stalled dispatcher wakes exactly when the stall ends
+                if self.now < self.stall_until {
+                    next_tick =
+                        Some(next_tick.map_or(self.stall_until, |n| n.min(self.stall_until)));
+                }
+            }
+            // unapplied chaos events keep the clock moving even when no
+            // work is pending (a repair must land after the last batch)
+            if let Some(ev) = self.chaos_plan.get(self.chaos_next) {
+                next_tick = Some(next_tick.map_or(ev.tick, |n| n.min(ev.tick)));
             }
             match next_tick {
                 // A waited-out queue behind all-busy replicas can yield a
@@ -274,6 +560,137 @@ impl DuetServer {
     /// returns the responses in completion order.
     pub fn run_until_idle(&mut self) -> Vec<InferenceResponse> {
         self.run_trace(&[]).0
+    }
+
+    /// What the chaos planner needs to know about this deployment.
+    pub fn chaos_topology(&self) -> ChaosTopology {
+        ChaosTopology {
+            replicas: self.replicas.len(),
+            models: self.models.len(),
+            layer_models: self
+                .models
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| matches!(m.model, ModelVariant::Layer(_)))
+                .map(|(i, _)| i)
+                .collect(),
+            tenants: self.tenants.len(),
+        }
+    }
+
+    /// Replays `trace` under a chaos campaign: `plan` events fire when
+    /// the virtual clock reaches their ticks, interleaved with arrivals
+    /// and dispatch at deterministic points of the schedule. Returns the
+    /// responses, the serving report, and what the campaign did.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unsorted trace (see [`Self::run_trace`]) or an
+    /// unsorted plan.
+    pub fn run_trace_chaos(
+        &mut self,
+        trace: &[InferenceRequest],
+        plan: &[ChaosEvent],
+    ) -> (Vec<InferenceResponse>, ServeReport, ChaosReport) {
+        assert!(
+            plan.windows(2).all(|w| w[0].tick <= w[1].tick),
+            "chaos plan must be tick-sorted"
+        );
+        // spike requests mint ids above the trace's so they never collide
+        self.next_id = self
+            .next_id
+            .max(trace.iter().map(|r| r.id.0 + 1).max().unwrap_or(0));
+        self.chaos_plan = plan.to_vec();
+        self.chaos_next = 0;
+        let (responses, report) = self.run_trace(trace);
+        let chaos_report = self.chaos_report;
+        (responses, report, chaos_report)
+    }
+
+    /// Applies every chaos event whose tick has been reached, in plan
+    /// order.
+    fn apply_chaos_due(&mut self) {
+        while let Some(&ChaosEvent { tick, kind }) = self.chaos_plan.get(self.chaos_next) {
+            if tick > self.now {
+                break;
+            }
+            self.chaos_next += 1;
+            match kind {
+                ChaosKind::GuardTrip { replica } => {
+                    let ri = replica % self.replicas.len();
+                    self.replicas[ri].guard.force_trip();
+                    self.chaos_report.guard_trips += 1;
+                    counter!("serve.chaos.guard_trips").inc();
+                    // c = 2 marks an injected trip (0/1 are the organic
+                    // nonfinite flag)
+                    event::emit(
+                        EventKind::GuardTrip,
+                        event::NO_SCOPE,
+                        event::NO_TENANT,
+                        self.now,
+                        ri as u64,
+                        2,
+                        self.replicas[ri].guard.ewma().unwrap_or(-1.0),
+                    );
+                }
+                ChaosKind::CorruptSpeculator { model, rate, seed } => {
+                    let m = model % self.models.len();
+                    if self.pristine[m].is_none() {
+                        self.pristine[m] = Some(self.models[m].model.clone());
+                    }
+                    let flips = chaos::corrupt_variant(&mut self.models[m].model, rate, seed);
+                    self.chaos_report.corruptions += 1;
+                    self.chaos_report.flipped_bits += flips;
+                    counter!("serve.chaos.corruptions").inc();
+                    let (models, replicas) = (&self.models, &mut self.replicas);
+                    for r in replicas.iter_mut().filter(|r| r.model == m) {
+                        r.refresh_degraded(&models[m].model);
+                    }
+                }
+                ChaosKind::RepairSpeculator { model } => {
+                    let m = model % self.models.len();
+                    if let Some(p) = self.pristine[m].take() {
+                        self.models[m].model = p;
+                        self.chaos_report.repairs += 1;
+                        counter!("serve.chaos.repairs").inc();
+                        let (models, replicas) = (&self.models, &mut self.replicas);
+                        for r in replicas.iter_mut().filter(|r| r.model == m) {
+                            r.refresh_degraded(&models[m].model);
+                        }
+                    }
+                }
+                ChaosKind::BatcherStall { ticks } => {
+                    self.stall_until = self.stall_until.max(self.now + ticks);
+                    self.chaos_report.stalls += 1;
+                    counter!("serve.chaos.stalls").inc();
+                }
+                ChaosKind::BacklogSpike {
+                    tenant,
+                    model,
+                    count,
+                    seed,
+                } => {
+                    let t = tenant % self.tenants.len();
+                    let m = model % self.models.len();
+                    let d = self.models[m].model.input_dim();
+                    let mut r = duet_tensor::rng::seeded(seed);
+                    for _ in 0..count {
+                        let input = duet_tensor::rng::normal(&mut r, &[d], 0.0, 1.0);
+                        let id = RequestId(self.next_id);
+                        self.next_id += 1;
+                        self.ingest(InferenceRequest {
+                            id,
+                            tenant: TenantId(t as u32),
+                            model: ModelId(m as u32),
+                            input,
+                            arrival_tick: self.now,
+                        });
+                    }
+                    self.chaos_report.spike_requests += count as u64;
+                    counter!("serve.chaos.spike_requests").add(count as u64);
+                }
+            }
+        }
     }
 
     /// Builds the end-of-run report from the state accumulated so far.
@@ -370,6 +787,9 @@ impl DuetServer {
     /// committed serially in plan order — the order never depends on the
     /// thread count.
     fn dispatch(&mut self) {
+        if self.now < self.stall_until {
+            return; // chaos batcher stall: queues hold, nothing drops
+        }
         struct Plan {
             replica: usize,
             batch_id: u64,
@@ -377,13 +797,32 @@ impl DuetServer {
             level: u8,
             policy: SwitchingPolicy,
             dense: bool,
+            bits: u32,
         }
         let mut plans: Vec<Plan> = Vec::new();
         let mut claimed = vec![false; self.replicas.len()];
         for m in 0..self.models.len() {
             while self.batcher.ready(m, self.now) {
-                let Some(ri) = (0..self.replicas.len()).find(|&ri| {
-                    !claimed[ri] && self.replicas[ri].model == m && self.in_flight[ri].is_none()
+                // Under closed-loop control a tripped replica is
+                // quarantined: batches prefer healthy peers, but a
+                // tripped replica still serves (dense) when it is the
+                // only idle one — zero dropped requests beats purity.
+                // Controller-off keeps the original first-idle pick
+                // bitwise.
+                let healthy = if self.cfg.control.is_some() {
+                    (0..self.replicas.len()).find(|&ri| {
+                        !claimed[ri]
+                            && self.replicas[ri].model == m
+                            && self.in_flight[ri].is_none()
+                            && !self.replicas[ri].guard.is_tripped()
+                    })
+                } else {
+                    None
+                };
+                let Some(ri) = healthy.or_else(|| {
+                    (0..self.replicas.len()).find(|&ri| {
+                        !claimed[ri] && self.replicas[ri].model == m && self.in_flight[ri].is_none()
+                    })
                 }) else {
                     break;
                 };
@@ -433,13 +872,21 @@ impl DuetServer {
                     );
                 }
                 claimed[ri] = true;
+                // With a controller the policy is its current θ (the
+                // setpoint shift below absorbs the admission level);
+                // without one, the static level → θ table.
+                let policy = match &self.replicas[ri].controller {
+                    Some(c) => c.policy(),
+                    None => self.models[m].overload.policy_for(level),
+                };
                 plans.push(Plan {
                     replica: ri,
                     batch_id,
                     requests,
                     level,
-                    policy: self.models[m].overload.policy_for(level),
+                    policy,
                     dense: self.replicas[ri].must_serve_dense(),
+                    bits: self.replicas[ri].effective_bits(),
                 });
             }
         }
@@ -459,7 +906,7 @@ impl DuetServer {
             // hooks) emitted during this batch to its batch scope.
             let _scope = event::scoped(event::BATCH_SCOPE | p.batch_id, event::NO_TENANT);
             execute_batch(
-                &models[replicas[p.replica].model].model,
+                replicas[p.replica].effective_model(&models[replicas[p.replica].model].model),
                 &p.requests,
                 &p.policy,
                 p.dense,
@@ -469,8 +916,12 @@ impl DuetServer {
             let ri = plan.replica;
             let was_tripped = self.replicas[ri].guard.is_tripped();
             let observation = self.replicas[ri].observe(&exec);
+            // The EWMA is `None` until the guard's first finite
+            // observation; events carry the −1.0 sentinel for that cold
+            // start (fractions live in [0, 1]) while the controller
+            // consumes the `Option` and holds instead of reading 0.
+            let ewma = self.replicas[ri].guard.ewma();
             if let Some(obs) = observation {
-                let ewma = self.replicas[ri].guard.ewma().unwrap_or(0.0);
                 if obs.newly_tripped {
                     event::emit(
                         EventKind::GuardTrip,
@@ -479,7 +930,7 @@ impl DuetServer {
                         self.now,
                         ri as u64,
                         u64::from(obs.nonfinite),
-                        ewma,
+                        ewma.unwrap_or(-1.0),
                     );
                 } else if was_tripped && !self.replicas[ri].guard.is_tripped() {
                     event::emit(
@@ -489,14 +940,16 @@ impl DuetServer {
                         self.now,
                         ri as u64,
                         0,
-                        ewma,
+                        ewma.unwrap_or(-1.0),
                     );
                 }
             }
-            let cost = service_ticks(
+            self.update_controller(ri, plan.level, plan.batch_id, ewma);
+            let cost = service_ticks_scaled(
                 &exec.result.report,
                 self.cfg.macs_per_tick,
                 self.cfg.dispatch_overhead_ticks,
+                plan.bits,
             )
             .max(1);
             self.replicas[ri].busy_until = self.now + cost;
@@ -532,6 +985,63 @@ impl DuetServer {
             });
         }
         gauge!("serve.queue.depth").set(self.batcher.total_depth() as i64);
+    }
+
+    /// Runs one θ-controller update on replica `ri` after it committed a
+    /// batch at admission `level`, actuating the precision ladder on a
+    /// width change and recording the sample for observability.
+    fn update_controller(&mut self, ri: usize, level: u8, batch_id: u64, ewma: Option<f64>) {
+        let Some(ctl) = self.cfg.control else {
+            return;
+        };
+        let shift = ctl.setpoint_step * f64::from(level);
+        let old_bits = self.replicas[ri].effective_bits();
+        let Some(decision) = self.replicas[ri]
+            .controller
+            .as_mut()
+            .map(|c| c.update(ewma, shift))
+        else {
+            return;
+        };
+        if decision.bits != old_bits {
+            // Disjoint field borrows: the degraded copy is rebuilt from
+            // the shared model table.
+            let (models, replicas) = (&self.models, &mut self.replicas);
+            let m = replicas[ri].model;
+            replicas[ri].set_precision(&models[m].model, decision.bits);
+        }
+        match decision.action {
+            ControlAction::Hold => counter!("serve.control.holds").inc(),
+            ControlAction::Step => counter!("serve.control.steps").inc(),
+            ControlAction::Saturated => counter!("serve.control.saturated").inc(),
+            ControlAction::BitsDropped => counter!("serve.control.bits_drops").inc(),
+            ControlAction::BitsRestored => counter!("serve.control.bits_restores").inc(),
+        }
+        if let Some(g) = self.replica_theta.get(ri) {
+            g.set(i64::from((decision.theta * 1000.0).round() as i32));
+        }
+        let error = self.replicas[ri]
+            .controller
+            .as_ref()
+            .and_then(|c| c.last_error());
+        let theta_milli = i64::from((decision.theta * 1000.0).round() as i32);
+        event::emit(
+            EventKind::ControlUpdate,
+            event::BATCH_SCOPE | batch_id,
+            event::NO_TENANT,
+            self.now,
+            ri as u64,
+            theta_milli as u64,
+            error.unwrap_or(0.0),
+        );
+        self.control_log.push(ControlSample {
+            tick: self.now,
+            replica: ri,
+            theta: decision.theta,
+            error,
+            bits: decision.bits,
+            tripped: self.replicas[ri].guard.is_tripped(),
+        });
     }
 
     /// Completes every batch whose service interval has elapsed, in
@@ -616,6 +1126,7 @@ mod tests {
                 base: SwitchingPolicy::relu(0.0),
                 theta_step: 0.5,
             },
+            band: None,
         }
     }
 
@@ -647,6 +1158,7 @@ mod tests {
                 base: SwitchingPolicy::gelu(-0.5),
                 theta_step: 0.5,
             },
+            band: None,
         }
     }
 
@@ -666,7 +1178,7 @@ mod tests {
         let mut r = seeded(7);
         for i in 0..10 {
             let x = rng::normal(&mut r, &[24], 0.0, 1.0);
-            s.submit(TenantId(i % 2), ModelId(i % 2), x);
+            s.submit(TenantId(i % 2), ModelId(i % 2), x).unwrap();
         }
         let responses = s.run_until_idle();
         assert_eq!(responses.len(), 10);
@@ -697,7 +1209,7 @@ mod tests {
         let mut r = seeded(13);
         for _ in 0..40 {
             let x = rng::normal(&mut r, &[24], 0.0, 1.0);
-            s.submit(TenantId(0), ModelId(0), x);
+            s.submit(TenantId(0), ModelId(0), x).unwrap();
         }
         let responses = s.run_until_idle();
         let report = s.report();
@@ -718,15 +1230,10 @@ mod tests {
                 seed: 99,
                 horizon_ticks: 300,
                 tenants: vec![
-                    crate::trace::TenantProfile {
-                        name: "alpha".into(),
-                        mean_interarrival_ticks: 3,
-                    },
-                    crate::trace::TenantProfile {
-                        name: "beta".into(),
-                        mean_interarrival_ticks: 5,
-                    },
+                    crate::trace::TenantProfile::uniform("alpha", 3),
+                    crate::trace::TenantProfile::uniform("beta", 5),
                 ],
+                diurnal: None,
             };
             crate::trace::generate(&cfg, &s.model_dims())
         };
@@ -766,10 +1273,8 @@ mod tests {
             let cfg = crate::trace::TraceConfig {
                 seed: 41,
                 horizon_ticks: 200,
-                tenants: vec![crate::trace::TenantProfile {
-                    name: "alpha".into(),
-                    mean_interarrival_ticks: 2,
-                }],
+                tenants: vec![crate::trace::TenantProfile::uniform("alpha", 2)],
+                diurnal: None,
             };
             crate::trace::generate(&cfg, &s.model_dims())
         };
@@ -811,9 +1316,66 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "input width mismatch")]
-    fn submit_rejects_mis_shaped_input() {
+    fn submit_rejects_invalid_requests_with_typed_errors() {
         let mut s = server(ServeConfig::balanced());
-        s.submit(TenantId(0), ModelId(0), Tensor::zeros(&[23]));
+        assert_eq!(
+            s.submit(TenantId(0), ModelId(0), Tensor::zeros(&[23])),
+            Err(SubmitError::ShapeMismatch { got: 23, want: 24 })
+        );
+        assert_eq!(
+            s.submit(TenantId(9), ModelId(0), Tensor::zeros(&[24])),
+            Err(SubmitError::UnknownTenant {
+                tenant: 9,
+                tenants: 2
+            })
+        );
+        assert_eq!(
+            s.submit(TenantId(0), ModelId(5), Tensor::zeros(&[24])),
+            Err(SubmitError::UnknownModel {
+                model: 5,
+                models: 2
+            })
+        );
+        let mut bad = vec![0.0f32; 24];
+        bad[7] = f32::NAN;
+        let err = s
+            .submit(TenantId(0), ModelId(0), Tensor::from_vec(bad, &[24]))
+            .unwrap_err();
+        assert_eq!(err, SubmitError::NonFiniteInput { index: 7 });
+        assert!(err.to_string().contains("not finite"));
+        // nothing entered the queue and no id was minted
+        let report = s.report();
+        assert_eq!(report.submitted, 0);
+        assert_eq!(s.run_until_idle().len(), 0);
+        let ok = s
+            .submit(TenantId(0), ModelId(0), Tensor::zeros(&[24]))
+            .unwrap();
+        assert_eq!(ok, RequestId(0));
+    }
+
+    #[test]
+    fn controller_tracks_setpoint_and_quarantines_off() {
+        let mut cfg = ServeConfig::balanced();
+        cfg.workers = 1;
+        cfg.control = Some(ServeControl::balanced());
+        let mut models = vec![model("m0", 1)];
+        models[0].band = Some(SwitchRateBand { lo: 0.3, hi: 0.5 });
+        let mut s = DuetServer::new(models, &["alpha".to_string()], cfg);
+        let mut r = seeded(21);
+        for _ in 0..60 {
+            let x = rng::normal(&mut r, &[24], 0.0, 1.0);
+            s.submit(TenantId(0), ModelId(0), x).unwrap();
+        }
+        let responses = s.run_until_idle();
+        assert_eq!(responses.len(), 60);
+        let samples = s.control_samples();
+        assert!(!samples.is_empty(), "controller must have run");
+        // by the end the measured switch rate sits inside the deadband
+        let last = samples.last().unwrap();
+        assert!(
+            last.error.is_some_and(|e| e.abs() <= 0.1 + 1e-9),
+            "controller should settle into the band: {last:?}"
+        );
+        assert_eq!(last.bits, 4, "no fault: full precision throughout");
     }
 }

@@ -42,6 +42,7 @@ fn models() -> Vec<ServedModel> {
                     base: SwitchingPolicy::relu(0.0),
                     theta_step: 0.5,
                 },
+                band: None,
             }
         })
         .collect();
@@ -68,6 +69,7 @@ fn models() -> Vec<ServedModel> {
             base: SwitchingPolicy::gelu(-0.5),
             theta_step: 0.5,
         },
+        band: None,
     });
     out
 }
@@ -81,19 +83,11 @@ fn trace(server: &DuetServer) -> Vec<duet_serve::InferenceRequest> {
         seed: 2026,
         horizon_ticks: 600,
         tenants: vec![
-            TenantProfile {
-                name: "alpha".into(),
-                mean_interarrival_ticks: 3,
-            },
-            TenantProfile {
-                name: "beta".into(),
-                mean_interarrival_ticks: 6,
-            },
-            TenantProfile {
-                name: "gamma".into(),
-                mean_interarrival_ticks: 11,
-            },
+            TenantProfile::uniform("alpha", 3),
+            TenantProfile::uniform("beta", 6),
+            TenantProfile::uniform("gamma", 11),
         ],
+        diurnal: None,
     };
     duet_serve::trace::generate(&cfg, &server.model_dims())
 }

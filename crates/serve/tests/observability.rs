@@ -45,6 +45,7 @@ fn models() -> Vec<ServedModel> {
                     base: SwitchingPolicy::relu(0.0),
                     theta_step: 0.5,
                 },
+                band: None,
             }
         })
         .collect()
@@ -59,15 +60,10 @@ fn requests(server: &DuetServer) -> Vec<duet_serve::InferenceRequest> {
         seed: 515,
         horizon_ticks: 400,
         tenants: vec![
-            TenantProfile {
-                name: "alpha".into(),
-                mean_interarrival_ticks: 3,
-            },
-            TenantProfile {
-                name: "beta".into(),
-                mean_interarrival_ticks: 7,
-            },
+            TenantProfile::uniform("alpha", 3),
+            TenantProfile::uniform("beta", 7),
         ],
+        diurnal: None,
     };
     duet_serve::trace::generate(&cfg, &server.model_dims())
 }

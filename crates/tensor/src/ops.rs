@@ -75,9 +75,12 @@ pub const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
 /// Whether the `crate::simd` micro-kernels take over the hot loops for
 /// this call: compiled in, supported by the CPU, and not disabled via
 /// `DUET_SIMD=0`. Callers hoist this out of their row loops (the env
-/// check is re-read per kernel call, not per row).
+/// check is re-read per kernel call, not per row). Public so tests that
+/// pin absolute float-derived checksums — captured on the scalar,
+/// bitwise-stable kernel order — can detect the (ULP-different) SIMD
+/// path and fall back to structural assertions.
 #[inline]
-fn simd_active() -> bool {
+pub fn simd_active() -> bool {
     #[cfg(feature = "simd")]
     return crate::simd::enabled();
     #[cfg(not(feature = "simd"))]

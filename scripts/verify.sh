@@ -93,6 +93,25 @@ rm -f results/BENCH_serve_smoke.json results/BENCH_serve_smoke.t1.json results/B
 rm -f results/RECORDER_serve_smoke.jsonl results/RECORDER_serve_smoke.t1.jsonl results/RECORDER_serve_smoke.t4.jsonl
 rm -f results/SERVE_REPORT_smoke.json
 
+echo "== chaos campaign determinism + control loop (control_bench --smoke at 1/4/7 threads) =="
+# The closed-loop θ-controller under chaos: the seeded campaign (guard
+# trips, speculator corruption, stalls, backlog spikes) must be a pure
+# function of its seed, so BENCH_control_smoke.json — calibrated bands,
+# per-trip recovery ticks, setpoint-tracking error, response checksum —
+# has to come out byte-identical at any DUET_NUM_THREADS. The binary
+# itself asserts the control invariants in-binary (zero dropped
+# requests, bounded re-admission after every injected trip, steady-tail
+# setpoint error inside the deadband). Smoke output is scratch.
+rm -f results/BENCH_control_smoke.json
+DUET_NUM_THREADS=1 ./target/release/control_bench --smoke >/dev/null
+mv results/BENCH_control_smoke.json results/BENCH_control_smoke.t1.json
+DUET_NUM_THREADS=4 ./target/release/control_bench --smoke >/dev/null
+mv results/BENCH_control_smoke.json results/BENCH_control_smoke.t4.json
+DUET_NUM_THREADS=7 ./target/release/control_bench --smoke >/dev/null
+cmp results/BENCH_control_smoke.t1.json results/BENCH_control_smoke.t4.json
+cmp results/BENCH_control_smoke.t1.json results/BENCH_control_smoke.json
+rm -f results/BENCH_control_smoke.json results/BENCH_control_smoke.t1.json results/BENCH_control_smoke.t4.json
+
 echo "== dual transformer (equivalence at 1/4/7 threads + transformer_bench --smoke) =="
 # The dual-attention refactor's contract: θ = −∞ is bitwise the dense
 # model for every piece (DualProjection, DualAttention, DualFfn, the
